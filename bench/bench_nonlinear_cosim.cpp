@@ -1,0 +1,200 @@
+// Experiment E14 (extension) — the paper's Fig 5 experiment as actually
+// described: "the circuit is connected with LOGIC GATES at 17 ports", and
+// the interconnect's 1350 nodal equations join the NONLINEAR system.
+// Replacing the block with the synthesized 34-state reduced model makes
+// every Newton iteration small — the "smaller and easier to solve system
+// of nonlinear differential algebraic equations" of Section 6.
+//
+// Tables: Newton-transient CPU time and waveform deviation, full block vs
+// stamped ROM, with tanh drivers (saturating buffers) at the near-end
+// ports and the far ends observed.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "gen/rc_interconnect.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/nonlinear.hpp"
+
+namespace {
+
+using namespace sympvl;
+using namespace sympvl::bench;
+
+struct Setup {
+  MnaSystem sys;                    // system to integrate
+  std::vector<std::shared_ptr<NonlinearDevice>> devices;
+  Mat input_map;                    // control-node injections
+  Mat output_map;                   // far-end voltages
+};
+
+constexpr Index kWires = 4;
+constexpr Index kSegments = 100;
+
+// Full circuit: the bus plus one control node per wire; drivers buffer the
+// control nodes onto the near ends.
+Setup full_setup() {
+  const InterconnectCircuit ic =
+      make_interconnect_circuit({.wires = kWires, .segments = kSegments});
+  Netlist nl;  // copy elements; replace ports with control/observation sets
+  nl.ensure_nodes(ic.netlist.node_count());
+  for (const auto& r : ic.netlist.resistors()) nl.add_resistor(r.n1, r.n2, r.resistance);
+  for (const auto& c : ic.netlist.capacitors()) nl.add_capacitor(c.n1, c.n2, c.capacitance);
+  std::vector<Index> ctl(static_cast<size_t>(kWires));
+  for (Index w = 0; w < kWires; ++w) {
+    ctl[static_cast<size_t>(w)] = nl.new_node();
+    nl.add_resistor(ctl[static_cast<size_t>(w)], 0, 1e5);
+    nl.add_capacitor(ctl[static_cast<size_t>(w)], 0, 1e-14);
+  }
+  for (Index w = 0; w < kWires; ++w)
+    nl.add_port(ctl[static_cast<size_t>(w)], 0, "ctl" + std::to_string(w));
+  for (Index w = 0; w < kWires; ++w)
+    nl.add_port(ic.far_nodes[static_cast<size_t>(w)], 0, "far" + std::to_string(w));
+
+  Setup s{build_mna(nl, MnaForm::kGeneral), {}, Mat(), Mat()};
+  for (Index w = 0; w < kWires; ++w)
+    s.devices.push_back(std::make_shared<TanhDriver>(
+        ctl[static_cast<size_t>(w)] - 1, ic.near_nodes[static_cast<size_t>(w)] - 1));
+  const Index n = s.sys.size();
+  s.input_map.resize(n, kWires);
+  s.output_map.resize(n, kWires);
+  for (Index w = 0; w < kWires; ++w) {
+    s.input_map(ctl[static_cast<size_t>(w)] - 1, w) = 1.0;
+    s.output_map(ic.far_nodes[static_cast<size_t>(w)] - 1, w) = 1.0;
+  }
+  return s;
+}
+
+// ROM circuit: reduce the bus (all 2·wires+1 ports), stamp it into a tiny
+// host carrying the control nodes, attach drivers at the near-end ports.
+Setup rom_setup() {
+  const InterconnectCircuit ic =
+      make_interconnect_circuit({.wires = kWires, .segments = kSegments});
+  const MnaSystem block = build_mna(ic.netlist, MnaForm::kRC);
+  SympvlOptions opt;
+  opt.order = 2 * block.port_count();
+  const ReducedModel rom = sympvl_reduce(block, opt);
+
+  const Index p = block.port_count();  // 2·wires+1
+  Netlist host;
+  host.ensure_nodes(p + kWires + 1);
+  // Attachment nodes 1..p (one per block port) with weak DC anchors.
+  for (Index k = 1; k <= p; ++k) host.add_resistor(k, 0, 1e9);
+  std::vector<Index> ctl(static_cast<size_t>(kWires));
+  for (Index w = 0; w < kWires; ++w) {
+    ctl[static_cast<size_t>(w)] = p + 1 + w;
+    host.add_resistor(ctl[static_cast<size_t>(w)], 0, 1e5);
+    host.add_capacitor(ctl[static_cast<size_t>(w)], 0, 1e-14);
+  }
+  for (Index w = 0; w < kWires; ++w)
+    host.add_port(ctl[static_cast<size_t>(w)], 0);
+  for (Index w = 0; w < kWires; ++w)
+    host.add_port(kWires + 1 + w, 0);  // far-end attachment nodes = ports
+
+  std::vector<Index> attach(static_cast<size_t>(p));
+  for (Index k = 0; k < p; ++k) attach[static_cast<size_t>(k)] = k + 1;
+  Setup s{rom.stamp_into(host, attach), {}, Mat(), Mat()};
+  for (Index w = 0; w < kWires; ++w)
+    s.devices.push_back(std::make_shared<TanhDriver>(
+        ctl[static_cast<size_t>(w)] - 1, /*near-end attach node w+1*/ w));
+  const Index n = s.sys.size();
+  s.input_map.resize(n, kWires);
+  s.output_map.resize(n, kWires);
+  for (Index w = 0; w < kWires; ++w) {
+    s.input_map(ctl[static_cast<size_t>(w)] - 1, w) = 1.0;
+    s.output_map(kWires + w, w) = 1.0;  // far-end attach node (kWires+1+w)−1
+  }
+  return s;
+}
+
+std::vector<Waveform> stimuli() {
+  std::vector<Waveform> u(static_cast<size_t>(kWires),
+                          [](double) { return 0.0; });
+  u[0] = ramp_waveform(1e-5, 0.5e-9, 1e-9);  // 1 V step on wire 1's gate
+  return u;
+}
+
+void print_tables() {
+  NonlinearTransientOptions opt;
+  opt.dt = 2e-11;
+  opt.t_end = 10e-9;
+  const auto u = stimuli();
+
+  const Setup full = full_setup();
+  const Setup rom = rom_setup();
+  std::printf("full nonlinear system: %lld unknowns; ROM system: %lld\n",
+              static_cast<long long>(full.sys.size()),
+              static_cast<long long>(rom.sys.size()));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto a = simulate_nonlinear_transient(full.sys, full.devices,
+                                              full.input_map, u,
+                                              full.output_map, opt);
+  const double t_full =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto b = simulate_nonlinear_transient(rom.sys, rom.devices,
+                                              rom.input_map, u,
+                                              rom.output_map, opt);
+  const double t_rom =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
+
+  double err = 0.0, scale = 0.0;
+  for (size_t k = 0; k < a.time.size(); ++k)
+    for (Index w = 0; w < kWires; ++w) {
+      err = std::max(err, std::abs(a.outputs(static_cast<Index>(k), w) -
+                                   b.outputs(static_cast<Index>(k), w)));
+      scale = std::max(scale, std::abs(a.outputs(static_cast<Index>(k), w)));
+    }
+
+  csv_begin("nonlinear co-simulation (tanh gates at the ports): full block "
+            "vs stamped ROM",
+            {"unknowns_full", "unknowns_rom", "t_full_s", "t_rom_s",
+             "speedup", "max_waveform_err_rel"});
+  csv_row({static_cast<double>(full.sys.size()),
+           static_cast<double>(rom.sys.size()), t_full, t_rom, t_full / t_rom,
+           err / (scale + 1e-300)});
+
+  csv_begin("driven and victim far-end waveforms",
+            {"t_s", "v_driven_full", "v_driven_rom", "v_victim_full",
+             "v_victim_rom"});
+  const size_t stride = std::max<size_t>(1, a.time.size() / 25);
+  for (size_t k = 0; k < a.time.size(); k += stride)
+    csv_row({a.time[k], a.outputs(static_cast<Index>(k), 0),
+             b.outputs(static_cast<Index>(k), 0),
+             a.outputs(static_cast<Index>(k), 1),
+             b.outputs(static_cast<Index>(k), 1)});
+}
+
+void bm_newton_step_full(benchmark::State& state) {
+  const Setup full = full_setup();
+  NonlinearTransientOptions opt;
+  opt.dt = 2e-11;
+  opt.t_end = 4e-10;
+  const auto u = stimuli();
+  for (auto _ : state) {
+    const auto r = simulate_nonlinear_transient(full.sys, full.devices,
+                                                full.input_map, u,
+                                                full.output_map, opt);
+    benchmark::DoNotOptimize(r.outputs(0, 0));
+  }
+}
+BENCHMARK(bm_newton_step_full)->Unit(benchmark::kMillisecond);
+
+void bm_newton_step_rom(benchmark::State& state) {
+  const Setup rom = rom_setup();
+  NonlinearTransientOptions opt;
+  opt.dt = 2e-11;
+  opt.t_end = 4e-10;
+  const auto u = stimuli();
+  for (auto _ : state) {
+    const auto r = simulate_nonlinear_transient(rom.sys, rom.devices,
+                                                rom.input_map, u,
+                                                rom.output_map, opt);
+    benchmark::DoNotOptimize(r.outputs(0, 0));
+  }
+}
+BENCHMARK(bm_newton_step_rom)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYMPVL_BENCH_MAIN(print_tables)

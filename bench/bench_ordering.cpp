@@ -1,0 +1,111 @@
+// Experiment E12 — ablations of two implementation choices DESIGN.md calls
+// out:
+//   (a) fill-reducing ordering for the sparse factorizations (natural vs
+//       RCM vs minimum-degree), measured as symbolic fill and wall time on
+//       the paper-scale circuits;
+//   (b) full reorthogonalization in the Lanczos process vs the theoretical
+//       band recurrence (accuracy and cost at growing order).
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "circuit/mna.hpp"
+#include "gen/package.hpp"
+#include "gen/rc_interconnect.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/ac.hpp"
+
+namespace {
+
+using namespace sympvl;
+using namespace sympvl::bench;
+
+double timed(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_tables() {
+  // ---- (a) ordering ablation on the two big substrate matrices. ----
+  struct Case {
+    const char* name;
+    SMat g;
+  };
+  const PackageCircuit pkg = make_package_circuit();
+  const InterconnectCircuit bus = make_interconnect_circuit();
+  std::vector<Case> cases;
+  cases.push_back({"package_G_shifted", [&] {
+                     const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kGeneral);
+                     return SMat::add(sys.G, 1.0, sys.C, automatic_shift(sys));
+                   }()});
+  cases.push_back({"interconnect_G", build_mna(bus.netlist, MnaForm::kRC).G});
+
+  csv_begin("ordering ablation: symbolic fill (L nnz) and factor time",
+            {"case", "n", "fill_natural", "fill_rcm", "fill_mindeg",
+             "t_rcm_s", "t_mindeg_s"});
+  int case_id = 0;
+  for (const auto& c : cases) {
+    const Index fill_nat = symbolic_fill(c.g, natural_ordering(c.g.rows()));
+    std::vector<Index> perm_rcm, perm_md;
+    const double t_rcm = timed([&] { perm_rcm = rcm_ordering(c.g); });
+    const double t_md = timed([&] { perm_md = min_degree_ordering(c.g); });
+    std::printf("case %d = %s\n", case_id, c.name);
+    csv_row({static_cast<double>(case_id++), static_cast<double>(c.g.rows()),
+             static_cast<double>(fill_nat),
+             static_cast<double>(symbolic_fill(c.g, perm_rcm)),
+             static_cast<double>(symbolic_fill(c.g, perm_md)), t_rcm, t_md});
+  }
+
+  // ---- (b) reorthogonalization ablation. ----
+  const MnaSystem sys = build_mna(bus.netlist, MnaForm::kRC);
+  const Vec freqs = log_frequency_grid(1e6, 1e10, 11);
+  const auto exact = ac_sweep(sys, freqs);
+  csv_begin("reorthogonalization ablation (17-port RC bus)",
+            {"order", "err_full_reorth", "err_band_recurrence",
+             "t_full_s", "t_band_s"});
+  for (Index order : {17, 34, 68}) {
+    double err_full = 0.0, err_band = 0.0, t_full = 0.0, t_band = 0.0;
+    for (int full = 1; full >= 0; --full) {
+      SympvlOptions opt;
+      opt.order = order;
+      opt.full_reorthogonalization = (full == 1);
+      ReducedModel rom;
+      const double t = timed([&] { rom = sympvl_reduce(sys, opt); });
+      double err = 0.0;
+      for (size_t k = 0; k < freqs.size(); ++k)
+        err = std::max(err, max_rel_err(
+                                rom.eval(Complex(0.0, 2.0 * M_PI * freqs[k])),
+                                exact[k]));
+      if (full == 1) {
+        err_full = err;
+        t_full = t;
+      } else {
+        err_band = err;
+        t_band = t;
+      }
+    }
+    csv_row({static_cast<double>(order), err_full, err_band, t_full, t_band});
+  }
+}
+
+void bm_ldlt_by_ordering(benchmark::State& state) {
+  const InterconnectCircuit bus = make_interconnect_circuit({.wires = 4,
+                                                             .segments = 100});
+  const SMat g = build_mna(bus.netlist, MnaForm::kRC).G;
+  const Ordering ord = static_cast<Ordering>(state.range(0));
+  for (auto _ : state) {
+    const LDLT f(g, ord);
+    benchmark::DoNotOptimize(f.l_nnz());
+  }
+}
+BENCHMARK(bm_ldlt_by_ordering)
+    ->Arg(static_cast<int>(Ordering::kNatural))
+    ->Arg(static_cast<int>(Ordering::kRCM))
+    ->Arg(static_cast<int>(Ordering::kMinDegree))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYMPVL_BENCH_MAIN(print_tables)

@@ -1,0 +1,115 @@
+// Experiment E6 — the Section 3.2 claim: approximating a p-port transfer
+// matrix entry-by-entry needs p² PVL runs and yields a reduced model of
+// total size p²·n, while one SyMPVL run produces a single size-n matrix
+// model of comparable accuracy — "much more efficient" and "much smaller".
+//
+// Tables: wall time and total model size of p² PVL runs vs one SyMPVL run
+// as p grows, at matched per-entry accuracy; plus an accuracy spot check.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "gen/random_circuit.hpp"
+#include "mor/pvl.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/ac.hpp"
+
+namespace {
+
+using namespace sympvl;
+using namespace sympvl::bench;
+
+MnaSystem make_system(Index ports) {
+  return build_mna(random_rc(
+      {.nodes = 150, .ports = ports, .seed = 7u + static_cast<unsigned>(ports)}));
+}
+
+double now_run(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_tables() {
+  csv_begin("pvl (p^2 runs) vs sympvl (1 run): cost and model size vs p",
+            {"p", "pvl_runs", "pvl_total_states", "pvl_seconds",
+             "sympvl_states", "sympvl_seconds"});
+  const Index n_per_entry = 12;
+  for (Index p : {1, 2, 4, 6, 8}) {
+    const MnaSystem sys = make_system(p);
+    std::vector<PvlModel> pvl_models;
+    const double t_pvl = now_run([&] {
+      PvlOptions opt;
+      opt.order = n_per_entry;
+      pvl_models = pvl_reduce_all(sys, opt);
+    });
+    Index pvl_states = 0;
+    for (const auto& m : pvl_models) pvl_states += m.order();
+
+    ReducedModel rom;
+    const double t_sym = now_run([&] {
+      SympvlOptions opt;
+      opt.order = n_per_entry * p;  // same Krylov depth per port
+      rom = sympvl_reduce(sys, opt);
+    });
+    csv_row({static_cast<double>(p), static_cast<double>(p * p),
+             static_cast<double>(pvl_states), t_pvl,
+             static_cast<double>(rom.order()), t_sym});
+  }
+
+  // Accuracy spot check at p = 4: both approaches against the exact Z.
+  const Index p = 4;
+  const MnaSystem sys = make_system(p);
+  PvlOptions popt;
+  popt.order = n_per_entry;
+  const auto pvl_models = pvl_reduce_all(sys, popt);
+  SympvlOptions sopt;
+  sopt.order = n_per_entry * p;
+  const ReducedModel rom = sympvl_reduce(sys, sopt);
+
+  csv_begin("accuracy at p=4: max entry-wise relative error vs frequency",
+            {"f_hz", "pvl_err", "sympvl_err"});
+  for (double f : log_frequency_grid(1e6, 1e10, 9)) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const CMat exact = ac_z_matrix(sys, s);
+    const CMat zs = rom.eval(s);
+    double pvl_err = 0.0, sym_err = 0.0;
+    for (Index i = 0; i < p; ++i)
+      for (Index j = 0; j < p; ++j) {
+        const double scale = std::abs(exact(i, j)) + 1e-300;
+        pvl_err = std::max(
+            pvl_err,
+            std::abs(pvl_models[static_cast<size_t>(i * p + j)].eval(s) -
+                     exact(i, j)) / scale);
+        sym_err = std::max(sym_err, std::abs(zs(i, j) - exact(i, j)) / scale);
+      }
+    csv_row({f, pvl_err, sym_err});
+  }
+}
+
+void bm_pvl_all_entries(benchmark::State& state) {
+  const MnaSystem sys = make_system(static_cast<Index>(state.range(0)));
+  PvlOptions opt;
+  opt.order = 12;
+  for (auto _ : state) {
+    const auto models = pvl_reduce_all(sys, opt);
+    benchmark::DoNotOptimize(models.size());
+  }
+}
+BENCHMARK(bm_pvl_all_entries)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void bm_sympvl_one_run(benchmark::State& state) {
+  const Index p = static_cast<Index>(state.range(0));
+  const MnaSystem sys = make_system(p);
+  SympvlOptions opt;
+  opt.order = 12 * p;
+  for (auto _ : state) {
+    const ReducedModel rom = sympvl_reduce(sys, opt);
+    benchmark::DoNotOptimize(rom.order());
+  }
+}
+BENCHMARK(bm_sympvl_one_run)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYMPVL_BENCH_MAIN(print_tables)

@@ -1,0 +1,116 @@
+// Experiment E10 — scaling behavior behind the Section 7.2 remark that
+// "the cost of nonlinear circuit simulation is superlinear in the number
+// of state variables": SyMPVL cost as a function of circuit size N,
+// reduced order n, and port count p, against the cost of exact AC sweeps
+// and full transient runs that the reduced model replaces.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "gen/rc_interconnect.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/ac.hpp"
+#include "sim/transient.hpp"
+
+namespace {
+
+using namespace sympvl;
+using namespace sympvl::bench;
+
+double timed(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_tables() {
+  csv_begin("scaling in circuit size N (4-wire bus, p=9, order 18)",
+            {"segments", "mna_size", "reduce_s", "exact_sweep20_s",
+             "rom_sweep20_s"});
+  for (Index segments : {25, 50, 100, 200, 400}) {
+    const MnaSystem sys =
+        ::sympvl::build_mna(make_interconnect_circuit(
+                                {.wires = 4, .segments = segments}).netlist,
+                            MnaForm::kRC);
+    ReducedModel rom;
+    const double t_red = timed([&] {
+      SympvlOptions opt;
+      opt.order = 18;
+      rom = sympvl_reduce(sys, opt);
+    });
+    const Vec freqs = log_frequency_grid(1e6, 1e10, 20);
+    const double t_exact = timed([&] { ac_sweep(sys, freqs); });
+    const double t_rom = timed([&] { rom.sweep(freqs); });
+    csv_row({static_cast<double>(segments), static_cast<double>(sys.size()),
+             t_red, t_exact, t_rom});
+  }
+
+  csv_begin("scaling in reduced order n (fixed N)",
+            {"order", "reduce_s"});
+  const MnaSystem sys =
+      ::sympvl::build_mna(make_interconnect_circuit(
+                              {.wires = 4, .segments = 200}).netlist,
+                          MnaForm::kRC);
+  for (Index order : {8, 16, 32, 64}) {
+    const double t = timed([&] {
+      SympvlOptions opt;
+      opt.order = order;
+      sympvl_reduce(sys, opt);
+    });
+    csv_row({static_cast<double>(order), t});
+  }
+
+  csv_begin("AC sweep engine: amortized symbolic analysis vs per-point "
+            "factorization (40 points)",
+            {"mna_size", "t_per_point_s", "t_engine_s", "speedup"});
+  for (Index segments : {100, 400}) {
+    const MnaSystem s2 =
+        ::sympvl::build_mna(make_interconnect_circuit(
+                                {.wires = 4, .segments = segments}).netlist,
+                            MnaForm::kRC);
+    const Vec freqs = log_frequency_grid(1e6, 1e10, 40);
+    const double t_points = timed([&] {
+      for (double f : freqs) ac_z_matrix(s2, Complex(0.0, 2.0 * M_PI * f));
+    });
+    const double t_engine = timed([&] { AcSweepEngine(s2).sweep(freqs); });
+    csv_row({static_cast<double>(s2.size()), t_points, t_engine,
+             t_points / t_engine});
+  }
+
+  csv_begin("scaling in port count p (fixed N per wire, order 2p)",
+            {"wires", "ports", "reduce_s"});
+  for (Index wires : {2, 4, 8, 12}) {
+    const MnaSystem s =
+        ::sympvl::build_mna(make_interconnect_circuit(
+                                {.wires = wires, .segments = 100}).netlist,
+                            MnaForm::kRC);
+    const double t = timed([&] {
+      SympvlOptions opt;
+      opt.order = 2 * s.port_count();
+      sympvl_reduce(s, opt);
+    });
+    csv_row({static_cast<double>(wires), static_cast<double>(s.port_count()), t});
+  }
+}
+
+void bm_reduce_by_size(benchmark::State& state) {
+  const MnaSystem sys =
+      ::sympvl::build_mna(make_interconnect_circuit(
+                              {.wires = 4,
+                               .segments = static_cast<Index>(state.range(0))})
+                              .netlist,
+                          MnaForm::kRC);
+  SympvlOptions opt;
+  opt.order = 18;
+  for (auto _ : state) {
+    const ReducedModel rom = sympvl_reduce(sys, opt);
+    benchmark::DoNotOptimize(rom.order());
+  }
+  state.SetComplexityN(sys.size());
+}
+BENCHMARK(bm_reduce_by_size)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+}  // namespace
+
+SYMPVL_BENCH_MAIN(print_tables)

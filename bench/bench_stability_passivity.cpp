@@ -1,0 +1,92 @@
+// Experiment E8 — the Section 5 theorems, measured: RC/RL/LC reductions
+// are stable and passive at EVERY order; general RLC reductions are not
+// guaranteed (the paper defers those to post-processing) but become
+// near-passive once accurate.
+//
+// Tables: worst pole real part and worst Hermitian-part eigenvalue vs
+// order for each circuit class.
+#include "bench_util.hpp"
+#include "gen/random_circuit.hpp"
+#include "mor/passivity.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/ac.hpp"
+
+namespace {
+
+using namespace sympvl;
+using namespace sympvl::bench;
+
+void class_table(const char* title, const Netlist& nl,
+                 const std::vector<Index>& orders) {
+  const MnaSystem sys = build_mna(nl);
+  const Vec freqs = log_frequency_grid(1e6, 1e10, 11);
+  csv_begin(title, {"order", "max_pole_real", "min_herm_eig", "stable",
+                    "passive"});
+  for (Index n : orders) {
+    SympvlOptions opt;
+    opt.order = n;
+    const ReducedModel rom = sympvl_reduce(sys, opt);
+    const auto rep = check_passivity(rom, freqs);
+    csv_row({static_cast<double>(n), rep.max_pole_real, rep.min_hermitian_eig,
+             rep.stable ? 1.0 : 0.0, rep.passive ? 1.0 : 0.0});
+  }
+}
+
+void print_tables() {
+  const std::vector<Index> orders{1, 2, 4, 8, 16, 24};
+  class_table("stability/passivity vs order: RC (theorem: always passive)",
+              random_rc({.nodes = 60, .ports = 2, .seed = 31}), orders);
+  class_table("stability/passivity vs order: RL (theorem: always passive)",
+              random_rl({.nodes = 40, .ports = 2, .seed = 32}), orders);
+
+  // LC: report pole placement (lossless => imaginary axis).
+  {
+    const Netlist nl = random_lc({.nodes = 40, .ports = 2, .seed = 33});
+    const MnaSystem sys = build_mna(nl);
+    csv_begin("LC poles vs order (theorem: on the imaginary axis)",
+              {"order", "max_abs_pole_real_rel"});
+    for (Index n : orders) {
+      SympvlOptions opt;
+      opt.order = n;
+      const ReducedModel rom = sympvl_reduce(sys, opt);
+      double worst = 0.0;
+      for (const Complex& pole : rom.poles())
+        worst = std::max(worst, std::abs(pole.real()) / (1.0 + std::abs(pole)));
+      csv_row({static_cast<double>(n), worst});
+    }
+  }
+
+  // General RLC: no guarantee; record what happens.
+  class_table("stability/passivity vs order: general RLC (no guarantee; "
+              "improves with accuracy)",
+              random_rlc({.nodes = 40, .ports = 2, .seed = 34}), orders);
+}
+
+void bm_passivity_check(benchmark::State& state) {
+  const Netlist nl = random_rc({.nodes = 60, .ports = 2, .seed = 31});
+  SympvlOptions opt;
+  opt.order = 16;
+  const ReducedModel rom = sympvl_reduce(build_mna(nl), opt);
+  const Vec freqs = log_frequency_grid(1e6, 1e10, 11);
+  for (auto _ : state) {
+    const auto rep = check_passivity(rom, freqs);
+    benchmark::DoNotOptimize(rep.passive);
+  }
+}
+BENCHMARK(bm_passivity_check)->Unit(benchmark::kMillisecond);
+
+void bm_pole_computation(benchmark::State& state) {
+  const Netlist nl = random_rc({.nodes = 60, .ports = 2, .seed = 31});
+  SympvlOptions opt;
+  opt.order = static_cast<Index>(state.range(0));
+  const ReducedModel rom = sympvl_reduce(build_mna(nl), opt);
+  for (auto _ : state) {
+    const CVec poles = rom.poles();
+    benchmark::DoNotOptimize(poles.size());
+  }
+}
+BENCHMARK(bm_pole_computation)->Arg(8)->Arg(24)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+SYMPVL_BENCH_MAIN(print_tables)

@@ -1,0 +1,53 @@
+// Shared helpers for the experiment benches: each bench binary prints the
+// data series of one paper figure/claim as CSV on stdout, then runs
+// google-benchmark timings for the algorithmic kernels involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace sympvl::bench {
+
+/// Prints a CSV header line: columns joined by commas, prefixed by a
+/// section banner so the output of consecutive tables stays readable.
+inline void csv_begin(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n### %s\n", title.c_str());
+  for (size_t i = 0; i < columns.size(); ++i)
+    std::printf("%s%s", i ? "," : "", columns[i].c_str());
+  std::printf("\n");
+}
+
+inline void csv_row(const std::vector<double>& values) {
+  for (size_t i = 0; i < values.size(); ++i)
+    std::printf("%s%.8e", i ? "," : "", values[i]);
+  std::printf("\n");
+}
+
+/// Max relative deviation between two complex matrices.
+inline double max_rel_err(const CMat& a, const CMat& b) {
+  double num = 0.0;
+  const double den = b.max_abs() + 1e-300;
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j)
+      num = std::max(num, std::abs(a(i, j) - b(i, j)));
+  return num / den;
+}
+
+/// Standard main body: print the experiment tables, then run benchmarks.
+#define SYMPVL_BENCH_MAIN(print_tables_fn)                         \
+  int main(int argc, char** argv) {                                \
+    print_tables_fn();                                             \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    return 0;                                                      \
+  }
+
+}  // namespace sympvl::bench

@@ -1,0 +1,106 @@
+// End-to-end model-artifact workflow: a reduced-order model as a
+// deliverable.
+//
+//   1. reduce a package model with a resumable session (extend until the
+//      sweep error target is met);
+//   2. save the model to disk, reload it, verify bit-identical behavior;
+//   3. export S-parameters (Touchstone) for RF/SI tools;
+//   4. rank the circuit elements by adjoint sensitivity — which parasitics
+//      actually shape the response the model captured.
+//
+//   $ ./model_workflow
+#include <algorithm>
+#include <cstdio>
+
+#include "gen/package.hpp"
+#include "io/touchstone.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/ac.hpp"
+#include "sim/sensitivity.hpp"
+
+int main() {
+  using namespace sympvl;
+
+  // A moderate package so the example runs in a second.
+  const PackageCircuit pkg = make_package_circuit(
+      {.pins = 16, .segments = 4, .signal_pins = 4});
+  const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kGeneral);
+  std::printf("package: MNA size %lld, %lld ports\n",
+              static_cast<long long>(sys.size()),
+              static_cast<long long>(sys.port_count()));
+
+  // --- 1. Reduce incrementally until the sweep error target is met. ---
+  const Vec freqs = log_frequency_grid(1e7, 5e9, 15);
+  const auto exact = ac_sweep(sys, freqs);
+  auto sweep_err = [&](const ReducedModel& rom) {
+    double err = 0.0;
+    for (size_t k = 0; k < freqs.size(); ++k) {
+      const CMat z = rom.eval(Complex(0.0, 2.0 * M_PI * freqs[k]));
+      for (Index i = 0; i < z.rows(); ++i)
+        for (Index j = 0; j < z.cols(); ++j)
+          err = std::max(err, std::abs(z(i, j) - exact[k](i, j)) /
+                                  (exact[k].max_abs() + 1e-300));
+    }
+    return err;
+  };
+
+  SympvlOptions opt;
+  opt.order = 16;
+  opt.s0 = automatic_shift(sys);
+  SympvlSession session(sys, opt);
+  double err = sweep_err(session.current());
+  std::printf("order %2lld: sweep error %.3e\n",
+              static_cast<long long>(session.order()), err);
+  while (err > 1e-2 && session.order() < 96) {
+    session.extend(16);
+    err = sweep_err(session.current());
+    std::printf("order %2lld: sweep error %.3e\n",
+                static_cast<long long>(session.order()), err);
+  }
+  const ReducedModel rom = session.current();
+
+  // --- 2. The model as a file artifact. ---
+  const std::string model_path = "/tmp/sympvl_package_model.rom";
+  rom.save(model_path);
+  const ReducedModel loaded = ReducedModel::load(model_path);
+  const Complex probe(0.0, 2.0 * M_PI * 1e9);
+  std::printf("\nsaved %s and reloaded: |Z11| %.12e == %.12e\n",
+              model_path.c_str(), std::abs(rom.eval(probe)(0, 0)),
+              std::abs(loaded.eval(probe)(0, 0)));
+
+  // --- 3. Touchstone export of the model's S-parameters. ---
+  std::vector<CMat> z_model;
+  for (double f : freqs)
+    z_model.push_back(loaded.eval(Complex(0.0, 2.0 * M_PI * f)));
+  const std::string ts_path = "/tmp/sympvl_package_model.s8p";
+  write_touchstone_file(ts_path, freqs, z_model, 50.0,
+                        "SyMPVL package model (from saved artifact)");
+  std::printf("wrote %s\n", ts_path.c_str());
+
+  // --- 4. Which parasitics matter? Adjoint sensitivities of Z11 at 1 GHz.
+  const auto sens = z_sensitivities(pkg.netlist, probe, 0, 0);
+  struct Ranked {
+    std::string name;
+    double impact;  // |dZ/dv|·v — relative influence of the element
+  };
+  std::vector<Ranked> ranking;
+  for (size_t k = 0; k < pkg.netlist.resistors().size(); ++k)
+    ranking.push_back({pkg.netlist.resistors()[k].name,
+                       std::abs(sens.d_resistance[k]) *
+                           pkg.netlist.resistors()[k].resistance});
+  for (size_t k = 0; k < pkg.netlist.capacitors().size(); ++k)
+    ranking.push_back({pkg.netlist.capacitors()[k].name,
+                       std::abs(sens.d_capacitance[k]) *
+                           pkg.netlist.capacitors()[k].capacitance});
+  for (size_t k = 0; k < pkg.netlist.inductors().size(); ++k)
+    ranking.push_back({pkg.netlist.inductors()[k].name,
+                       std::abs(sens.d_inductance[k]) *
+                           pkg.netlist.inductors()[k].inductance});
+  std::sort(ranking.begin(), ranking.end(),
+            [](const Ranked& a, const Ranked& b) { return a.impact > b.impact; });
+  std::printf("\nmost influential elements for Z11 @ 1 GHz "
+              "(|dZ/dv|·v, Ω):\n");
+  for (size_t k = 0; k < 8 && k < ranking.size(); ++k)
+    std::printf("  %-12s %.4e\n", ranking[k].name.c_str(), ranking[k].impact);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: parse a netlist, reduce it with SyMPVL, compare the reduced
+// transfer function against exact AC analysis, and print the poles.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "circuit/parser.hpp"
+#include "mor/passivity.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/ac.hpp"
+
+int main() {
+  using namespace sympvl;
+
+  // A five-section RC transmission line with a coupling tap, two ports.
+  const char* netlist_text = R"(
+* five-section RC line
+R1 in  n1 120
+R2 n1  n2 120
+R3 n2  n3 120
+R4 n3  n4 120
+R5 n4  out 120
+C1 n1  0 0.8p
+C2 n2  0 0.8p
+C3 n3  0 0.8p
+C4 n4  0 0.8p
+C5 out 0 0.8p
+.port drive in
+.port load out
+.end
+)";
+  const Netlist netlist = parse_netlist(netlist_text);
+  std::printf("parsed netlist: %lld nodes, %lld elements, %lld ports\n",
+              static_cast<long long>(netlist.node_count() - 1),
+              static_cast<long long>(netlist.element_count()),
+              static_cast<long long>(netlist.port_count()));
+
+  // Assemble the MNA system and reduce to order 6 with SyMPVL.
+  const MnaSystem system = build_mna(netlist);
+  SympvlOptions options;
+  options.order = 6;
+  SympvlReport report;
+  const ReducedModel rom = sympvl_reduce(system, options, &report);
+  std::printf("SyMPVL: order %lld model (deflations=%lld, shift s0=%g)\n",
+              static_cast<long long>(rom.order()),
+              static_cast<long long>(report.deflations), report.s0_used);
+
+  // Compare reduced vs exact across frequency.
+  std::printf("\n%-12s %-14s %-14s %-10s\n", "f [Hz]", "|Z11| exact",
+              "|Z11| reduced", "rel.err");
+  for (double f : log_frequency_grid(1e6, 1e10, 9)) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const Complex exact = ac_z_matrix(system, s)(0, 0);
+    const Complex reduced = rom.eval(s)(0, 0);
+    std::printf("%-12.3e %-14.6e %-14.6e %-10.2e\n", f, std::abs(exact),
+                std::abs(reduced), std::abs(reduced - exact) / std::abs(exact));
+  }
+
+  // Poles (all real and negative for RC circuits, Section 5 of the paper).
+  std::printf("\npoles of the reduced model:\n");
+  for (const Complex& pole : rom.poles())
+    std::printf("  %+.6e %+.6e j\n", pole.real(), pole.imag());
+
+  // Passivity certificate.
+  const auto passivity = check_passivity(rom, log_frequency_grid(1e6, 1e10, 21));
+  std::printf("\nstable: %s   passive: %s   min eig Re(Z): %g\n",
+              passivity.stable ? "yes" : "no", passivity.passive ? "yes" : "no",
+              passivity.min_hermitian_eig);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Modified nodal analysis (MNA) assembly, Section 2 of the paper.
+//
+// Produces the symmetric pencil (G, C) and the port incidence matrix B of
+//   Z(s) = s^prefactor · Bᵀ (G + f(s)·C)⁻¹ B,   f(s) = s or s²,
+// in one of four forms:
+//   * general RLC (eq. 3): unknowns x = [v_n; i_l], G/C symmetric indefinite;
+//   * RC (Section 2.2): G = A_gᵀ𝒢A_g, C = A_cᵀ𝒞A_c, both PSD, f(s) = s;
+//   * RL (eq. 7-8): G = A_lᵀℒ⁻¹A_l, C = A_gᵀ𝒢A_g, both PSD, Z = s·Ẑ(s);
+//   * LC (eq. 9): G = A_lᵀℒ⁻¹A_l, C = A_cᵀ𝒞A_c, both PSD, Z = s·Ẑ(s²).
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+
+namespace sympvl {
+
+/// The variable in which the pencil G + f(s)C is written.
+enum class SVariable {
+  kS,         ///< f(s) = s
+  kSSquared,  ///< f(s) = s² (LC circuits, eq. 9)
+};
+
+/// Which assembly to use.
+enum class MnaForm {
+  kAuto,     ///< pick the most specific of RC/RL/LC, else general
+  kGeneral,  ///< always eq. (3) with inductor-current unknowns
+  kRC,
+  kRL,
+  kLC,
+};
+
+/// Assembled MNA system describing the multi-port transfer function
+///   Z(s) = s^prefactor · Bᵀ (G + f(s) C)⁻¹ B.
+struct MnaSystem {
+  SMat G;  ///< symmetric N×N
+  SMat C;  ///< symmetric N×N
+  Mat B;   ///< N×p port incidence
+
+  SVariable variable = SVariable::kS;
+  int s_prefactor = 0;  ///< 0 for RC/general, 1 for RL/LC eliminated forms
+  bool definite = false;  ///< true when G and C are PSD by construction
+
+  Index node_unknowns = 0;      ///< non-datum node voltages
+  Index inductor_unknowns = 0;  ///< inductor currents (general form only)
+  std::vector<std::string> port_names;
+
+  Index size() const { return G.rows(); }
+  Index port_count() const { return B.cols(); }
+
+  /// f(s): maps the Laplace variable into the pencil variable.
+  Complex map_s(Complex s) const {
+    return variable == SVariable::kS ? s : s * s;
+  }
+
+  /// s^prefactor scaling applied to Ẑ to obtain the physical Z(s).
+  Complex prefactor(Complex s) const {
+    Complex f(1.0, 0.0);
+    for (int k = 0; k < s_prefactor; ++k) f *= s;
+    return f;
+  }
+};
+
+/// Assembles the MNA system for `netlist` in the requested form.
+/// Throws when a special form is requested for an incompatible circuit
+/// (e.g. MnaForm::kRC with inductors present).
+MnaSystem build_mna(const Netlist& netlist, MnaForm form = MnaForm::kAuto);
+
+/// Dense inductance matrix ℒ (diagonal inductances + mutual couplings
+/// M = k·√(L₁L₂)). Throws if ℒ is not positive definite.
+Mat inductance_matrix(const Netlist& netlist);
+
+/// Incidence matrix of the current sources (N×n_src, general-form unknown
+/// ordering): column j is e(n1) − e(n2) for source j. Used as the transient
+/// right-hand side B·I_t(t) of eq. (4).
+Mat source_incidence(const Netlist& netlist);
+
+}  // namespace sympvl

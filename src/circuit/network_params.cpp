@@ -1,0 +1,92 @@
+#include "circuit/network_params.hpp"
+
+#include <cmath>
+
+#include "linalg/dense_factor.hpp"
+#include "linalg/eig.hpp"
+
+namespace sympvl {
+
+CMat z_to_y(const CMat& z) {
+  require(z.is_square(), "z_to_y: matrix not square");
+  DenseLU<Complex> lu(z);
+  require(!lu.singular(), "z_to_y: Z is singular at this frequency");
+  return lu.solve(CMat::identity(z.rows()));
+}
+
+CMat y_to_z(const CMat& y) {
+  require(y.is_square(), "y_to_z: matrix not square");
+  DenseLU<Complex> lu(y);
+  require(!lu.singular(), "y_to_z: Y is singular at this frequency");
+  return lu.solve(CMat::identity(y.rows()));
+}
+
+CMat z_to_s(const CMat& z, double z0) {
+  require(z.is_square(), "z_to_s: matrix not square");
+  require(z0 > 0.0, "z_to_s: reference impedance must be positive");
+  const Index p = z.rows();
+  CMat zm(p, p), zp(p, p);
+  for (Index i = 0; i < p; ++i)
+    for (Index j = 0; j < p; ++j) {
+      const Complex d = (i == j) ? Complex(z0, 0.0) : Complex(0.0, 0.0);
+      zm(i, j) = z(i, j) - d;
+      zp(i, j) = z(i, j) + d;
+    }
+  // S = (Z − Z₀)(Z + Z₀)⁻¹ computed as solving (Z+Z₀)ᵀ Xᵀ = (Z−Z₀)ᵀ.
+  DenseLU<Complex> lu(zp.transpose());
+  require(!lu.singular(), "z_to_s: Z + Z0·I is singular");
+  const CMat st = lu.solve(zm.transpose());
+  return st.transpose();
+}
+
+CMat s_to_z(const CMat& s, double z0) {
+  require(s.is_square(), "s_to_z: matrix not square");
+  const Index p = s.rows();
+  CMat i_minus(p, p), i_plus(p, p);
+  for (Index i = 0; i < p; ++i)
+    for (Index j = 0; j < p; ++j) {
+      const Complex d = (i == j) ? Complex(1.0, 0.0) : Complex(0.0, 0.0);
+      i_minus(i, j) = d - s(i, j);
+      i_plus(i, j) = d + s(i, j);
+    }
+  DenseLU<Complex> lu(i_minus);
+  require(!lu.singular(), "s_to_z: I − S is singular (Z has a pole here)");
+  CMat z = lu.solve(i_plus);
+  for (Index i = 0; i < p; ++i)
+    for (Index j = 0; j < p; ++j) z(i, j) *= z0;
+  return z;
+}
+
+Complex z_voltage_transfer(const CMat& z, Index drive, Index out) {
+  require(0 <= drive && drive < z.rows() && 0 <= out && out < z.rows(),
+          "z_voltage_transfer: port index out of range");
+  const Complex zdd = z(drive, drive);
+  require(std::abs(zdd) > 0.0, "z_voltage_transfer: zero drive impedance");
+  return z(out, drive) / zdd;
+}
+
+double s_passivity_violation(const CMat& s) {
+  require(s.is_square(), "s_passivity_violation: matrix not square");
+  // σmax(S)² = λmax(SᴴS); SᴴS is Hermitian PSD — use the real embedding.
+  const Index p = s.rows();
+  CMat shs(p, p);
+  for (Index i = 0; i < p; ++i)
+    for (Index j = 0; j < p; ++j) {
+      Complex acc(0.0, 0.0);
+      for (Index k = 0; k < p; ++k) acc += std::conj(s(k, i)) * s(k, j);
+      shs(i, j) = acc;
+    }
+  Mat e(2 * p, 2 * p);
+  for (Index i = 0; i < p; ++i)
+    for (Index j = 0; j < p; ++j) {
+      e(i, j) = shs(i, j).real();
+      e(p + i, p + j) = shs(i, j).real();
+      e(i, p + j) = -shs(i, j).imag();
+      e(p + i, j) = shs(i, j).imag();
+    }
+  const SymmetricEig eig = eig_symmetric(e);
+  const double smax = std::sqrt(std::max(0.0, eig.values.back()));
+  return smax - 1.0;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,37 @@
+// Multi-port network parameter conversions.
+//
+// SyMPVL natively produces Z-parameters (current-source excitation,
+// Section 2.1). Package and interconnect characterization commonly wants
+// Y-parameters (for admittance stamping) or S-parameters (measurement
+// convention); these are the standard exact conversions:
+//   Y = Z⁻¹,
+//   S = (Z − Z₀I)(Z + Z₀I)⁻¹        for a uniform real reference Z₀,
+//   Z = Z₀(I + S)(I − S)⁻¹.
+#pragma once
+
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+/// Y = Z⁻¹. Throws when Z is singular at this frequency.
+CMat z_to_y(const CMat& z);
+
+/// Z = Y⁻¹.
+CMat y_to_z(const CMat& y);
+
+/// Scattering matrix for reference impedance z0 > 0 (same at all ports).
+CMat z_to_s(const CMat& z, double z0 = 50.0);
+
+/// Impedance matrix from scattering parameters.
+CMat s_to_z(const CMat& s, double z0 = 50.0);
+
+/// Voltage transfer H = V_out/V_in with port `drive` current-driven and
+/// all others open (how the paper's Figs. 3-4 are defined); identical to
+/// sim/ac.hpp's voltage_transfer but available for any evaluator output.
+Complex z_voltage_transfer(const CMat& z, Index drive, Index out);
+
+/// Largest passivity violation of an S-matrix: max singular value − 1
+/// (σmax(S) ≤ 1 ⟺ the network does not amplify incident power).
+double s_passivity_violation(const CMat& s);
+
+}  // namespace sympvl

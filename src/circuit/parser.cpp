@@ -1,0 +1,327 @@
+#include "circuit/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace sympvl {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream in(line);
+  std::string t;
+  while (in >> t) {
+    if (t[0] == '*' || t[0] == ';') break;  // trailing comment
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+[[noreturn]] void fail(size_t line_no, const std::string& msg) {
+  throw Error("netlist parse error at line " + std::to_string(line_no) + ": " + msg);
+}
+
+struct Card {
+  std::vector<std::string> tokens;
+  size_t line_no = 0;
+};
+
+struct SubcktDef {
+  std::string name;
+  std::vector<std::string> pins;  // local node names
+  std::vector<Card> body;
+};
+
+constexpr int kMaxInstanceDepth = 32;
+
+// Recursive flattening context.
+struct Flattener {
+  Netlist& netlist;
+  std::map<std::string, Index>& nodes;              // global node table
+  std::map<std::string, Index>& inductor_names;     // scoped (prefixed) names
+  const std::map<std::string, SubcktDef>& subckts;
+
+  Index node_of(const std::string& tok, const std::string& prefix,
+                const std::map<std::string, std::string>& pin_map) {
+    const std::string key = lower(tok);
+    if (key == "0" || key == "gnd") return 0;
+    const auto pin = pin_map.find(key);
+    const std::string global = (pin != pin_map.end()) ? pin->second : prefix + key;
+    if (global == "0") return 0;  // pin wired to ground by the parent
+    const auto it = nodes.find(global);
+    if (it != nodes.end()) return it->second;
+    const Index n = netlist.new_node();
+    nodes.emplace(global, n);
+    return n;
+  }
+
+  void process(const std::vector<Card>& cards, const std::string& prefix,
+               const std::map<std::string, std::string>& pin_map, int depth) {
+    require(depth <= kMaxInstanceDepth,
+            "netlist parse error: subcircuit instances nested deeper than 32 "
+            "(recursive definition?)");
+    for (const auto& card : cards) {
+      const auto& toks = card.tokens;
+      const size_t line_no = card.line_no;
+      const std::string head = lower(toks[0]);
+
+      if (head == ".port") {
+        if (!prefix.empty())
+          fail(line_no, ".port is only allowed at the top level");
+        if (toks.size() < 3 || toks.size() > 4)
+          fail(line_no, ".port expects: .port <name> n1 [n2]");
+        const Index n1 = node_of(toks[2], prefix, pin_map);
+        const Index n2 =
+            toks.size() == 4 ? node_of(toks[3], prefix, pin_map) : 0;
+        netlist.add_port(n1, n2, toks[1]);
+        continue;
+      }
+      if (head[0] == '.') fail(line_no, "unknown directive '" + toks[0] + "'");
+
+      switch (head[0]) {
+        case 'r': {
+          if (toks.size() != 4) fail(line_no, "R card expects: Rname n1 n2 value");
+          netlist.add_resistor(node_of(toks[1], prefix, pin_map),
+                               node_of(toks[2], prefix, pin_map),
+                               parse_value(toks[3]), prefix + toks[0]);
+          break;
+        }
+        case 'c': {
+          if (toks.size() != 4) fail(line_no, "C card expects: Cname n1 n2 value");
+          netlist.add_capacitor(node_of(toks[1], prefix, pin_map),
+                                node_of(toks[2], prefix, pin_map),
+                                parse_value(toks[3]), prefix + toks[0]);
+          break;
+        }
+        case 'l': {
+          if (toks.size() != 4) fail(line_no, "L card expects: Lname n1 n2 value");
+          const Index idx = netlist.add_inductor(
+              node_of(toks[1], prefix, pin_map),
+              node_of(toks[2], prefix, pin_map), parse_value(toks[3]),
+              prefix + toks[0]);
+          inductor_names[lower(prefix + toks[0])] = idx;
+          break;
+        }
+        case 'k': {
+          if (toks.size() != 4) fail(line_no, "K card expects: Kname L1 L2 k");
+          const auto i1 = inductor_names.find(lower(prefix + toks[1]));
+          const auto i2 = inductor_names.find(lower(prefix + toks[2]));
+          if (i1 == inductor_names.end() || i2 == inductor_names.end())
+            fail(line_no, "K card references unknown inductor");
+          netlist.add_mutual(i1->second, i2->second, parse_value(toks[3]),
+                             prefix + toks[0]);
+          break;
+        }
+        case 'i': {
+          if (toks.size() != 4) fail(line_no, "I card expects: Iname n1 n2 value");
+          netlist.add_current_source(node_of(toks[1], prefix, pin_map),
+                                     node_of(toks[2], prefix, pin_map),
+                                     parse_value(toks[3]), prefix + toks[0]);
+          break;
+        }
+        case 'x': {
+          // Xname n1 … nk subname
+          if (toks.size() < 3)
+            fail(line_no, "X card expects: Xname n1 ... nk subname");
+          const std::string subname = lower(toks.back());
+          const auto def = subckts.find(subname);
+          if (def == subckts.end())
+            fail(line_no, "unknown subcircuit '" + toks.back() + "'");
+          const size_t npins = def->second.pins.size();
+          if (toks.size() != npins + 2)
+            fail(line_no, "instance of '" + toks.back() + "' expects " +
+                              std::to_string(npins) + " pins");
+          // Map local pin names to the instance's global node names: the
+          // connecting nodes are resolved in the PARENT scope.
+          std::map<std::string, std::string> inst_map;
+          for (size_t k = 0; k < npins; ++k) {
+            const std::string& parent_tok = toks[1 + k];
+            const std::string parent_key = lower(parent_tok);
+            std::string global;
+            if (parent_key == "0" || parent_key == "gnd") {
+              global = "0";
+            } else {
+              const auto pin = pin_map.find(parent_key);
+              global = (pin != pin_map.end()) ? pin->second : prefix + parent_key;
+            }
+            // Register the node now so "0" maps to ground and others exist.
+            if (global != "0") node_of(parent_tok, prefix, pin_map);
+            inst_map[lower(def->second.pins[k])] = global;
+          }
+          // Ground inside the instance: a pin mapped to "0" resolves through
+          // node_of's special case using this sentinel mapping.
+          const std::string inst_prefix = prefix + lower(toks[0]) + ".";
+          process(def->second.body, inst_prefix, inst_map, depth + 1);
+          break;
+        }
+        default:
+          fail(line_no, "unknown element card '" + toks[0] + "'");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+double parse_value(const std::string& token) {
+  require(!token.empty(), "parse_value: empty token");
+  const std::string t = lower(token);
+  size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw Error("parse_value: malformed number '" + token + "'");
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return v;
+  // SPICE semantics: "meg" = 1e6, bare "m" = 1e-3. Alphabetic tail after
+  // the scale letter (unit names like "pF") is ignored, SPICE-style.
+  if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+  switch (suffix[0]) {
+    case 'f': return v * 1e-15;
+    case 'p': return v * 1e-12;
+    case 'n': return v * 1e-9;
+    case 'u': return v * 1e-6;
+    case 'm': return v * 1e-3;
+    case 'k': return v * 1e3;
+    case 'g': return v * 1e9;
+    case 't': return v * 1e12;
+    default:
+      throw Error("parse_value: unknown suffix '" + suffix + "' in '" + token + "'");
+  }
+}
+
+Netlist parse_netlist(std::istream& in) {
+  // ---- Pass 1: tokenize, split into subckt definitions and main body. --
+  std::map<std::string, SubcktDef> subckts;
+  std::vector<Card> main_body;
+  SubcktDef* open_def = nullptr;
+
+  std::string line;
+  size_t line_no = 0;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (ended) break;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '*' || line[first] == ';') continue;
+    auto toks = tokenize(line.substr(first));
+    if (toks.empty()) continue;
+    const std::string head = lower(toks[0]);
+
+    if (head == ".end") {
+      if (open_def != nullptr) fail(line_no, ".end inside a .subckt block");
+      ended = true;
+      continue;
+    }
+    if (head == ".subckt") {
+      if (open_def != nullptr) fail(line_no, "nested .subckt definitions");
+      if (toks.size() < 3)
+        fail(line_no, ".subckt expects: .subckt <name> pin1 [pin2 ...]");
+      SubcktDef def;
+      def.name = lower(toks[1]);
+      for (size_t k = 2; k < toks.size(); ++k) def.pins.push_back(lower(toks[k]));
+      if (subckts.count(def.name))
+        fail(line_no, "duplicate subcircuit '" + toks[1] + "'");
+      open_def = &subckts.emplace(def.name, std::move(def)).first->second;
+      continue;
+    }
+    if (head == ".ends") {
+      if (open_def == nullptr) fail(line_no, ".ends without .subckt");
+      if (toks.size() >= 2 && lower(toks[1]) != open_def->name)
+        fail(line_no, ".ends name does not match the open .subckt");
+      open_def = nullptr;
+      continue;
+    }
+    Card card{std::move(toks), line_no};
+    if (open_def != nullptr)
+      open_def->body.push_back(std::move(card));
+    else
+      main_body.push_back(std::move(card));
+  }
+  require(open_def == nullptr, "netlist parse error: unterminated .subckt");
+
+  // ---- Pass 2: flatten. ----
+  Netlist nl;
+  std::map<std::string, Index> nodes;
+  std::map<std::string, Index> inductor_names;
+  Flattener flattener{nl, nodes, inductor_names, subckts};
+  flattener.process(main_body, "", {}, 0);
+  nl.validate();
+  return nl;
+}
+
+Netlist parse_netlist(const std::string& text) {
+  std::istringstream in(text);
+  return parse_netlist(in);
+}
+
+Netlist parse_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "parse_netlist_file: cannot open '" + path + "'");
+  return parse_netlist(in);
+}
+
+namespace {
+
+void write_cards(std::ostream& out, const Netlist& netlist) {
+  for (const auto& r : netlist.resistors())
+    out << r.name << " " << r.n1 << " " << r.n2 << " " << r.resistance << "\n";
+  for (const auto& c : netlist.capacitors())
+    out << c.name << " " << c.n1 << " " << c.n2 << " " << c.capacitance << "\n";
+  for (const auto& l : netlist.inductors())
+    out << l.name << " " << l.n1 << " " << l.n2 << " " << l.inductance << "\n";
+  for (const auto& k : netlist.mutuals())
+    out << k.name << " "
+        << netlist.inductors()[static_cast<size_t>(k.l1)].name << " "
+        << netlist.inductors()[static_cast<size_t>(k.l2)].name << " "
+        << k.coupling << "\n";
+  for (const auto& s : netlist.current_sources())
+    out << s.name << " " << s.n1 << " " << s.n2 << " " << s.value << "\n";
+}
+
+}  // namespace
+
+std::string write_netlist(const Netlist& netlist, const std::string& title) {
+  std::ostringstream out;
+  out.precision(17);
+  if (!title.empty()) out << "* " << title << "\n";
+  write_cards(out, netlist);
+  for (const auto& p : netlist.ports())
+    out << ".port " << p.name << " " << p.n1 << " " << p.n2 << "\n";
+  out << ".end\n";
+  return out.str();
+}
+
+std::string write_subckt(const Netlist& netlist, const std::string& name,
+                         const std::string& title) {
+  require(!name.empty(), "write_subckt: empty subcircuit name");
+  require(netlist.port_count() >= 1, "write_subckt: netlist has no ports");
+  std::ostringstream out;
+  out.precision(17);
+  if (!title.empty()) out << "* " << title << "\n";
+  out << ".subckt " << name;
+  for (const auto& p : netlist.ports()) {
+    require(p.n2 == 0,
+            "write_subckt: only ground-referenced ports can become pins");
+    out << " " << p.n1;
+  }
+  out << "\n";
+  write_cards(out, netlist);
+  out << ".ends " << name << "\n";
+  return out.str();
+}
+
+}  // namespace sympvl

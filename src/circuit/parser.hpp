@@ -1,0 +1,52 @@
+// SPICE-subset netlist reader and writer.
+//
+// Supported cards (case-insensitive, '*' comments, engineering suffixes):
+//   R<name> n1 n2 value            resistor
+//   C<name> n1 n2 value            capacitor
+//   L<name> n1 n2 value            inductor
+//   K<name> Lname1 Lname2 k        mutual inductive coupling
+//   I<name> n1 n2 value            independent current source
+//   .port <name> n1 [n2]           terminal pair exposed in Z(s) (top level)
+//   .subckt <name> pin1 [pin2 …]   hierarchical definition
+//   .ends [name]                   end of definition
+//   X<name> n1 … nk <subname>      subcircuit instance (flattened on parse;
+//                                  internal nodes become "<inst>.<node>")
+//   .end                           optional terminator
+//
+// Node identifiers are arbitrary tokens; "0" and "gnd" map to the datum
+// node. The writer emits the same dialect, so write→parse round-trips.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace sympvl {
+
+/// Parses a netlist from text. Throws sympvl::Error with a line number on
+/// malformed input.
+Netlist parse_netlist(const std::string& text);
+
+/// Parses a netlist from a stream.
+Netlist parse_netlist(std::istream& in);
+
+/// Reads and parses a netlist file.
+Netlist parse_netlist_file(const std::string& path);
+
+/// Serializes `netlist` in the dialect above (nodes as integers, datum "0").
+std::string write_netlist(const Netlist& netlist, const std::string& title = "");
+
+/// Wraps a netlist as a reusable `.subckt` block whose pins are the
+/// netlist's ports (each must be ground-referenced). This is how a
+/// SyMPVL-synthesized reduced circuit (Section 6) is handed to an existing
+/// circuit simulator.
+std::string write_subckt(const Netlist& netlist, const std::string& name,
+                         const std::string& title = "");
+
+/// Parses an engineering-notation value: 4.7k, 100n, 2meg, 1e-12, 3p...
+/// Recognized suffixes: f p n u m k meg g t (SPICE semantics, case
+/// insensitive). Throws on malformed numbers.
+double parse_value(const std::string& token);
+
+}  // namespace sympvl

@@ -1,0 +1,136 @@
+#include "circuit/topology.hpp"
+
+#include <sstream>
+
+namespace sympvl {
+
+namespace {
+
+// Union-find with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(Index n) : parent_(static_cast<size_t>(n)) {
+    for (Index i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+  }
+  Index find(Index x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void unite(Index a, Index b) { parent_[static_cast<size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<Index> parent_;
+};
+
+// Applies `edge(a, b)` for every element of the selected kinds.
+template <typename EdgeFn>
+void for_each_edge(const Netlist& nl, bool use_r, bool use_l, bool use_c,
+                   const EdgeFn& edge) {
+  if (use_r)
+    for (const auto& r : nl.resistors()) edge(r.n1, r.n2);
+  if (use_l)
+    for (const auto& l : nl.inductors()) edge(l.n1, l.n2);
+  if (use_c)
+    for (const auto& c : nl.capacitors()) edge(c.n1, c.n2);
+}
+
+UnionFind dc_union(const Netlist& nl, MnaForm form) {
+  // Which elements stamp into G for this assembly?
+  bool use_r = false, use_l = false;
+  switch (form) {
+    case MnaForm::kRC:
+      use_r = true;
+      break;
+    case MnaForm::kLC:
+      use_l = true;
+      break;
+    case MnaForm::kRL:
+    case MnaForm::kGeneral:
+      use_r = true;
+      use_l = true;
+      break;
+    case MnaForm::kAuto:
+      // Mirror build_mna's dispatch.
+      if (nl.is_lc() && nl.has_inductors()) return dc_union(nl, MnaForm::kLC);
+      if (nl.is_rc()) return dc_union(nl, MnaForm::kRC);
+      if (nl.is_rl()) return dc_union(nl, MnaForm::kRL);
+      return dc_union(nl, MnaForm::kGeneral);
+  }
+  UnionFind uf(nl.node_count());
+  for_each_edge(nl, use_r, use_l, /*use_c=*/false,
+                [&](Index a, Index b) { uf.unite(a, b); });
+  return uf;
+}
+
+}  // namespace
+
+ConnectivityReport analyze_connectivity(const Netlist& netlist) {
+  UnionFind uf(netlist.node_count());
+  for_each_edge(netlist, true, true, true,
+                [&](Index a, Index b) { uf.unite(a, b); });
+  ConnectivityReport rep;
+  rep.component_of.resize(static_cast<size_t>(netlist.node_count()));
+  std::vector<Index> label(static_cast<size_t>(netlist.node_count()), -1);
+  Index next = 0;
+  for (Index v = 0; v < netlist.node_count(); ++v) {
+    const Index root = uf.find(v);
+    if (label[static_cast<size_t>(root)] < 0) label[static_cast<size_t>(root)] = next++;
+    rep.component_of[static_cast<size_t>(v)] = label[static_cast<size_t>(root)];
+  }
+  rep.component_count = next;
+  rep.fully_connected = (next == 1);
+  return rep;
+}
+
+std::vector<Index> floating_nodes(const Netlist& netlist, MnaForm form) {
+  UnionFind uf = dc_union(netlist, form);
+  const Index ground_root = uf.find(0);
+  std::vector<Index> out;
+  for (Index v = 1; v < netlist.node_count(); ++v)
+    if (uf.find(v) != ground_root) out.push_back(v);
+  return out;
+}
+
+bool has_dc_path_to_ground(const Netlist& netlist, MnaForm form) {
+  return floating_nodes(netlist, form).empty();
+}
+
+NetlistStats netlist_stats(const Netlist& netlist) {
+  NetlistStats s;
+  s.nodes = netlist.node_count() - 1;
+  s.resistors = static_cast<Index>(netlist.resistors().size());
+  s.capacitors = static_cast<Index>(netlist.capacitors().size());
+  s.inductors = static_cast<Index>(netlist.inductors().size());
+  s.mutuals = static_cast<Index>(netlist.mutuals().size());
+  s.ports = netlist.port_count();
+  s.components = analyze_connectivity(netlist).component_count;
+  s.g_structurally_singular_general =
+      !has_dc_path_to_ground(netlist, MnaForm::kGeneral);
+  s.g_structurally_singular_special =
+      !has_dc_path_to_ground(netlist, MnaForm::kAuto);
+  return s;
+}
+
+std::string describe(const Netlist& netlist) {
+  const NetlistStats s = netlist_stats(netlist);
+  std::ostringstream out;
+  out << s.nodes << " nodes, " << s.resistors << " R, " << s.capacitors
+      << " C, " << s.inductors << " L, " << s.mutuals << " K, " << s.ports
+      << " ports";
+  std::string cls = "RLC";
+  if (netlist.is_rc()) cls = "RC";
+  else if (netlist.is_lc() && netlist.has_inductors()) cls = "LC";
+  else if (netlist.is_rl() && netlist.has_inductors()) cls = "RL";
+  out << " (" << cls << " circuit, " << s.components
+      << (s.components == 1 ? " component" : " components") << ")";
+  if (s.g_structurally_singular_special)
+    out << "; G is structurally singular - a frequency shift (eq. 26) is "
+           "required";
+  return out.str();
+}
+
+}  // namespace sympvl

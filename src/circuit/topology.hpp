@@ -1,0 +1,60 @@
+// Circuit topology analysis: connectivity, DC paths, and structural
+// predictions about the MNA matrices.
+//
+// The most important client is the eq. 26 decision: the matrix G of the
+// pencil is structurally singular exactly when some group of nodes has no
+// DC path (through the elements that stamp into G) to the datum node —
+// e.g. the paper's PEEC circuit, where inductors never touch ground.
+// Knowing that *before* factorization gives better diagnostics and lets
+// SyMPVL pick a shift up front instead of failing first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+
+namespace sympvl {
+
+/// Connected-component labelling of the circuit graph (all element types
+/// as edges, datum included as node 0). component_of[node] in
+/// [0, component_count).
+struct ConnectivityReport {
+  std::vector<Index> component_of;
+  Index component_count = 0;
+  bool fully_connected = false;  ///< single component containing the datum
+};
+
+ConnectivityReport analyze_connectivity(const Netlist& netlist);
+
+/// Per-node check for a DC path to the datum node through the elements
+/// that stamp into G for the given assembly form:
+///   * general RLC / RL forms: resistors and inductors conduct at DC;
+///   * RC form: only resistors;
+///   * LC form: only inductors (G = A_lᵀℒ⁻¹A_l).
+/// Returns true when EVERY non-datum node has such a path — the structural
+/// condition for G to be nonsingular.
+bool has_dc_path_to_ground(const Netlist& netlist, MnaForm form);
+
+/// Nodes lacking the DC path (empty when has_dc_path_to_ground is true).
+std::vector<Index> floating_nodes(const Netlist& netlist, MnaForm form);
+
+/// Basic structural statistics used by reports and documentation.
+struct NetlistStats {
+  Index nodes = 0;  ///< non-datum
+  Index resistors = 0;
+  Index capacitors = 0;
+  Index inductors = 0;
+  Index mutuals = 0;
+  Index ports = 0;
+  Index components = 0;
+  bool g_structurally_singular_general = false;
+  bool g_structurally_singular_special = false;  ///< for the kAuto form
+};
+
+NetlistStats netlist_stats(const Netlist& netlist);
+
+/// Human-readable one-paragraph summary (used by examples/benches).
+std::string describe(const Netlist& netlist);
+
+}  // namespace sympvl

@@ -1,0 +1,43 @@
+// Common utilities shared across the SyMPVL library.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace sympvl {
+
+using Index = std::ptrdiff_t;
+using Complex = std::complex<double>;
+
+/// Error thrown on invalid arguments or numerical failure anywhere in the
+/// library. All public entry points validate their inputs and throw this
+/// (never assert) so callers can recover.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws sympvl::Error with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+/// Scalar traits used by templated numerical kernels: the associated real
+/// type and a uniform absolute-value.
+template <typename T>
+struct ScalarTraits {
+  using Real = T;
+  static Real abs(T x) { return x < T(0) ? -x : x; }
+  static T conj(T x) { return x; }
+};
+
+template <typename R>
+struct ScalarTraits<std::complex<R>> {
+  using Real = R;
+  static Real abs(const std::complex<R>& x) { return std::abs(x); }
+  static std::complex<R> conj(const std::complex<R>& x) { return std::conj(x); }
+};
+
+}  // namespace sympvl

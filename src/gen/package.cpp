@@ -1,0 +1,106 @@
+#include "gen/package.hpp"
+
+#include <cmath>
+
+namespace sympvl {
+
+PackageCircuit make_package_circuit(const PackageOptions& options) {
+  require(options.pins >= 4, "make_package_circuit: need at least 4 pins");
+  require(options.segments >= 2, "make_package_circuit: need >= 2 segments");
+  require(options.signal_pins >= 1 && options.signal_pins <= options.pins,
+          "make_package_circuit: invalid signal pin count");
+
+  PackageCircuit out;
+  Netlist& nl = out.netlist;
+  const Index pins = options.pins;
+  const Index segs = options.segments;
+
+  // Node layout per pin: ext terminal = chain node 0, then `segs` internal
+  // chain nodes, the last being the interior terminal.
+  // chain_node(pin, k) for k = 0..segs.
+  std::vector<std::vector<Index>> chain(static_cast<size_t>(pins));
+  for (Index p = 0; p < pins; ++p) {
+    chain[static_cast<size_t>(p)].resize(static_cast<size_t>(segs) + 1);
+    for (Index k = 0; k <= segs; ++k)
+      chain[static_cast<size_t>(p)][static_cast<size_t>(k)] = nl.new_node();
+  }
+
+  // Series R+L ladder with shunt C per pin. The series element needs an
+  // intermediate node between R and L.
+  std::vector<std::vector<Index>> seg_inductor(static_cast<size_t>(pins));
+  for (Index p = 0; p < pins; ++p) {
+    // Slight pin-to-pin parameter spread (real packages are not uniform).
+    const double spread =
+        1.0 + 0.2 * std::sin(2.0 * M_PI * static_cast<double>(p) /
+                             static_cast<double>(pins));
+    for (Index k = 0; k < segs; ++k) {
+      const Index a = chain[static_cast<size_t>(p)][static_cast<size_t>(k)];
+      const Index b = chain[static_cast<size_t>(p)][static_cast<size_t>(k) + 1];
+      const Index mid = nl.new_node();
+      nl.add_resistor(a, mid, options.series_resistance * spread);
+      seg_inductor[static_cast<size_t>(p)].push_back(
+          nl.add_inductor(mid, b, options.series_inductance * spread));
+      nl.add_capacitor(b, 0, options.shunt_capacitance * spread);
+    }
+    // Exterior terminal pad capacitance.
+    nl.add_capacitor(chain[static_cast<size_t>(p)][0], 0,
+                     0.5 * options.shunt_capacitance);
+  }
+
+  // Ring coupling: pin-to-pin capacitance and mutual inductance between
+  // corresponding segments of adjacent pins (and weaker 2nd neighbors).
+  for (Index p = 0; p < pins; ++p) {
+    const Index q1 = (p + 1) % pins;
+    const Index q2 = (p + 2) % pins;
+    for (Index k = 0; k < segs; ++k) {
+      nl.add_capacitor(chain[static_cast<size_t>(p)][static_cast<size_t>(k) + 1],
+                       chain[static_cast<size_t>(q1)][static_cast<size_t>(k) + 1],
+                       options.neighbor_capacitance);
+      nl.add_mutual(seg_inductor[static_cast<size_t>(p)][static_cast<size_t>(k)],
+                    seg_inductor[static_cast<size_t>(q1)][static_cast<size_t>(k)],
+                    options.neighbor_coupling);
+      if (options.second_neighbor_coupling > 0.0)
+        nl.add_mutual(seg_inductor[static_cast<size_t>(p)][static_cast<size_t>(k)],
+                      seg_inductor[static_cast<size_t>(q2)][static_cast<size_t>(k)],
+                      options.second_neighbor_coupling);
+    }
+  }
+
+  // Signal pins sit in ADJACENT PAIRS spread around the ring (the paper's
+  // Figures 3-4 probe the coupling between pin 1 and its neighbor pin 2),
+  // e.g. for 8 signal pins on 64: {0,1, 16,17, 32,33, 48,49}.
+  std::vector<Index> signal_pins;
+  const Index pairs = (options.signal_pins + 1) / 2;
+  const Index pair_stride = pins / pairs;
+  for (Index q = 0; q < pairs; ++q) {
+    signal_pins.push_back(q * pair_stride);
+    if (static_cast<Index>(signal_pins.size()) < options.signal_pins)
+      signal_pins.push_back(q * pair_stride + 1);
+  }
+  // Non-signal pins are supply/unused: terminate their interior end to
+  // ground through a small resistance (bond to the plane) so the package
+  // body is resistively grounded, as in a real part.
+  std::vector<bool> is_signal(static_cast<size_t>(pins), false);
+  for (Index pin : signal_pins) is_signal[static_cast<size_t>(pin)] = true;
+  for (Index p = 0; p < pins; ++p) {
+    if (is_signal[static_cast<size_t>(p)]) continue;
+    nl.add_resistor(chain[static_cast<size_t>(p)][static_cast<size_t>(segs)], 0, 0.2);
+    nl.add_resistor(chain[static_cast<size_t>(p)][0], 0, 50.0);
+  }
+
+  // Ports: exterior terminals of signal pins first, then interior ones.
+  for (Index pin : signal_pins)
+    out.ext_nodes.push_back(chain[static_cast<size_t>(pin)][0]);
+  for (Index pin : signal_pins)
+    out.int_nodes.push_back(
+        chain[static_cast<size_t>(pin)][static_cast<size_t>(segs)]);
+  for (Index s = 0; s < options.signal_pins; ++s)
+    nl.add_port(out.ext_nodes[static_cast<size_t>(s)], 0,
+                "pin" + std::to_string(s + 1) + "_ext");
+  for (Index s = 0; s < options.signal_pins; ++s)
+    nl.add_port(out.int_nodes[static_cast<size_t>(s)], 0,
+                "pin" + std::to_string(s + 1) + "_int");
+  return out;
+}
+
+}  // namespace sympvl

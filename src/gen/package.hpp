@@ -1,0 +1,46 @@
+// 64-pin RF package model generator (substitute for the Section 7.2
+// example).
+//
+// The paper characterizes a 64-pin IC package as a 16-port component
+// (8 signal pins × exterior/interior terminals): an RLC circuit with
+// ~4000 elements and MNA size ~2000, reduced at orders 48/64/80.
+//
+// Each pin here is a cascaded bondwire/lead-frame ladder: per segment a
+// series R+L and a shunt C to the ground plane; neighboring pins (ring
+// topology) couple through pin-to-pin capacitances and mutual inductances.
+// Dimensions default to the paper's scale.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace sympvl {
+
+struct PackageOptions {
+  Index pins = 64;
+  Index segments = 10;       ///< RLC ladder sections per pin
+  Index signal_pins = 8;     ///< pins exposed as ports (evenly spaced)
+  double series_resistance = 0.25;    ///< per segment [Ω] (incl. skin effect)
+  double series_inductance = 0.5e-9;  ///< per segment [H]
+  double shunt_capacitance = 0.12e-12;  ///< per segment to ground [F]
+  double neighbor_capacitance = 0.05e-12;  ///< pin-to-pin per segment [F]
+  double neighbor_coupling = 0.25;    ///< mutual k between adjacent segments
+  double second_neighbor_coupling = 0.08;
+};
+
+struct PackageCircuit {
+  Netlist netlist;
+  std::vector<Index> ext_nodes;  ///< exterior terminal node per signal pin
+  std::vector<Index> int_nodes;  ///< interior terminal node per signal pin
+  /// Port ordering: ports 0..s-1 = exterior, s..2s-1 = interior terminals.
+  Index ext_port(Index signal_pin) const { return signal_pin; }
+  Index int_port(Index signal_pin) const {
+    return static_cast<Index>(ext_nodes.size()) + signal_pin;
+  }
+};
+
+/// Builds the package circuit with 2·signal_pins ports.
+PackageCircuit make_package_circuit(const PackageOptions& options = {});
+
+}  // namespace sympvl

@@ -1,0 +1,99 @@
+#include "gen/peec.hpp"
+
+#include <cmath>
+
+#include "linalg/dense_factor.hpp"
+
+namespace sympvl {
+
+PeecCircuit make_peec_circuit(const PeecOptions& options) {
+  const Index m = options.grid;
+  require(m >= 2, "make_peec_circuit: grid must be at least 2x2");
+
+  PeecCircuit out;
+  Netlist& nl = out.netlist;
+  // Grid node (i, j) -> circuit node index 1 + i*m + j (node 0 is the
+  // reference plane; no inductor touches it, so G is singular as in the
+  // paper).
+  auto node = [m](Index i, Index j) { return 1 + i * m + j; };
+  nl.ensure_nodes(m * m + 1);
+
+  // Inductive segments along grid edges. Horizontal segments first, then
+  // vertical; remember orientation and midpoint for the coupling model.
+  struct Segment {
+    Index idx;      // inductor index in the netlist
+    bool horizontal;
+    double cx, cy;  // midpoint in grid units
+  };
+  std::vector<Segment> segments;
+  for (Index i = 0; i < m; ++i)
+    for (Index j = 0; j + 1 < m; ++j) {
+      const Index idx = nl.add_inductor(node(i, j), node(i, j + 1),
+                                        options.segment_inductance);
+      segments.push_back({idx, true, static_cast<double>(j) + 0.5,
+                          static_cast<double>(i)});
+    }
+  for (Index i = 0; i + 1 < m; ++i)
+    for (Index j = 0; j < m; ++j) {
+      const Index idx =
+          nl.add_inductor(node(i, j), node(i + 1, j), options.segment_inductance);
+      segments.push_back({idx, false, static_cast<double>(j),
+                          static_cast<double>(i) + 0.5});
+    }
+
+  // Distance-decaying mutual coupling between parallel segments (the PEEC
+  // partial-inductance structure). Only |k| summing safely below 1 per
+  // pair is generated; the SPD check in inductance_matrix guards the rest.
+  const double radius = static_cast<double>(options.coupling_radius);
+  for (size_t a = 0; a < segments.size(); ++a) {
+    for (size_t b = a + 1; b < segments.size(); ++b) {
+      if (segments[a].horizontal != segments[b].horizontal) continue;
+      const double dx = segments[a].cx - segments[b].cx;
+      const double dy = segments[a].cy - segments[b].cy;
+      const double d = std::hypot(dx, dy);
+      if (d <= 0.0 || d > radius) continue;
+      const double k = options.coupling / std::pow(d, options.coupling_decay);
+      if (std::abs(k) < 1e-4) continue;
+      nl.add_mutual(segments[a].idx, segments[b].idx, k);
+    }
+  }
+
+  // Node capacitances to the reference plane.
+  for (Index i = 0; i < m; ++i)
+    for (Index j = 0; j < m; ++j)
+      nl.add_capacitor(node(i, j), 0, options.node_capacitance);
+
+  // Excitation port `a`: corner node against the reference plane.
+  nl.add_port(node(0, 0), 0, "in");
+
+  // Assemble the LC form (eq. 9): Ẑ(σ) with σ = s², G = A_lᵀℒ⁻¹A_l.
+  out.system = build_mna(nl, MnaForm::kLC);
+
+  // Second port column l = A_lᵀℒ⁻¹·e_obs: the observation functional for
+  // the current of one inductor (Section 7.1, I_o = bᵀI_l).
+  Index obs = options.observed_inductor;
+  if (obs < 0) obs = static_cast<Index>(segments.size()) / 2;
+  require(obs < static_cast<Index>(nl.inductors().size()),
+          "make_peec_circuit: observed inductor out of range");
+  const Mat lmat = inductance_matrix(nl);
+  Vec e(static_cast<size_t>(lmat.rows()), 0.0);
+  e[static_cast<size_t>(obs)] = 1.0;
+  const Vec linv_e = DenseCholesky(lmat).solve(e);
+  Vec l_node(static_cast<size_t>(out.system.size()), 0.0);
+  for (size_t k = 0; k < nl.inductors().size(); ++k) {
+    const auto& ind = nl.inductors()[k];
+    const double w = linv_e[k];
+    if (ind.n1 >= 1) l_node[static_cast<size_t>(ind.n1 - 1)] += w;
+    if (ind.n2 >= 1) l_node[static_cast<size_t>(ind.n2 - 1)] -= w;
+  }
+  Mat b(out.system.size(), 2);
+  for (Index i = 0; i < out.system.size(); ++i) {
+    b(i, 0) = out.system.B(i, 0);
+    b(i, 1) = l_node[static_cast<size_t>(i)];
+  }
+  out.system.B = std::move(b);
+  out.system.port_names = {"in", "i_obs"};
+  return out;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,161 @@
+#include "gen/random_circuit.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace sympvl {
+
+namespace {
+
+// Log-uniform value in [lo, hi] — element values in circuits span decades.
+double log_uniform(std::mt19937& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> u(std::log(lo), std::log(hi));
+  return std::exp(u(rng));
+}
+
+// Adds a spanning-tree of `add_edge(a, b)` calls over nodes 1..n (and the
+// datum when grounded), guaranteeing connectivity.
+template <typename AddEdge>
+void spanning_tree(std::mt19937& rng, Index n, bool grounded,
+                   const AddEdge& add_edge) {
+  std::vector<Index> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), Index(1));
+  std::shuffle(order.begin(), order.end(), rng);
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (k == 0) {
+      if (grounded) add_edge(order[0], Index(0));
+      continue;
+    }
+    std::uniform_int_distribution<size_t> pick(0, k - 1);
+    add_edge(order[k], order[pick(rng)]);
+  }
+  if (!grounded && n >= 1) return;
+}
+
+std::pair<Index, Index> random_pair(std::mt19937& rng, Index n) {
+  std::uniform_int_distribution<Index> u(1, n);
+  Index a = u(rng), b = u(rng);
+  while (b == a) b = u(rng);
+  return {a, b};
+}
+
+void add_ports(std::mt19937& rng, Netlist& nl, Index n, Index ports) {
+  require(ports <= n, "random circuit: more ports than nodes");
+  std::vector<Index> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), Index(1));
+  std::shuffle(order.begin(), order.end(), rng);
+  for (Index k = 0; k < ports; ++k)
+    nl.add_port(order[static_cast<size_t>(k)], 0);
+}
+
+}  // namespace
+
+Netlist random_rc(const RandomCircuitOptions& options) {
+  std::mt19937 rng(options.seed);
+  Netlist nl;
+  nl.ensure_nodes(options.nodes + 1);
+  spanning_tree(rng, options.nodes, options.grounded, [&](Index a, Index b) {
+    nl.add_resistor(a, b, log_uniform(rng, 1.0, 1e4));
+  });
+  const Index extras =
+      static_cast<Index>(options.extra_edge_fraction * static_cast<double>(options.nodes));
+  for (Index k = 0; k < extras; ++k) {
+    const auto [a, b] = random_pair(rng, options.nodes);
+    nl.add_resistor(a, b, log_uniform(rng, 1.0, 1e4));
+  }
+  for (Index i = 1; i <= options.nodes; ++i)
+    nl.add_capacitor(i, 0, log_uniform(rng, 1e-15, 1e-12));
+  for (Index k = 0; k < extras; ++k) {
+    const auto [a, b] = random_pair(rng, options.nodes);
+    nl.add_capacitor(a, b, log_uniform(rng, 1e-15, 1e-13));
+  }
+  add_ports(rng, nl, options.nodes, options.ports);
+  return nl;
+}
+
+Netlist random_rl(const RandomCircuitOptions& options) {
+  std::mt19937 rng(options.seed);
+  Netlist nl;
+  nl.ensure_nodes(options.nodes + 1);
+  spanning_tree(rng, options.nodes, options.grounded, [&](Index a, Index b) {
+    nl.add_inductor(a, b, log_uniform(rng, 1e-10, 1e-7));
+  });
+  const Index extras =
+      static_cast<Index>(options.extra_edge_fraction * static_cast<double>(options.nodes));
+  for (Index k = 0; k < extras; ++k) {
+    const auto [a, b] = random_pair(rng, options.nodes);
+    nl.add_resistor(a, b, log_uniform(rng, 1.0, 1e3));
+  }
+  for (Index i = 1; i <= options.nodes; ++i)
+    nl.add_resistor(i, 0, log_uniform(rng, 10.0, 1e4));
+  add_ports(rng, nl, options.nodes, options.ports);
+  return nl;
+}
+
+Netlist random_lc(const RandomCircuitOptions& options) {
+  std::mt19937 rng(options.seed);
+  Netlist nl;
+  nl.ensure_nodes(options.nodes + 1);
+  std::vector<Index> inds;
+  spanning_tree(rng, options.nodes, options.grounded, [&](Index a, Index b) {
+    inds.push_back(nl.add_inductor(a, b, log_uniform(rng, 1e-10, 1e-8)));
+  });
+  const Index extras =
+      static_cast<Index>(options.extra_edge_fraction * static_cast<double>(options.nodes));
+  for (Index k = 0; k < extras; ++k) {
+    const auto [a, b] = random_pair(rng, options.nodes);
+    inds.push_back(nl.add_inductor(a, b, log_uniform(rng, 1e-10, 1e-8)));
+  }
+  // A few weak mutual couplings (kept |k| small so ℒ stays diagonally
+  // dominant and positive definite).
+  if (inds.size() >= 2) {
+    std::uniform_int_distribution<size_t> pick(0, inds.size() - 1);
+    std::uniform_real_distribution<double> kdist(0.05, 0.15);
+    const size_t count = inds.size() / 6;
+    for (size_t k = 0; k < count; ++k) {
+      const size_t a = pick(rng), b = pick(rng);
+      if (a == b) continue;
+      // Skip pairs already coupled (add_mutual would double-count).
+      bool dup = false;
+      for (const auto& m : nl.mutuals())
+        if ((m.l1 == static_cast<Index>(a) && m.l2 == static_cast<Index>(b)) ||
+            (m.l1 == static_cast<Index>(b) && m.l2 == static_cast<Index>(a)))
+          dup = true;
+      if (!dup)
+        nl.add_mutual(static_cast<Index>(a), static_cast<Index>(b), kdist(rng));
+    }
+  }
+  for (Index i = 1; i <= options.nodes; ++i)
+    nl.add_capacitor(i, 0, log_uniform(rng, 1e-14, 1e-12));
+  add_ports(rng, nl, options.nodes, options.ports);
+  return nl;
+}
+
+Netlist random_rlc(const RandomCircuitOptions& options) {
+  std::mt19937 rng(options.seed);
+  Netlist nl;
+  nl.ensure_nodes(options.nodes + 1);
+  spanning_tree(rng, options.nodes, options.grounded, [&](Index a, Index b) {
+    nl.add_resistor(a, b, log_uniform(rng, 1.0, 1e3));
+  });
+  const Index extras = std::max<Index>(
+      2, static_cast<Index>(options.extra_edge_fraction *
+                            static_cast<double>(options.nodes)));
+  std::vector<Index> inds;
+  for (Index k = 0; k < extras; ++k) {
+    const auto [a, b] = random_pair(rng, options.nodes);
+    inds.push_back(nl.add_inductor(a, b, log_uniform(rng, 1e-10, 1e-8)));
+  }
+  if (inds.size() >= 2) nl.add_mutual(inds[0], inds[1], 0.2);
+  for (Index i = 1; i <= options.nodes; ++i)
+    nl.add_capacitor(i, 0, log_uniform(rng, 1e-14, 1e-12));
+  for (Index k = 0; k < extras; ++k) {
+    const auto [a, b] = random_pair(rng, options.nodes);
+    nl.add_capacitor(a, b, log_uniform(rng, 1e-15, 1e-13));
+  }
+  add_ports(rng, nl, options.nodes, options.ports);
+  return nl;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,38 @@
+// Random passive circuit generators for property-based testing.
+//
+// Every generator is deterministic in its seed, produces a connected,
+// physically consistent (positive-element) circuit of the stated class, and
+// places ports on distinct non-datum nodes. They are used by the
+// parameterized test sweeps: SyMPVL's theorems (moment matching, stability,
+// passivity) must hold on *every* such circuit.
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace sympvl {
+
+struct RandomCircuitOptions {
+  Index nodes = 20;        ///< non-datum nodes
+  Index ports = 2;
+  unsigned seed = 1;
+  double extra_edge_fraction = 0.5;  ///< extra elements beyond the spanning tree
+  bool grounded = true;  ///< connect the DC path (resistive/inductive tree)
+                         ///< to the datum node; false makes G singular
+};
+
+/// Random RC circuit: resistive spanning tree (+ extras), capacitors to
+/// ground on every node plus random coupling capacitors.
+Netlist random_rc(const RandomCircuitOptions& options);
+
+/// Random RL circuit: inductive spanning tree (+ extras) and random
+/// resistors.
+Netlist random_rl(const RandomCircuitOptions& options);
+
+/// Random LC circuit: inductive spanning tree (+ extras, with a few mutual
+/// couplings) and capacitors.
+Netlist random_lc(const RandomCircuitOptions& options);
+
+/// Random general RLC circuit with mutual couplings.
+Netlist random_rlc(const RandomCircuitOptions& options);
+
+}  // namespace sympvl

@@ -1,0 +1,80 @@
+#include "gen/rc_interconnect.hpp"
+
+#include <cmath>
+
+namespace sympvl {
+
+InterconnectCircuit make_interconnect_circuit(const InterconnectOptions& options) {
+  require(options.wires >= 2, "make_interconnect_circuit: need >= 2 wires");
+  require(options.segments >= 4, "make_interconnect_circuit: need >= 4 segments");
+
+  InterconnectCircuit out;
+  Netlist& nl = out.netlist;
+  const Index nw = options.wires;
+  const Index ns = options.segments;
+
+  // Wire w has nodes node(w, 0..ns); segment resistors between consecutive
+  // nodes; every node carries a ground capacitance.
+  std::vector<std::vector<Index>> node(static_cast<size_t>(nw));
+  for (Index w = 0; w < nw; ++w) {
+    node[static_cast<size_t>(w)].resize(static_cast<size_t>(ns) + 1);
+    for (Index k = 0; k <= ns; ++k)
+      node[static_cast<size_t>(w)][static_cast<size_t>(k)] = nl.new_node();
+  }
+  for (Index w = 0; w < nw; ++w) {
+    // Mild per-wire geometry spread.
+    const double spread = 1.0 + 0.1 * static_cast<double>(w % 3);
+    for (Index k = 0; k < ns; ++k)
+      nl.add_resistor(node[static_cast<size_t>(w)][static_cast<size_t>(k)],
+                      node[static_cast<size_t>(w)][static_cast<size_t>(k) + 1],
+                      options.segment_resistance * spread);
+    for (Index k = 0; k <= ns; ++k)
+      nl.add_capacitor(node[static_cast<size_t>(w)][static_cast<size_t>(k)], 0,
+                       options.ground_capacitance * spread);
+    // Terminations: driver impedance at the near end, load at the far end.
+    nl.add_resistor(node[static_cast<size_t>(w)][0], 0, options.driver_resistance);
+    nl.add_resistor(node[static_cast<size_t>(w)][static_cast<size_t>(ns)], 0,
+                    options.load_resistance);
+  }
+
+  // Dense capacitive coupling window (extraction-style).
+  for (Index w1 = 0; w1 < nw; ++w1) {
+    for (Index w2 = w1 + 1; w2 < nw; ++w2) {
+      const double dw = static_cast<double>(w2 - w1);
+      const double base =
+          options.coupling_capacitance / std::pow(dw, options.wire_decay);
+      for (Index k = 0; k <= ns; ++k) {
+        for (Index d = -options.coupling_window; d <= options.coupling_window;
+             ++d) {
+          const Index k2 = k + d;
+          if (k2 < 0 || k2 > ns) continue;
+          const double c =
+              base / std::pow(1.0 + std::abs(static_cast<double>(d)),
+                              options.offset_decay);
+          if (c < 1e-20) continue;
+          nl.add_capacitor(node[static_cast<size_t>(w1)][static_cast<size_t>(k)],
+                           node[static_cast<size_t>(w2)][static_cast<size_t>(k2)],
+                           c);
+        }
+      }
+    }
+  }
+
+  // Ports: driver (near) and receiver (far) end of every wire, plus a
+  // mid-bus tap on wire 0.
+  for (Index w = 0; w < nw; ++w) {
+    out.near_nodes.push_back(node[static_cast<size_t>(w)][0]);
+    out.far_nodes.push_back(node[static_cast<size_t>(w)][static_cast<size_t>(ns)]);
+  }
+  out.tap_node = node[0][static_cast<size_t>(ns / 2)];
+  for (Index w = 0; w < nw; ++w)
+    nl.add_port(out.near_nodes[static_cast<size_t>(w)], 0,
+                "near" + std::to_string(w + 1));
+  for (Index w = 0; w < nw; ++w)
+    nl.add_port(out.far_nodes[static_cast<size_t>(w)], 0,
+                "far" + std::to_string(w + 1));
+  nl.add_port(out.tap_node, 0, "tap");
+  return out;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,155 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace sympvl {
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  require(!columns_.empty(), "CsvTable: at least one column required");
+  for (const auto& c : columns_) {
+    require(!c.empty(), "CsvTable: empty column name");
+    require(c.find(',') == std::string::npos && c.find('\n') == std::string::npos,
+            "CsvTable: column name must not contain ',' or newline");
+  }
+}
+
+void CsvTable::add_row(const Vec& row) {
+  require(static_cast<Index>(row.size()) == column_count(),
+          "CsvTable::add_row: width mismatch");
+  rows_.push_back(row);
+}
+
+double CsvTable::at(Index row, Index col) const {
+  require(0 <= row && row < row_count() && 0 <= col && col < column_count(),
+          "CsvTable::at: out of range");
+  return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+}
+
+bool CsvTable::has_column(const std::string& name) const {
+  for (const auto& c : columns_)
+    if (c == name) return true;
+  return false;
+}
+
+Vec CsvTable::column(const std::string& name) const {
+  for (size_t k = 0; k < columns_.size(); ++k) {
+    if (columns_[k] != name) continue;
+    Vec out;
+    out.reserve(rows_.size());
+    for (const auto& r : rows_) out.push_back(r[k]);
+    return out;
+  }
+  throw Error("CsvTable::column: no column named '" + name + "'");
+}
+
+void CsvTable::write(std::ostream& out) const {
+  for (size_t k = 0; k < columns_.size(); ++k)
+    out << (k ? "," : "") << columns_[k];
+  out << "\n";
+  out.precision(17);
+  for (const auto& r : rows_) {
+    for (size_t k = 0; k < r.size(); ++k) out << (k ? "," : "") << r[k];
+    out << "\n";
+  }
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "CsvTable::write_file: cannot open '" + path + "'");
+  write(out);
+}
+
+CsvTable CsvTable::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)), "CsvTable::parse: empty input");
+  std::vector<std::string> columns;
+  {
+    std::istringstream header(line);
+    std::string cell;
+    while (std::getline(header, cell, ',')) columns.push_back(cell);
+  }
+  CsvTable table(std::move(columns));
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    Vec values;
+    while (std::getline(row, cell, ',')) {
+      try {
+        values.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw Error("CsvTable::parse: bad number '" + cell + "' at line " +
+                    std::to_string(line_no));
+      }
+    }
+    table.add_row(values);
+  }
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "CsvTable::read_file: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+CsvTable sweep_to_csv(const Vec& frequencies_hz, const std::vector<CMat>& z,
+                      const std::vector<ZEntry>& entries) {
+  require(frequencies_hz.size() == z.size(),
+          "sweep_to_csv: one matrix per frequency required");
+  require(!entries.empty(), "sweep_to_csv: no entries selected");
+  std::vector<std::string> columns{"f_hz"};
+  for (const auto& e : entries) {
+    columns.push_back("re_" + e.name);
+    columns.push_back("im_" + e.name);
+    columns.push_back("mag_" + e.name);
+  }
+  CsvTable table(std::move(columns));
+  for (size_t k = 0; k < z.size(); ++k) {
+    Vec row{frequencies_hz[k]};
+    for (const auto& e : entries) {
+      require(0 <= e.row && e.row < z[k].rows() && 0 <= e.col &&
+                  e.col < z[k].cols(),
+              "sweep_to_csv: entry out of range");
+      const Complex v = z[k](e.row, e.col);
+      row.push_back(v.real());
+      row.push_back(v.imag());
+      row.push_back(std::abs(v));
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+CsvTable transient_to_csv(const TransientResult& result,
+                          const std::vector<std::string>& names) {
+  const Index outs = result.outputs.cols();
+  std::vector<std::string> columns{"t_s"};
+  for (Index j = 0; j < outs; ++j)
+    columns.push_back(static_cast<Index>(names.size()) > j
+                          ? names[static_cast<size_t>(j)]
+                          : "out" + std::to_string(j));
+  CsvTable table(std::move(columns));
+  for (size_t k = 0; k < result.time.size(); ++k) {
+    Vec row{result.time[k]};
+    for (Index j = 0; j < outs; ++j)
+      row.push_back(result.outputs(static_cast<Index>(k), j));
+    table.add_row(row);
+  }
+  return table;
+}
+
+}  // namespace sympvl

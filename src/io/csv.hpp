@@ -1,0 +1,65 @@
+// Minimal CSV table support for exporting sweeps and waveforms.
+//
+// The examples and benches print their data series as CSV so the paper's
+// figures can be regenerated with any plotting tool; this module gives
+// that format a real API (build, serialize, parse back) instead of ad-hoc
+// printf calls.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "sim/transient.hpp"
+
+namespace sympvl {
+
+/// A rectangular numeric table with named columns.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> columns);
+
+  Index column_count() const { return static_cast<Index>(columns_.size()); }
+  Index row_count() const { return static_cast<Index>(rows_.size()); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Appends a row; must match the column count.
+  void add_row(const Vec& row);
+
+  double at(Index row, Index col) const;
+
+  /// Column by name; throws when absent.
+  Vec column(const std::string& name) const;
+  bool has_column(const std::string& name) const;
+
+  /// Serializes with a header line; full double precision.
+  std::string to_string() const;
+  void write(std::ostream& out) const;
+  void write_file(const std::string& path) const;
+
+  /// Parses a CSV with a header line (the inverse of to_string()).
+  static CsvTable parse(const std::string& text);
+  static CsvTable read_file(const std::string& path);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Vec> rows_;
+};
+
+/// Frequency sweep of selected Z entries → table with columns
+/// f_hz, re_<name>, im_<name>, mag_<name> per requested (i, j) entry.
+struct ZEntry {
+  Index row = 0;
+  Index col = 0;
+  std::string name;  // used in the column headers
+};
+CsvTable sweep_to_csv(const Vec& frequencies_hz, const std::vector<CMat>& z,
+                      const std::vector<ZEntry>& entries);
+
+/// Transient result → table with columns t_s, out0, out1, …
+CsvTable transient_to_csv(const TransientResult& result,
+                          const std::vector<std::string>& names = {});
+
+}  // namespace sympvl

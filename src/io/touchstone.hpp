@@ -1,0 +1,34 @@
+// Touchstone (version 1) S-parameter file writer.
+//
+// The industry interchange format for measured/modeled multi-port
+// frequency responses: package and interconnect models reduced with
+// SyMPVL can be handed to any RF/SI tool as `.s<N>p` files. Z-parameters
+// are converted with the uniform reference impedance z0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+/// Serializes a sweep as Touchstone v1 text:
+///   # HZ S RI R <z0>
+/// followed by one frequency block per point (real/imaginary pairs, at
+/// most four S entries per line, n-port row-major order per the spec).
+std::string write_touchstone(const Vec& frequencies_hz,
+                             const std::vector<CMat>& z, double z0 = 50.0,
+                             const std::string& comment = "");
+
+/// Writes to `<path>` (conventionally named `name.s<N>p`).
+void write_touchstone_file(const std::string& path, const Vec& frequencies_hz,
+                           const std::vector<CMat>& z, double z0 = 50.0,
+                           const std::string& comment = "");
+
+/// Parses the exact dialect produced by write_touchstone (HZ / S / RI).
+/// Returns the S matrices; `z0_out` receives the reference impedance.
+std::vector<CMat> parse_touchstone(const std::string& text, Vec& frequencies_hz,
+                                   double& z0_out);
+
+}  // namespace sympvl

@@ -1,0 +1,26 @@
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+CMat to_complex(const Mat& a) {
+  CMat c(a.rows(), a.cols());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j) c(i, j) = Complex(a(i, j), 0.0);
+  return c;
+}
+
+Mat real_part(const CMat& a) {
+  Mat r(a.rows(), a.cols());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j) r(i, j) = a(i, j).real();
+  return r;
+}
+
+Mat imag_part(const CMat& a) {
+  Mat r(a.rows(), a.cols());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j) r(i, j) = a(i, j).imag();
+  return r;
+}
+
+}  // namespace sympvl

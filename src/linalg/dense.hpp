@@ -1,0 +1,244 @@
+// Dense matrix / vector types and elementary operations.
+//
+// The library deliberately implements its own small dense-linear-algebra
+// layer (no Eigen/LAPACK dependency): reduced-order models produced by
+// SyMPVL are small (n in the tens to low hundreds), so simple row-major
+// storage with straightforward kernels is fully adequate and keeps the
+// numerical behaviour of the reproduction transparent.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <initializer_list>
+#include <vector>
+
+#include "common.hpp"
+
+namespace sympvl {
+
+/// Row-major dense matrix over `T` (double or std::complex<double>).
+///
+/// Invariant: storage size == rows()*cols() at all times.
+template <typename T>
+class Matrix {
+ public:
+  using Scalar = T;
+  using Real = typename ScalarTraits<T>::Real;
+
+  Matrix() = default;
+  Matrix(Index rows, Index cols, T value = T(0))
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), value) {
+    require(rows >= 0 && cols >= 0, "Matrix: negative dimension");
+  }
+
+  /// Builds a matrix from a nested initializer list (row by row).
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = static_cast<Index>(init.size());
+    cols_ = rows_ > 0 ? static_cast<Index>(init.begin()->size()) : 0;
+    data_.reserve(static_cast<size_t>(rows_ * cols_));
+    for (const auto& row : init) {
+      require(static_cast<Index>(row.size()) == cols_,
+              "Matrix: ragged initializer list");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  static Matrix identity(Index n) {
+    Matrix m(n, n);
+    for (Index i = 0; i < n; ++i) m(i, i) = T(1);
+    return m;
+  }
+
+  static Matrix zero(Index rows, Index cols) { return Matrix(rows, cols); }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(Index i, Index j) {
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  const T& operator()(Index i, Index j) const {
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  /// Raw row-major storage (rows()*cols() entries).
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Resizes, discarding contents; new entries are `value`.
+  void resize(Index rows, Index cols, T value = T(0)) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows * cols), value);
+  }
+
+  Matrix transpose() const {
+    Matrix r(cols_, rows_);
+    for (Index i = 0; i < rows_; ++i)
+      for (Index j = 0; j < cols_; ++j) r(j, i) = (*this)(i, j);
+    return r;
+  }
+
+  /// Conjugate transpose (== transpose for real T).
+  Matrix adjoint() const {
+    Matrix r(cols_, rows_);
+    for (Index i = 0; i < rows_; ++i)
+      for (Index j = 0; j < cols_; ++j)
+        r(j, i) = ScalarTraits<T>::conj((*this)(i, j));
+    return r;
+  }
+
+  std::vector<T> col(Index j) const {
+    std::vector<T> c(static_cast<size_t>(rows_));
+    for (Index i = 0; i < rows_; ++i) c[static_cast<size_t>(i)] = (*this)(i, j);
+    return c;
+  }
+
+  std::vector<T> row(Index i) const {
+    std::vector<T> r(data_.begin() + i * cols_, data_.begin() + (i + 1) * cols_);
+    return r;
+  }
+
+  void set_col(Index j, const std::vector<T>& c) {
+    require(static_cast<Index>(c.size()) == rows_, "set_col: size mismatch");
+    for (Index i = 0; i < rows_; ++i) (*this)(i, j) = c[static_cast<size_t>(i)];
+  }
+
+  /// Returns the sub-matrix rows [r0,r1) x cols [c0,c1).
+  Matrix block(Index r0, Index r1, Index c0, Index c1) const {
+    require(0 <= r0 && r0 <= r1 && r1 <= rows_ && 0 <= c0 && c0 <= c1 &&
+                c1 <= cols_,
+            "block: range out of bounds");
+    Matrix b(r1 - r0, c1 - c0);
+    for (Index i = r0; i < r1; ++i)
+      for (Index j = c0; j < c1; ++j) b(i - r0, j - c0) = (*this)(i, j);
+    return b;
+  }
+
+  Matrix& operator+=(const Matrix& o) {
+    require(rows_ == o.rows_ && cols_ == o.cols_, "operator+=: shape mismatch");
+    for (size_t k = 0; k < data_.size(); ++k) data_[k] += o.data_[k];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    require(rows_ == o.rows_ && cols_ == o.cols_, "operator-=: shape mismatch");
+    for (size_t k = 0; k < data_.size(); ++k) data_[k] -= o.data_[k];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& x : data_) x *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    require(a.cols_ == b.rows_, "matmul: inner dimension mismatch");
+    Matrix c(a.rows_, b.cols_);
+    for (Index i = 0; i < a.rows_; ++i) {
+      for (Index k = 0; k < a.cols_; ++k) {
+        const T aik = a(i, k);
+        if (aik == T(0)) continue;
+        for (Index j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+      }
+    }
+    return c;
+  }
+
+  friend std::vector<T> operator*(const Matrix& a, const std::vector<T>& x) {
+    require(a.cols_ == static_cast<Index>(x.size()), "matvec: size mismatch");
+    std::vector<T> y(static_cast<size_t>(a.rows_), T(0));
+    for (Index i = 0; i < a.rows_; ++i) {
+      T acc(0);
+      for (Index j = 0; j < a.cols_; ++j) acc += a(i, j) * x[static_cast<size_t>(j)];
+      y[static_cast<size_t>(i)] = acc;
+    }
+    return y;
+  }
+
+  /// Frobenius norm.
+  Real norm() const {
+    Real s(0);
+    for (const auto& x : data_) {
+      const Real a = ScalarTraits<T>::abs(x);
+      s += a * a;
+    }
+    return std::sqrt(s);
+  }
+
+  /// Largest absolute entry.
+  Real max_abs() const {
+    Real m(0);
+    for (const auto& x : data_) m = std::max(m, ScalarTraits<T>::abs(x));
+    return m;
+  }
+
+  bool is_square() const { return rows_ == cols_; }
+
+  /// Max |A - Aᵀ| entry; 0 for exactly symmetric matrices.
+  Real asymmetry() const {
+    require(is_square(), "asymmetry: matrix not square");
+    Real m(0);
+    for (Index i = 0; i < rows_; ++i)
+      for (Index j = i + 1; j < cols_; ++j)
+        m = std::max(m, ScalarTraits<T>::abs((*this)(i, j) - (*this)(j, i)));
+    return m;
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Mat = Matrix<double>;
+using CMat = Matrix<Complex>;
+using Vec = std::vector<double>;
+using CVec = std::vector<Complex>;
+
+// ---- free vector helpers -------------------------------------------------
+
+/// Euclidean inner product xᴴy (conjugates x for complex scalars).
+template <typename T>
+T dot(const std::vector<T>& x, const std::vector<T>& y) {
+  require(x.size() == y.size(), "dot: size mismatch");
+  T s(0);
+  for (size_t i = 0; i < x.size(); ++i) s += ScalarTraits<T>::conj(x[i]) * y[i];
+  return s;
+}
+
+template <typename T>
+typename ScalarTraits<T>::Real norm2(const std::vector<T>& x) {
+  typename ScalarTraits<T>::Real s(0);
+  for (const auto& v : x) {
+    const auto a = ScalarTraits<T>::abs(v);
+    s += a * a;
+  }
+  return std::sqrt(s);
+}
+
+template <typename T>
+void axpy(T alpha, const std::vector<T>& x, std::vector<T>& y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+template <typename T>
+void scale(std::vector<T>& x, T alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+/// Converts a real matrix to complex.
+CMat to_complex(const Mat& a);
+
+/// Real part of a complex matrix.
+Mat real_part(const CMat& a);
+
+/// Imaginary part of a complex matrix.
+Mat imag_part(const CMat& a);
+
+}  // namespace sympvl

@@ -1,0 +1,60 @@
+// Dense eigensolvers:
+//   * symmetric real: Householder tridiagonalization + implicit-shift QL,
+//   * general real: Hessenberg reduction + Francis double-shift QR.
+//
+// Used for the poles of reduced-order models (s = -1/λ(Tₙ), Section 5),
+// stability/passivity verification, and reduced-circuit synthesis.
+#pragma once
+
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+/// Result of a symmetric eigendecomposition A = V diag(λ) Vᵀ.
+/// Eigenvalues are sorted ascending; `vectors.col(k)` pairs with
+/// `values[k]`.
+struct SymmetricEig {
+  Vec values;
+  Mat vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix. Throws if `a` is not
+/// square or is markedly non-symmetric. Dispatches to cyclic Jacobi for
+/// small matrices (best orthogonality) and to Householder
+/// tridiagonalization + implicit-shift QL beyond `kEigFastCutover`
+/// (an order of magnitude faster at n in the hundreds).
+SymmetricEig eig_symmetric(const Mat& a);
+
+/// Threshold above which eig_symmetric switches to the QL path.
+inline constexpr Index kEigFastCutover = 48;
+
+/// Forces the cyclic-Jacobi backend (reference implementation).
+SymmetricEig eig_symmetric_jacobi(const Mat& a);
+
+/// Forces the tridiagonalization + implicit-QL backend (tred2/tql2).
+SymmetricEig eig_symmetric_ql(const Mat& a);
+
+/// Eigenvalues of a symmetric tridiagonal matrix given its diagonal `d`
+/// (size n) and sub-diagonal `e` (size n-1). Sorted ascending.
+Vec eig_symmetric_tridiagonal(const Vec& d, const Vec& e);
+
+/// Eigenvalues of a general real matrix (complex conjugate pairs for
+/// complex eigenvalues). No ordering guarantee.
+CVec eig_general(const Mat& a);
+
+/// Full eigendecomposition of a general real matrix: A·V = V·diag(λ) with
+/// complex eigenvalues/eigenvectors. Eigenvectors are computed by shifted
+/// inverse iteration and normalized to unit length; defective (or
+/// near-defective) matrices are rejected with sympvl::Error when the
+/// iteration cannot separate an eigenvector.
+struct GeneralEig {
+  CVec values;
+  CMat vectors;  // column k pairs with values[k]
+};
+GeneralEig eig_general_vectors(const Mat& a);
+
+/// Generalized symmetric eigenvalues of the pencil (A, B) with B symmetric
+/// positive definite: A v = λ B v. Returned ascending.
+SymmetricEig eig_symmetric_generalized(const Mat& a, const Mat& b);
+
+}  // namespace sympvl

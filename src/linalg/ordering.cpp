@@ -1,0 +1,294 @@
+#include "linalg/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace sympvl {
+
+template <typename T>
+AdjacencyGraph build_graph(const SparseMatrix<T>& a) {
+  require(a.rows() == a.cols(), "build_graph: matrix not square");
+  const Index n = a.rows();
+  // Collect undirected edges (i != j) from the pattern of A and Aᵀ.
+  std::vector<std::pair<Index, Index>> edges;
+  edges.reserve(static_cast<size_t>(a.nnz()));
+  for (Index j = 0; j < n; ++j) {
+    for (Index k = a.colptr()[static_cast<size_t>(j)];
+         k < a.colptr()[static_cast<size_t>(j) + 1]; ++k) {
+      const Index i = a.rowind()[static_cast<size_t>(k)];
+      if (i == j) continue;
+      edges.emplace_back(i, j);
+      edges.emplace_back(j, i);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  AdjacencyGraph g;
+  g.ptr.assign(static_cast<size_t>(n) + 1, 0);
+  for (const auto& e : edges) ++g.ptr[static_cast<size_t>(e.first) + 1];
+  for (size_t i = 1; i <= static_cast<size_t>(n); ++i) g.ptr[i] += g.ptr[i - 1];
+  g.adj.resize(edges.size());
+  std::vector<Index> next(g.ptr);
+  for (const auto& e : edges)
+    g.adj[static_cast<size_t>(next[static_cast<size_t>(e.first)]++)] = e.second;
+  return g;
+}
+
+namespace {
+
+// BFS level structure rooted at `root`, visiting only unvisited nodes.
+// Returns nodes level by level; `eccentricity` gets the number of levels.
+std::vector<Index> bfs_levels(const AdjacencyGraph& g, Index root,
+                              const std::vector<char>& visited,
+                              Index& eccentricity, Index& last_node) {
+  std::vector<Index> order;
+  std::vector<char> seen(visited.begin(), visited.end());
+  std::queue<std::pair<Index, Index>> q;  // (node, level)
+  q.emplace(root, 0);
+  seen[static_cast<size_t>(root)] = 1;
+  eccentricity = 0;
+  last_node = root;
+  while (!q.empty()) {
+    const auto [v, lvl] = q.front();
+    q.pop();
+    order.push_back(v);
+    eccentricity = std::max(eccentricity, lvl);
+    last_node = v;
+    for (Index k = g.ptr[static_cast<size_t>(v)];
+         k < g.ptr[static_cast<size_t>(v) + 1]; ++k) {
+      const Index u = g.adj[static_cast<size_t>(k)];
+      if (!seen[static_cast<size_t>(u)]) {
+        seen[static_cast<size_t>(u)] = 1;
+        q.emplace(u, lvl + 1);
+      }
+    }
+  }
+  return order;
+}
+
+// George-Liu pseudo-peripheral node heuristic.
+Index pseudo_peripheral(const AdjacencyGraph& g, Index start,
+                        const std::vector<char>& visited) {
+  Index node = start;
+  Index ecc = -1;
+  for (int iter = 0; iter < 8; ++iter) {
+    Index new_ecc, last;
+    bfs_levels(g, node, visited, new_ecc, last);
+    if (new_ecc <= ecc) break;
+    ecc = new_ecc;
+    node = last;
+  }
+  return node;
+}
+
+}  // namespace
+
+std::vector<Index> rcm_ordering(const AdjacencyGraph& g) {
+  const Index n = g.size();
+  std::vector<Index> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+
+  for (Index start = 0; start < n; ++start) {
+    if (visited[static_cast<size_t>(start)]) continue;
+    const Index root = pseudo_peripheral(g, start, visited);
+    // Cuthill-McKee BFS from the root, neighbors by increasing degree.
+    std::queue<Index> q;
+    q.push(root);
+    visited[static_cast<size_t>(root)] = 1;
+    std::vector<Index> nbrs;
+    while (!q.empty()) {
+      const Index v = q.front();
+      q.pop();
+      order.push_back(v);
+      nbrs.clear();
+      for (Index k = g.ptr[static_cast<size_t>(v)];
+           k < g.ptr[static_cast<size_t>(v) + 1]; ++k) {
+        const Index u = g.adj[static_cast<size_t>(k)];
+        if (!visited[static_cast<size_t>(u)]) {
+          visited[static_cast<size_t>(u)] = 1;
+          nbrs.push_back(u);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(),
+                [&](Index a, Index b) { return g.degree(a) < g.degree(b); });
+      for (Index u : nbrs) q.push(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<Index> min_degree_ordering(const AdjacencyGraph& g) {
+  const Index n = g.size();
+  // Quotient-graph representation: each live variable keeps a list of
+  // variable neighbors and a list of elements (cliques created by earlier
+  // eliminations). External degree is the size of the union of both.
+  std::vector<std::vector<Index>> var_adj(static_cast<size_t>(n));
+  std::vector<std::vector<Index>> var_elems(static_cast<size_t>(n));
+  std::vector<std::vector<Index>> elem_vars;  // members of each element
+  for (Index v = 0; v < n; ++v)
+    var_adj[static_cast<size_t>(v)].assign(
+        g.adj.begin() + g.ptr[static_cast<size_t>(v)],
+        g.adj.begin() + g.ptr[static_cast<size_t>(v) + 1]);
+
+  std::vector<char> eliminated(static_cast<size_t>(n), 0);
+  std::vector<Index> mark(static_cast<size_t>(n), -1);
+  Index epoch = 0;  // monotone stamp so marks never need clearing
+  std::vector<Index> degree(static_cast<size_t>(n), 0);
+  std::vector<char> degree_stale(static_cast<size_t>(n), 1);
+
+  // Exact external degree of v: |union of live var neighbors and element
+  // members|, excluding v itself.
+  auto compute_degree = [&](Index v) {
+    ++epoch;
+    Index d = 0;
+    mark[static_cast<size_t>(v)] = epoch;
+    for (Index u : var_adj[static_cast<size_t>(v)]) {
+      if (eliminated[static_cast<size_t>(u)] ||
+          mark[static_cast<size_t>(u)] == epoch)
+        continue;
+      mark[static_cast<size_t>(u)] = epoch;
+      ++d;
+    }
+    for (Index e : var_elems[static_cast<size_t>(v)]) {
+      for (Index u : elem_vars[static_cast<size_t>(e)]) {
+        if (eliminated[static_cast<size_t>(u)] ||
+            mark[static_cast<size_t>(u)] == epoch)
+          continue;
+        mark[static_cast<size_t>(u)] = epoch;
+        ++d;
+      }
+    }
+    return d;
+  };
+
+  std::vector<Index> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<Index> frontier;
+  for (Index step = 0; step < n; ++step) {
+    // Pick the live variable with the smallest (recomputed) degree.
+    Index best = -1;
+    Index best_deg = n + 1;
+    for (Index v = 0; v < n; ++v) {
+      if (eliminated[static_cast<size_t>(v)]) continue;
+      if (degree_stale[static_cast<size_t>(v)]) {
+        degree[static_cast<size_t>(v)] = compute_degree(v);
+        degree_stale[static_cast<size_t>(v)] = 0;
+      }
+      if (degree[static_cast<size_t>(v)] < best_deg) {
+        best_deg = degree[static_cast<size_t>(v)];
+        best = v;
+      }
+    }
+    const Index v = best;
+    order.push_back(v);
+    eliminated[static_cast<size_t>(v)] = 1;
+
+    // Frontier = union of v's live neighbors (variables + element members).
+    frontier.clear();
+    ++epoch;
+    mark[static_cast<size_t>(v)] = epoch;
+    auto push = [&](Index u) {
+      if (u == v || eliminated[static_cast<size_t>(u)]) return;
+      if (mark[static_cast<size_t>(u)] == epoch) return;
+      mark[static_cast<size_t>(u)] = epoch;
+      frontier.push_back(u);
+    };
+    for (Index u : var_adj[static_cast<size_t>(v)]) push(u);
+    for (Index e : var_elems[static_cast<size_t>(v)])
+      for (Index u : elem_vars[static_cast<size_t>(e)]) push(u);
+
+    // Create the new element and attach it to the frontier variables;
+    // absorb v's old elements (they are subsets of the new one).
+    const Index enew = static_cast<Index>(elem_vars.size());
+    elem_vars.push_back(frontier);
+    for (Index u : frontier) {
+      auto& elems = var_elems[static_cast<size_t>(u)];
+      std::vector<Index> kept;
+      kept.reserve(elems.size() + 1);
+      for (Index e : elems) {
+        bool absorbed = false;
+        for (Index ve : var_elems[static_cast<size_t>(v)])
+          if (e == ve) absorbed = true;
+        if (!absorbed) kept.push_back(e);
+      }
+      kept.push_back(enew);
+      elems = std::move(kept);
+      degree_stale[static_cast<size_t>(u)] = 1;
+    }
+    var_elems[static_cast<size_t>(v)].clear();
+    var_adj[static_cast<size_t>(v)].clear();
+  }
+  return order;
+}
+
+template <typename T>
+std::vector<Index> make_ordering(const SparseMatrix<T>& a, Ordering ordering) {
+  switch (ordering) {
+    case Ordering::kNatural:
+      return natural_ordering(a.rows());
+    case Ordering::kRCM:
+      return rcm_ordering(a);
+    case Ordering::kMinDegree:
+      return min_degree_ordering(a);
+  }
+  throw Error("make_ordering: unknown ordering");
+}
+
+template <typename T>
+Index symbolic_fill(const SparseMatrix<T>& a, const std::vector<Index>& perm) {
+  const SparseMatrix<T> ap = a.permute_symmetric(perm);
+  const Index n = ap.rows();
+  const auto& colptr = ap.colptr();
+  const auto& rowind = ap.rowind();
+  std::vector<Index> parent(static_cast<size_t>(n), -1);
+  std::vector<Index> flag(static_cast<size_t>(n), -1);
+  Index lnz = 0;
+  for (Index k = 0; k < n; ++k) {
+    parent[static_cast<size_t>(k)] = -1;
+    flag[static_cast<size_t>(k)] = k;
+    for (Index p = colptr[static_cast<size_t>(k)];
+         p < colptr[static_cast<size_t>(k) + 1]; ++p) {
+      Index i = rowind[static_cast<size_t>(p)];
+      if (i >= k) continue;
+      while (flag[static_cast<size_t>(i)] != k) {
+        if (parent[static_cast<size_t>(i)] == -1) parent[static_cast<size_t>(i)] = k;
+        ++lnz;
+        flag[static_cast<size_t>(i)] = k;
+        i = parent[static_cast<size_t>(i)];
+      }
+    }
+  }
+  return lnz;
+}
+
+template std::vector<Index> make_ordering<double>(const SMat&, Ordering);
+template std::vector<Index> make_ordering<Complex>(const CSMat&, Ordering);
+template Index symbolic_fill<double>(const SMat&, const std::vector<Index>&);
+template Index symbolic_fill<Complex>(const CSMat&, const std::vector<Index>&);
+
+std::vector<Index> natural_ordering(Index n) {
+  std::vector<Index> p(static_cast<size_t>(n));
+  std::iota(p.begin(), p.end(), Index(0));
+  return p;
+}
+
+template <typename T>
+Index bandwidth(const SparseMatrix<T>& a) {
+  Index bw = 0;
+  for (Index j = 0; j < a.cols(); ++j)
+    for (Index k = a.colptr()[static_cast<size_t>(j)];
+         k < a.colptr()[static_cast<size_t>(j) + 1]; ++k)
+      bw = std::max(bw, std::abs(a.rowind()[static_cast<size_t>(k)] - j));
+  return bw;
+}
+
+template AdjacencyGraph build_graph<double>(const SMat&);
+template AdjacencyGraph build_graph<Complex>(const CSMat&);
+template Index bandwidth<double>(const SMat&);
+template Index bandwidth<Complex>(const CSMat&);
+
+}  // namespace sympvl

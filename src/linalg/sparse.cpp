@@ -1,0 +1,169 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sympvl {
+
+template <typename T>
+SparseMatrix<T> TripletBuilder<T>::compress() const {
+  SparseMatrix<T> out(rows_, cols_);
+  const size_t nz = vals_.size();
+  if (nz == 0) return out;
+
+  // Counting sort by column, then by row within each column.
+  std::vector<Index> colcount(static_cast<size_t>(cols_) + 1, 0);
+  for (size_t k = 0; k < nz; ++k) ++colcount[static_cast<size_t>(js_[k]) + 1];
+  for (size_t j = 1; j <= static_cast<size_t>(cols_); ++j)
+    colcount[j] += colcount[j - 1];
+
+  std::vector<Index> rows(nz);
+  std::vector<T> vals(nz);
+  std::vector<Index> next(colcount);
+  for (size_t k = 0; k < nz; ++k) {
+    const size_t pos = static_cast<size_t>(next[static_cast<size_t>(js_[k])]++);
+    rows[pos] = is_[k];
+    vals[pos] = vals_[k];
+  }
+
+  // Sort each column by row index and merge duplicates.
+  std::vector<Index> out_colptr(static_cast<size_t>(cols_) + 1, 0);
+  std::vector<Index> out_rows;
+  std::vector<T> out_vals;
+  out_rows.reserve(nz);
+  out_vals.reserve(nz);
+  std::vector<size_t> order;
+  for (Index j = 0; j < cols_; ++j) {
+    const size_t beg = static_cast<size_t>(colcount[static_cast<size_t>(j)]);
+    const size_t end = static_cast<size_t>(colcount[static_cast<size_t>(j) + 1]);
+    order.resize(end - beg);
+    for (size_t k = 0; k < order.size(); ++k) order[k] = beg + k;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return rows[a] < rows[b]; });
+    for (size_t k = 0; k < order.size();) {
+      const Index r = rows[order[k]];
+      T sum(0);
+      while (k < order.size() && rows[order[k]] == r) {
+        sum += vals[order[k]];
+        ++k;
+      }
+      if (sum != T(0)) {
+        out_rows.push_back(r);
+        out_vals.push_back(sum);
+      }
+    }
+    out_colptr[static_cast<size_t>(j) + 1] = static_cast<Index>(out_rows.size());
+  }
+  out.set_raw(std::move(out_colptr), std::move(out_rows), std::move(out_vals));
+  return out;
+}
+
+template <typename T>
+SparseMatrix<T> SparseMatrix<T>::transpose() const {
+  SparseMatrix<T> t(cols_, rows_);
+  std::vector<Index> count(static_cast<size_t>(rows_) + 1, 0);
+  for (size_t k = 0; k < rowind_.size(); ++k)
+    ++count[static_cast<size_t>(rowind_[k]) + 1];
+  for (size_t i = 1; i <= static_cast<size_t>(rows_); ++i) count[i] += count[i - 1];
+  std::vector<Index> tptr(count);
+  std::vector<Index> trow(rowind_.size());
+  std::vector<T> tval(values_.size());
+  std::vector<Index> next(count);
+  for (Index j = 0; j < cols_; ++j) {
+    for (Index k = colptr_[static_cast<size_t>(j)];
+         k < colptr_[static_cast<size_t>(j) + 1]; ++k) {
+      const Index i = rowind_[static_cast<size_t>(k)];
+      const size_t pos = static_cast<size_t>(next[static_cast<size_t>(i)]++);
+      trow[pos] = j;
+      tval[pos] = values_[static_cast<size_t>(k)];
+    }
+  }
+  t.set_raw(std::move(tptr), std::move(trow), std::move(tval));
+  return t;
+}
+
+template <typename T>
+SparseMatrix<T> SparseMatrix<T>::permute_symmetric(
+    const std::vector<Index>& perm) const {
+  require(rows_ == cols_, "permute_symmetric: matrix not square");
+  require(static_cast<Index>(perm.size()) == rows_,
+          "permute_symmetric: permutation size mismatch");
+  const Index n = rows_;
+  std::vector<Index> inv(static_cast<size_t>(n));
+  for (Index k = 0; k < n; ++k) inv[static_cast<size_t>(perm[static_cast<size_t>(k)])] = k;
+  TripletBuilder<T> b(n, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index k = colptr_[static_cast<size_t>(j)];
+         k < colptr_[static_cast<size_t>(j) + 1]; ++k) {
+      const Index i = rowind_[static_cast<size_t>(k)];
+      b.add(inv[static_cast<size_t>(i)], inv[static_cast<size_t>(j)],
+            values_[static_cast<size_t>(k)]);
+    }
+  }
+  return b.compress();
+}
+
+template <typename T>
+SparseMatrix<T> SparseMatrix<T>::add(const SparseMatrix& a, T alpha,
+                                     const SparseMatrix& b, T beta) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "SparseMatrix::add: shape mismatch");
+  TripletBuilder<T> t(a.rows(), a.cols());
+  for (Index j = 0; j < a.cols(); ++j)
+    for (Index k = a.colptr_[static_cast<size_t>(j)];
+         k < a.colptr_[static_cast<size_t>(j) + 1]; ++k)
+      t.add(a.rowind_[static_cast<size_t>(k)], j,
+            alpha * a.values_[static_cast<size_t>(k)]);
+  for (Index j = 0; j < b.cols(); ++j)
+    for (Index k = b.colptr_[static_cast<size_t>(j)];
+         k < b.colptr_[static_cast<size_t>(j) + 1]; ++k)
+      t.add(b.rowind_[static_cast<size_t>(k)], j,
+            beta * b.values_[static_cast<size_t>(k)]);
+  return t.compress();
+}
+
+template <typename T>
+typename ScalarTraits<T>::Real SparseMatrix<T>::asymmetry() const {
+  require(rows_ == cols_, "asymmetry: matrix not square");
+  typename ScalarTraits<T>::Real m(0);
+  for (Index j = 0; j < cols_; ++j)
+    for (Index k = colptr_[static_cast<size_t>(j)];
+         k < colptr_[static_cast<size_t>(j) + 1]; ++k) {
+      const Index i = rowind_[static_cast<size_t>(k)];
+      m = std::max(m, ScalarTraits<T>::abs(values_[static_cast<size_t>(k)] -
+                                           coeff(j, i)));
+    }
+  return m;
+}
+
+CSMat to_complex(const SMat& a) {
+  CVec vals(a.values().size());
+  for (size_t k = 0; k < vals.size(); ++k) vals[k] = Complex(a.values()[k], 0.0);
+  CSMat c(a.rows(), a.cols());
+  c.set_raw(a.colptr(), a.rowind(), std::move(vals));
+  return c;
+}
+
+CSMat pencil_combine(const SMat& a, const SMat& b, Complex s) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "pencil_combine: shape mismatch");
+  TripletBuilder<Complex> t(a.rows(), a.cols());
+  for (Index j = 0; j < a.cols(); ++j)
+    for (Index k = a.colptr()[static_cast<size_t>(j)];
+         k < a.colptr()[static_cast<size_t>(j) + 1]; ++k)
+      t.add(a.rowind()[static_cast<size_t>(k)], j,
+            Complex(a.values()[static_cast<size_t>(k)], 0.0));
+  for (Index j = 0; j < b.cols(); ++j)
+    for (Index k = b.colptr()[static_cast<size_t>(j)];
+         k < b.colptr()[static_cast<size_t>(j) + 1]; ++k)
+      t.add(b.rowind()[static_cast<size_t>(k)], j,
+            s * b.values()[static_cast<size_t>(k)]);
+  return t.compress();
+}
+
+template class TripletBuilder<double>;
+template class TripletBuilder<Complex>;
+template class SparseMatrix<double>;
+template class SparseMatrix<Complex>;
+
+}  // namespace sympvl

@@ -1,0 +1,207 @@
+// Sparse matrix support: triplet (COO) assembly and compressed sparse
+// column (CSC) storage, templated over real/complex scalars.
+//
+// MNA matrices G and C of eq. (3) are assembled as triplets during circuit
+// stamping and compressed once; all downstream kernels (mat-vec, LDLᵀ,
+// permutation) operate on CSC.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+template <typename T>
+class SparseMatrix;
+
+/// Triplet (coordinate) accumulator. Duplicate (i, j) entries are summed on
+/// compression — exactly the semantics of MNA stamping.
+template <typename T>
+class TripletBuilder {
+ public:
+  TripletBuilder(Index rows, Index cols) : rows_(rows), cols_(cols) {
+    require(rows >= 0 && cols >= 0, "TripletBuilder: negative dimension");
+  }
+
+  void add(Index i, Index j, T value) {
+    require(0 <= i && i < rows_ && 0 <= j && j < cols_,
+            "TripletBuilder::add: index out of range");
+    if (value == T(0)) return;
+    is_.push_back(i);
+    js_.push_back(j);
+    vals_.push_back(value);
+  }
+
+  /// Adds value at (i, j) and (j, i); adds once when i == j.
+  void add_symmetric(Index i, Index j, T value) {
+    add(i, j, value);
+    if (i != j) add(j, i, value);
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(vals_.size()); }
+
+  /// Compresses into CSC, summing duplicates and dropping exact zeros.
+  SparseMatrix<T> compress() const;
+
+ private:
+  Index rows_, cols_;
+  std::vector<Index> is_, js_;
+  std::vector<T> vals_;
+};
+
+/// Compressed sparse column matrix. Row indices within each column are
+/// strictly increasing; no explicit zeros unless introduced numerically.
+template <typename T>
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols), colptr_(static_cast<size_t>(cols) + 1, 0) {}
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(rowind_.size()); }
+
+  const std::vector<Index>& colptr() const { return colptr_; }
+  const std::vector<Index>& rowind() const { return rowind_; }
+  const std::vector<T>& values() const { return values_; }
+  std::vector<T>& values() { return values_; }
+
+  /// y = A x.
+  std::vector<T> multiply(const std::vector<T>& x) const {
+    require(static_cast<Index>(x.size()) == cols_, "SparseMatrix::multiply: size");
+    std::vector<T> y(static_cast<size_t>(rows_), T(0));
+    for (Index j = 0; j < cols_; ++j) {
+      const T xj = x[static_cast<size_t>(j)];
+      if (xj == T(0)) continue;
+      for (Index k = colptr_[static_cast<size_t>(j)];
+           k < colptr_[static_cast<size_t>(j) + 1]; ++k)
+        y[static_cast<size_t>(rowind_[static_cast<size_t>(k)])] +=
+            values_[static_cast<size_t>(k)] * xj;
+    }
+    return y;
+  }
+
+  /// y += alpha * A x.
+  void multiply_add(const std::vector<T>& x, std::vector<T>& y,
+                    T alpha = T(1)) const {
+    require(static_cast<Index>(x.size()) == cols_ &&
+                static_cast<Index>(y.size()) == rows_,
+            "SparseMatrix::multiply_add: size");
+    for (Index j = 0; j < cols_; ++j) {
+      const T xj = alpha * x[static_cast<size_t>(j)];
+      if (xj == T(0)) continue;
+      for (Index k = colptr_[static_cast<size_t>(j)];
+           k < colptr_[static_cast<size_t>(j) + 1]; ++k)
+        y[static_cast<size_t>(rowind_[static_cast<size_t>(k)])] +=
+            values_[static_cast<size_t>(k)] * xj;
+    }
+  }
+
+  /// y = Aᵀ x (no conjugation).
+  std::vector<T> multiply_transpose(const std::vector<T>& x) const {
+    require(static_cast<Index>(x.size()) == rows_,
+            "SparseMatrix::multiply_transpose: size");
+    std::vector<T> y(static_cast<size_t>(cols_), T(0));
+    for (Index j = 0; j < cols_; ++j) {
+      T acc(0);
+      for (Index k = colptr_[static_cast<size_t>(j)];
+           k < colptr_[static_cast<size_t>(j) + 1]; ++k)
+        acc += values_[static_cast<size_t>(k)] *
+               x[static_cast<size_t>(rowind_[static_cast<size_t>(k)])];
+      y[static_cast<size_t>(j)] = acc;
+    }
+    return y;
+  }
+
+  SparseMatrix transpose() const;
+
+  /// Index of entry (i, j) in the value array, or -1 when not stored
+  /// (binary search within the column).
+  Index find(Index i, Index j) const {
+    require(0 <= i && i < rows_ && 0 <= j && j < cols_, "find: out of range");
+    Index lo = colptr_[static_cast<size_t>(j)];
+    Index hi = colptr_[static_cast<size_t>(j) + 1];
+    while (lo < hi) {
+      const Index mid = lo + (hi - lo) / 2;
+      const Index r = rowind_[static_cast<size_t>(mid)];
+      if (r == i) return mid;
+      if (r < i)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return -1;
+  }
+
+  /// Entry lookup (binary search within the column); 0 if not stored.
+  T coeff(Index i, Index j) const {
+    require(0 <= i && i < rows_ && 0 <= j && j < cols_, "coeff: out of range");
+    Index lo = colptr_[static_cast<size_t>(j)];
+    Index hi = colptr_[static_cast<size_t>(j) + 1];
+    while (lo < hi) {
+      const Index mid = lo + (hi - lo) / 2;
+      const Index r = rowind_[static_cast<size_t>(mid)];
+      if (r == i) return values_[static_cast<size_t>(mid)];
+      if (r < i)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return T(0);
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> d(rows_, cols_);
+    for (Index j = 0; j < cols_; ++j)
+      for (Index k = colptr_[static_cast<size_t>(j)];
+           k < colptr_[static_cast<size_t>(j) + 1]; ++k)
+        d(rowind_[static_cast<size_t>(k)], j) = values_[static_cast<size_t>(k)];
+    return d;
+  }
+
+  /// Symmetric permutation B = P A Pᵀ with B(perm_inv[i], perm_inv[j]) =
+  /// A(i, j), where `perm` maps new index -> old index.
+  SparseMatrix permute_symmetric(const std::vector<Index>& perm) const;
+
+  /// C = alpha*A + beta*B (shapes must match).
+  static SparseMatrix add(const SparseMatrix& a, T alpha, const SparseMatrix& b,
+                          T beta);
+
+  /// Largest |A(i,j) - A(j,i)| (must be square); 0 for symmetric.
+  typename ScalarTraits<T>::Real asymmetry() const;
+
+  // Internal: used by the builder / factorization code.
+  void set_raw(std::vector<Index> colptr, std::vector<Index> rowind,
+               std::vector<T> values) {
+    colptr_ = std::move(colptr);
+    rowind_ = std::move(rowind);
+    values_ = std::move(values);
+  }
+
+ private:
+  Index rows_ = 0, cols_ = 0;
+  std::vector<Index> colptr_;
+  std::vector<Index> rowind_;
+  std::vector<T> values_;
+};
+
+using SMat = SparseMatrix<double>;
+using CSMat = SparseMatrix<Complex>;
+
+/// Converts a real sparse matrix to a complex one.
+CSMat to_complex(const SMat& a);
+
+/// Complex combination A + s·B of two real sparse matrices (the AC-analysis
+/// pencil G + sC).
+CSMat pencil_combine(const SMat& a, const SMat& b, Complex s);
+
+extern template class TripletBuilder<double>;
+extern template class TripletBuilder<Complex>;
+extern template class SparseMatrix<double>;
+extern template class SparseMatrix<Complex>;
+
+}  // namespace sympvl

@@ -1,0 +1,293 @@
+#include "linalg/sparse_ldlt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+namespace sympvl {
+
+LdltSymbolic::LdltSymbolic(Index n, const std::vector<Index>& colptr,
+                           const std::vector<Index>& rowind,
+                           std::vector<Index> perm)
+    : n_(n), perm_(std::move(perm)) {
+  require(static_cast<Index>(perm_.size()) == n_,
+          "LdltSymbolic: permutation size mismatch");
+  perm_inv_.resize(static_cast<size_t>(n_));
+  for (Index k = 0; k < n_; ++k)
+    perm_inv_[static_cast<size_t>(perm_[static_cast<size_t>(k)])] = k;
+
+  // ---- Permuted pattern with source mapping (counting sort by new
+  // column, then sort each column by new row, carrying the original entry
+  // index as payload). ----
+  const Index nnz = static_cast<Index>(rowind.size());
+  std::vector<Index> count(static_cast<size_t>(n_) + 1, 0);
+  for (Index j = 0; j < n_; ++j) {
+    const Index jnew = perm_inv_[static_cast<size_t>(j)];
+    count[static_cast<size_t>(jnew) + 1] += colptr[static_cast<size_t>(j) + 1] -
+                                            colptr[static_cast<size_t>(j)];
+  }
+  for (size_t k = 1; k <= static_cast<size_t>(n_); ++k) count[k] += count[k - 1];
+  p_colptr_ = count;
+  p_rowind_.resize(static_cast<size_t>(nnz));
+  source_.resize(static_cast<size_t>(nnz));
+  {
+    std::vector<Index> next(count);
+    for (Index j = 0; j < n_; ++j) {
+      const Index jnew = perm_inv_[static_cast<size_t>(j)];
+      for (Index p = colptr[static_cast<size_t>(j)];
+           p < colptr[static_cast<size_t>(j) + 1]; ++p) {
+        const Index pos = next[static_cast<size_t>(jnew)]++;
+        p_rowind_[static_cast<size_t>(pos)] =
+            perm_inv_[static_cast<size_t>(rowind[static_cast<size_t>(p)])];
+        source_[static_cast<size_t>(pos)] = p;
+      }
+    }
+    // Sort each permuted column by row index (payload follows).
+    std::vector<Index> order;
+    for (Index jn = 0; jn < n_; ++jn) {
+      const Index beg = p_colptr_[static_cast<size_t>(jn)];
+      const Index end = p_colptr_[static_cast<size_t>(jn) + 1];
+      order.resize(static_cast<size_t>(end - beg));
+      for (Index k = 0; k < end - beg; ++k) order[static_cast<size_t>(k)] = beg + k;
+      std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+        return p_rowind_[static_cast<size_t>(a)] < p_rowind_[static_cast<size_t>(b)];
+      });
+      std::vector<Index> rtmp(order.size()), stmp(order.size());
+      for (size_t k = 0; k < order.size(); ++k) {
+        rtmp[k] = p_rowind_[static_cast<size_t>(order[k])];
+        stmp[k] = source_[static_cast<size_t>(order[k])];
+      }
+      for (size_t k = 0; k < order.size(); ++k) {
+        p_rowind_[static_cast<size_t>(beg) + k] = rtmp[k];
+        source_[static_cast<size_t>(beg) + k] = stmp[k];
+      }
+    }
+  }
+
+  // ---- Elimination tree and column counts (LDL, Davis) on the permuted
+  // upper-triangular pattern. ----
+  parent_.assign(static_cast<size_t>(n_), -1);
+  std::vector<Index> lnz(static_cast<size_t>(n_), 0);
+  std::vector<Index> flag(static_cast<size_t>(n_), -1);
+  for (Index k = 0; k < n_; ++k) {
+    parent_[static_cast<size_t>(k)] = -1;
+    flag[static_cast<size_t>(k)] = k;
+    for (Index p = p_colptr_[static_cast<size_t>(k)];
+         p < p_colptr_[static_cast<size_t>(k) + 1]; ++p) {
+      Index i = p_rowind_[static_cast<size_t>(p)];
+      if (i >= k) continue;
+      while (flag[static_cast<size_t>(i)] != k) {
+        if (parent_[static_cast<size_t>(i)] == -1) parent_[static_cast<size_t>(i)] = k;
+        ++lnz[static_cast<size_t>(i)];
+        flag[static_cast<size_t>(i)] = k;
+        i = parent_[static_cast<size_t>(i)];
+      }
+    }
+  }
+  l_colptr_.assign(static_cast<size_t>(n_) + 1, 0);
+  for (Index k = 0; k < n_; ++k)
+    l_colptr_[static_cast<size_t>(k) + 1] =
+        l_colptr_[static_cast<size_t>(k)] + lnz[static_cast<size_t>(k)];
+}
+
+template <typename T>
+SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a, Ordering ordering,
+                          double zero_pivot_tol) {
+  require(a.rows() == a.cols(), "SparseLDLT: matrix not square");
+  n_ = a.rows();
+  typename ScalarTraits<T>::Real amax(0);
+  for (const auto& v : a.values()) amax = std::max(amax, ScalarTraits<T>::abs(v));
+  require(a.asymmetry() <= 1e-10 * (1.0 + amax),
+          "SparseLDLT: matrix not symmetric");
+  symbolic_ = std::make_shared<const LdltSymbolic>(a, ordering);
+  factorize(a, zero_pivot_tol);
+}
+
+template <typename T>
+SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a,
+                          std::shared_ptr<const LdltSymbolic> symbolic,
+                          double zero_pivot_tol)
+    : symbolic_(std::move(symbolic)) {
+  require(symbolic_ != nullptr, "SparseLDLT: null symbolic analysis");
+  require(a.rows() == a.cols() && a.rows() == symbolic_->n_,
+          "SparseLDLT: size does not match the symbolic analysis");
+  require(a.nnz() == static_cast<Index>(symbolic_->source_.size()),
+          "SparseLDLT: pattern does not match the symbolic analysis");
+  n_ = a.rows();
+  factorize(a, zero_pivot_tol);
+}
+
+template <typename T>
+void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
+  const LdltSymbolic& sym = *symbolic_;
+  const auto& colptr = sym.p_colptr_;
+  const auto& rowind = sym.p_rowind_;
+  const auto& parent = sym.parent_;
+
+  // Gather the values into permuted order via the precomputed mapping.
+  std::vector<T> values(sym.source_.size());
+  for (size_t k = 0; k < values.size(); ++k)
+    values[k] = a.values()[static_cast<size_t>(sym.source_[k])];
+
+  l_colptr_ = sym.l_colptr_;
+  l_rowind_.assign(static_cast<size_t>(l_colptr_[static_cast<size_t>(n_)]), 0);
+  l_values_.assign(l_rowind_.size(), T(0));
+
+  // ---- Numeric factorization (up-looking).
+  d_.assign(static_cast<size_t>(n_), T(0));
+  std::vector<T> y(static_cast<size_t>(n_), T(0));
+  std::vector<Index> pattern(static_cast<size_t>(n_), 0);
+  std::vector<Index> lnz_used(static_cast<size_t>(n_), 0);
+  std::vector<Index> flag(static_cast<size_t>(n_), -1);
+
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = 0.0;
+  double amax = 0.0;
+  for (const auto& v : values) amax = std::max(amax, ScalarTraits<T>::abs(v));
+  const double pivot_floor = zero_pivot_tol * amax;
+
+  for (Index k = 0; k < n_; ++k) {
+    Index top = n_;
+    flag[static_cast<size_t>(k)] = k;
+    for (Index p = colptr[static_cast<size_t>(k)];
+         p < colptr[static_cast<size_t>(k) + 1]; ++p) {
+      Index i = rowind[static_cast<size_t>(p)];
+      if (i > k) continue;
+      y[static_cast<size_t>(i)] += values[static_cast<size_t>(p)];
+      Index len = 0;
+      while (flag[static_cast<size_t>(i)] != k) {
+        pattern[static_cast<size_t>(len++)] = i;
+        flag[static_cast<size_t>(i)] = k;
+        i = parent[static_cast<size_t>(i)];
+      }
+      while (len > 0)
+        pattern[static_cast<size_t>(--top)] = pattern[static_cast<size_t>(--len)];
+    }
+    d_[static_cast<size_t>(k)] = y[static_cast<size_t>(k)];
+    y[static_cast<size_t>(k)] = T(0);
+    for (Index s = top; s < n_; ++s) {
+      const Index i = pattern[static_cast<size_t>(s)];
+      const T yi = y[static_cast<size_t>(i)];
+      y[static_cast<size_t>(i)] = T(0);
+      const Index pend =
+          l_colptr_[static_cast<size_t>(i)] + lnz_used[static_cast<size_t>(i)];
+      for (Index p = l_colptr_[static_cast<size_t>(i)]; p < pend; ++p)
+        y[static_cast<size_t>(l_rowind_[static_cast<size_t>(p)])] -=
+            l_values_[static_cast<size_t>(p)] * yi;
+      const T lki = yi / d_[static_cast<size_t>(i)];
+      d_[static_cast<size_t>(k)] -= lki * yi;
+      l_rowind_[static_cast<size_t>(pend)] = k;
+      l_values_[static_cast<size_t>(pend)] = lki;
+      ++lnz_used[static_cast<size_t>(i)];
+    }
+    const double dk = ScalarTraits<T>::abs(d_[static_cast<size_t>(k)]);
+    require(dk != 0.0 && dk > pivot_floor,
+            "SparseLDLT: zero pivot encountered (matrix singular or not "
+            "quasi-definite; consider a frequency shift, eq. 26)");
+    dmin = std::min(dmin, dk);
+    dmax = std::max(dmax, dk);
+  }
+  pivot_ratio_ = (dmax > 0.0) ? dmin / dmax : 0.0;
+
+  sqrt_abs_d_.resize(static_cast<size_t>(n_));
+  for (Index k = 0; k < n_; ++k)
+    sqrt_abs_d_[static_cast<size_t>(k)] =
+        std::sqrt(ScalarTraits<T>::abs(d_[static_cast<size_t>(k)]));
+}
+
+template <typename T>
+void SparseLDLT<T>::forward_solve(std::vector<T>& x) const {
+  for (Index j = 0; j < n_; ++j) {
+    const T xj = x[static_cast<size_t>(j)];
+    if (xj == T(0)) continue;
+    for (Index p = l_colptr_[static_cast<size_t>(j)];
+         p < l_colptr_[static_cast<size_t>(j) + 1]; ++p)
+      x[static_cast<size_t>(l_rowind_[static_cast<size_t>(p)])] -=
+          l_values_[static_cast<size_t>(p)] * xj;
+  }
+}
+
+template <typename T>
+void SparseLDLT<T>::backward_solve(std::vector<T>& x) const {
+  for (Index j = n_ - 1; j >= 0; --j) {
+    T acc = x[static_cast<size_t>(j)];
+    for (Index p = l_colptr_[static_cast<size_t>(j)];
+         p < l_colptr_[static_cast<size_t>(j) + 1]; ++p)
+      acc -= l_values_[static_cast<size_t>(p)] *
+             x[static_cast<size_t>(l_rowind_[static_cast<size_t>(p)])];
+    x[static_cast<size_t>(j)] = acc;
+  }
+}
+
+template <typename T>
+std::vector<T> SparseLDLT<T>::solve(const std::vector<T>& b) const {
+  require(static_cast<Index>(b.size()) == n_, "SparseLDLT::solve: size mismatch");
+  const auto& perm = symbolic_->perm_;
+  std::vector<T> x(static_cast<size_t>(n_));
+  for (Index i = 0; i < n_; ++i)
+    x[static_cast<size_t>(i)] = b[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+  forward_solve(x);
+  for (Index i = 0; i < n_; ++i) x[static_cast<size_t>(i)] /= d_[static_cast<size_t>(i)];
+  backward_solve(x);
+  std::vector<T> out(static_cast<size_t>(n_));
+  for (Index i = 0; i < n_; ++i)
+    out[static_cast<size_t>(perm[static_cast<size_t>(i)])] = x[static_cast<size_t>(i)];
+  return out;
+}
+
+template <typename T>
+Vec SparseLDLT<T>::j_signs() const {
+  if constexpr (std::is_same_v<T, double>) {
+    Vec j(static_cast<size_t>(n_));
+    for (Index k = 0; k < n_; ++k)
+      j[static_cast<size_t>(k)] = d_[static_cast<size_t>(k)] > 0.0 ? 1.0 : -1.0;
+    return j;
+  } else {
+    throw Error("SparseLDLT::j_signs: only defined for real factorizations");
+  }
+}
+
+template <typename T>
+Index SparseLDLT<T>::negative_pivots() const {
+  if constexpr (std::is_same_v<T, double>) {
+    Index c = 0;
+    for (const auto& dk : d_)
+      if (dk < 0.0) ++c;
+    return c;
+  } else {
+    throw Error("SparseLDLT::negative_pivots: only defined for real factorizations");
+  }
+}
+
+template <typename T>
+std::vector<T> SparseLDLT<T>::solve_m(const std::vector<T>& b) const {
+  require(static_cast<Index>(b.size()) == n_, "solve_m: size mismatch");
+  const auto& perm = symbolic_->perm_;
+  std::vector<T> x(static_cast<size_t>(n_));
+  for (Index i = 0; i < n_; ++i)
+    x[static_cast<size_t>(i)] = b[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+  forward_solve(x);
+  for (Index i = 0; i < n_; ++i)
+    x[static_cast<size_t>(i)] /= sqrt_abs_d_[static_cast<size_t>(i)];
+  return x;
+}
+
+template <typename T>
+std::vector<T> SparseLDLT<T>::solve_mt(const std::vector<T>& b) const {
+  require(static_cast<Index>(b.size()) == n_, "solve_mt: size mismatch");
+  const auto& perm = symbolic_->perm_;
+  std::vector<T> x(b);
+  for (Index i = 0; i < n_; ++i)
+    x[static_cast<size_t>(i)] /= sqrt_abs_d_[static_cast<size_t>(i)];
+  backward_solve(x);
+  std::vector<T> out(static_cast<size_t>(n_));
+  for (Index i = 0; i < n_; ++i)
+    out[static_cast<size_t>(perm[static_cast<size_t>(i)])] = x[static_cast<size_t>(i)];
+  return out;
+}
+
+template class SparseLDLT<double>;
+template class SparseLDLT<Complex>;
+
+}  // namespace sympvl

@@ -1,0 +1,211 @@
+#include "linalg/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sympvl {
+
+namespace {
+
+// Iterative depth-first search over the column graph of the partially
+// built L (Gilbert-Peierls "reach"): children of an original row i are the
+// rows of L's column pinv[i] (none while row i is not yet pivotal).
+// Emits nodes in topological order into `topo` (filled from the back).
+struct Reach {
+  const std::vector<Index>& l_colptr;
+  const std::vector<Index>& l_rowind;
+  const std::vector<Index>& pinv;
+  std::vector<char>& visited;
+  std::vector<Index>& topo;
+  std::vector<Index>& stack_node;
+  std::vector<Index>& stack_child;
+  Index top;  // topo[top..n-1] holds the result
+
+  void run_from(Index start) {
+    if (visited[static_cast<size_t>(start)]) return;
+    Index depth = 0;
+    stack_node[0] = start;
+    stack_child[0] = 0;
+    visited[static_cast<size_t>(start)] = 1;
+    while (depth >= 0) {
+      const Index i = stack_node[static_cast<size_t>(depth)];
+      const Index col = pinv[static_cast<size_t>(i)];
+      bool descended = false;
+      if (col >= 0) {
+        Index c = stack_child[static_cast<size_t>(depth)];
+        const Index end = l_colptr[static_cast<size_t>(col) + 1];
+        for (Index p = l_colptr[static_cast<size_t>(col)] + c; p < end; ++p) {
+          ++c;
+          const Index child = l_rowind[static_cast<size_t>(p)];
+          if (!visited[static_cast<size_t>(child)]) {
+            visited[static_cast<size_t>(child)] = 1;
+            stack_child[static_cast<size_t>(depth)] = c;
+            ++depth;
+            stack_node[static_cast<size_t>(depth)] = child;
+            stack_child[static_cast<size_t>(depth)] = 0;
+            descended = true;
+            break;
+          }
+        }
+      }
+      if (!descended) {
+        topo[static_cast<size_t>(--top)] = i;
+        --depth;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+template <typename T>
+SparseLU<T>::SparseLU(const SparseMatrix<T>& a, Ordering ordering,
+                      double pivot_threshold, double zero_pivot_tol) {
+  require(a.rows() == a.cols(), "SparseLU: matrix not square");
+  require(pivot_threshold > 0.0 && pivot_threshold <= 1.0,
+          "SparseLU: pivot_threshold must be in (0, 1]");
+  n_ = a.rows();
+  col_perm_ = make_ordering(a, ordering);
+
+  const auto& acolptr = a.colptr();
+  const auto& arowind = a.rowind();
+  const auto& avalues = a.values();
+
+  std::vector<Index> pinv(static_cast<size_t>(n_), -1);
+  row_perm_.assign(static_cast<size_t>(n_), -1);
+  l_colptr_.assign(1, 0);
+  u_colptr_.assign(1, 0);
+
+  std::vector<T> x(static_cast<size_t>(n_), T(0));
+  std::vector<char> visited(static_cast<size_t>(n_), 0);
+  std::vector<Index> topo(static_cast<size_t>(n_), 0);
+  std::vector<Index> stack_node(static_cast<size_t>(n_), 0);
+  std::vector<Index> stack_child(static_cast<size_t>(n_), 0);
+
+  double piv_min = std::numeric_limits<double>::infinity();
+  double piv_max = 0.0;
+  double amax = 0.0;
+  for (const auto& v : avalues) amax = std::max(amax, ScalarTraits<T>::abs(v));
+  const double pivot_floor = zero_pivot_tol * amax;
+
+  for (Index k = 0; k < n_; ++k) {
+    const Index col = col_perm_[static_cast<size_t>(k)];
+
+    // ---- Symbolic: reach of A(:, col) through the current L. ----
+    Reach reach{l_colptr_, l_rowind_, pinv, visited, topo,
+                stack_node, stack_child, n_};
+    for (Index p = acolptr[static_cast<size_t>(col)];
+         p < acolptr[static_cast<size_t>(col) + 1]; ++p)
+      reach.run_from(arowind[static_cast<size_t>(p)]);
+    const Index top = reach.top;
+
+    // ---- Numeric: x = L \ A(:, col) on the reached pattern. ----
+    for (Index p = acolptr[static_cast<size_t>(col)];
+         p < acolptr[static_cast<size_t>(col) + 1]; ++p)
+      x[static_cast<size_t>(arowind[static_cast<size_t>(p)])] =
+          avalues[static_cast<size_t>(p)];
+    for (Index t = top; t < n_; ++t) {
+      const Index i = topo[static_cast<size_t>(t)];
+      const Index ci = pinv[static_cast<size_t>(i)];
+      if (ci < 0) continue;
+      const T xi = x[static_cast<size_t>(i)];
+      if (xi == T(0)) continue;
+      for (Index p = l_colptr_[static_cast<size_t>(ci)];
+           p < l_colptr_[static_cast<size_t>(ci) + 1]; ++p)
+        x[static_cast<size_t>(l_rowind_[static_cast<size_t>(p)])] -=
+            l_values_[static_cast<size_t>(p)] * xi;
+    }
+
+    // ---- Pivot selection among not-yet-pivotal rows. ----
+    double best = 0.0;
+    Index piv = -1;
+    for (Index t = top; t < n_; ++t) {
+      const Index i = topo[static_cast<size_t>(t)];
+      if (pinv[static_cast<size_t>(i)] >= 0) continue;
+      const double mag = ScalarTraits<T>::abs(x[static_cast<size_t>(i)]);
+      if (mag > best) {
+        best = mag;
+        piv = i;
+      }
+    }
+    require(piv >= 0 && best > 0.0 && best > pivot_floor,
+            "SparseLU: matrix is structurally or numerically singular");
+    // Threshold pivoting: prefer the natural diagonal if acceptable.
+    if (pivot_threshold < 1.0 && pinv[static_cast<size_t>(col)] < 0) {
+      const double diag_mag = ScalarTraits<T>::abs(x[static_cast<size_t>(col)]);
+      if (diag_mag >= pivot_threshold * best) piv = col;
+    }
+    const T pivot = x[static_cast<size_t>(piv)];
+    pinv[static_cast<size_t>(piv)] = k;
+    row_perm_[static_cast<size_t>(k)] = piv;
+    const double pmag = ScalarTraits<T>::abs(pivot);
+    piv_min = std::min(piv_min, pmag);
+    piv_max = std::max(piv_max, pmag);
+
+    // ---- Split the solved column into U (pivotal rows) and L. ----
+    for (Index t = top; t < n_; ++t) {
+      const Index i = topo[static_cast<size_t>(t)];
+      const T xi = x[static_cast<size_t>(i)];
+      const Index ci = pinv[static_cast<size_t>(i)];
+      if (i != piv && ci >= 0 && ci < k) {
+        if (xi != T(0)) {
+          u_rowind_.push_back(ci);
+          u_values_.push_back(xi);
+        }
+      } else if (i != piv) {
+        if (xi != T(0)) {
+          l_rowind_.push_back(i);  // original row index
+          l_values_.push_back(xi / pivot);
+        }
+      }
+      x[static_cast<size_t>(i)] = T(0);
+      visited[static_cast<size_t>(i)] = 0;
+    }
+    // Diagonal of U stored last in its column.
+    u_rowind_.push_back(k);
+    u_values_.push_back(pivot);
+    l_colptr_.push_back(static_cast<Index>(l_rowind_.size()));
+    u_colptr_.push_back(static_cast<Index>(u_rowind_.size()));
+  }
+  pivot_ratio_ = (piv_max > 0.0) ? piv_min / piv_max : 0.0;
+}
+
+template <typename T>
+std::vector<T> SparseLU<T>::solve(const std::vector<T>& b) const {
+  require(static_cast<Index>(b.size()) == n_, "SparseLU::solve: size mismatch");
+  // Forward: L y = b in pivot order, working in original row space.
+  std::vector<T> work(b);
+  for (Index k = 0; k < n_; ++k) {
+    const Index i = row_perm_[static_cast<size_t>(k)];
+    const T yi = work[static_cast<size_t>(i)];
+    if (yi == T(0)) continue;
+    for (Index p = l_colptr_[static_cast<size_t>(k)];
+         p < l_colptr_[static_cast<size_t>(k) + 1]; ++p)
+      work[static_cast<size_t>(l_rowind_[static_cast<size_t>(p)])] -=
+          l_values_[static_cast<size_t>(p)] * yi;
+  }
+  // Gather into pivot order and back-substitute with U.
+  std::vector<T> y(static_cast<size_t>(n_));
+  for (Index k = 0; k < n_; ++k)
+    y[static_cast<size_t>(k)] = work[static_cast<size_t>(row_perm_[static_cast<size_t>(k)])];
+  for (Index k = n_ - 1; k >= 0; --k) {
+    const Index diag = u_colptr_[static_cast<size_t>(k) + 1] - 1;
+    y[static_cast<size_t>(k)] /= u_values_[static_cast<size_t>(diag)];
+    const T yk = y[static_cast<size_t>(k)];
+    if (yk == T(0)) continue;
+    for (Index p = u_colptr_[static_cast<size_t>(k)]; p < diag; ++p)
+      y[static_cast<size_t>(u_rowind_[static_cast<size_t>(p)])] -=
+          u_values_[static_cast<size_t>(p)] * yk;
+  }
+  // Undo the column permutation.
+  std::vector<T> out(static_cast<size_t>(n_));
+  for (Index k = 0; k < n_; ++k)
+    out[static_cast<size_t>(col_perm_[static_cast<size_t>(k)])] = y[static_cast<size_t>(k)];
+  return out;
+}
+
+template class SparseLU<double>;
+template class SparseLU<Complex>;
+
+}  // namespace sympvl

@@ -1,0 +1,51 @@
+// Block-Arnoldi / congruence-projection baseline (reference [16] of the
+// paper; the approach later known as PRIMA).
+//
+// An orthonormal basis V of the block Krylov space K(G̃⁻¹C, G̃⁻¹B) is built
+// with a block Arnoldi process and the original matrices are congruence-
+// projected: Gr = VᵀG̃V, Cr = VᵀCV, Br = VᵀB. The projected model matches
+// only ⌊n/p⌋ moments — half the 2⌊n/p⌋ of the matrix-Padé approach — which
+// is exactly the trade-off bench_arnoldi_ablation quantifies.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+class ArnoldiModel {
+ public:
+  ArnoldiModel(Mat gr, Mat cr, Mat br, SVariable variable, int s_prefactor,
+               double s0);
+
+  Index order() const { return gr_.rows(); }
+  Index port_count() const { return br_.cols(); }
+
+  /// Physical Z_r(s) = s^prefactor · Brᵀ(Gr + (f(s)−s₀)Cr)⁻¹Br.
+  CMat eval(Complex s) const;
+
+  /// kth moment Brᵀ(Gr⁻¹Cr)ᵏGr⁻¹Br about the expansion point.
+  Mat moment(Index k) const;
+
+  /// Poles in the physical s-plane (eigenvalues of the projected pencil).
+  CVec poles() const;
+  bool is_stable(double tol = 1e-9) const;
+
+ private:
+  Mat gr_, cr_, br_;
+  SVariable variable_;
+  int s_prefactor_;
+  double s0_;
+};
+
+struct ArnoldiOptions {
+  Index order = 0;
+  double s0 = 0.0;
+  bool auto_shift = true;
+  double deflation_tol = 1e-10;
+};
+
+/// Runs the block Arnoldi reduction.
+ArnoldiModel arnoldi_reduce(const MnaSystem& sys, const ArnoldiOptions& options);
+
+}  // namespace sympvl

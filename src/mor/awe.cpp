@@ -1,0 +1,81 @@
+#include "mor/awe.hpp"
+
+#include <cmath>
+
+#include "linalg/dense_factor.hpp"
+#include "mor/moments.hpp"
+
+namespace sympvl {
+
+AweModel::AweModel(Vec num, Vec den, SVariable variable, int s_prefactor,
+                   double s0)
+    : num_(std::move(num)),
+      den_(std::move(den)),
+      variable_(variable),
+      s_prefactor_(s_prefactor),
+      s0_(s0) {
+  require(!den_.empty() && den_[0] != 0.0, "AweModel: invalid denominator");
+}
+
+Complex AweModel::eval(Complex s) const {
+  const Complex sigma = (variable_ == SVariable::kS ? s : s * s) - s0_;
+  const Complex x = -sigma;
+  // Horner evaluation of P(x)/Q(x).
+  auto horner = [&](const Vec& c) {
+    Complex acc(0.0, 0.0);
+    for (size_t k = c.size(); k-- > 0;) acc = acc * x + c[k];
+    return acc;
+  };
+  Complex pref(1.0, 0.0);
+  for (int k = 0; k < s_prefactor_; ++k) pref *= s;
+  return pref * horner(num_) / horner(den_);
+}
+
+AweModel awe_reduce(const MnaSystem& sys, Index order, double s0) {
+  require(sys.port_count() == 1, "awe_reduce: system must have one port");
+  require(order >= 1, "awe_reduce: order must be >= 1");
+  const Index n = order;
+  // 2n explicit moments m₀…m_{2n−1} — the numerically fragile step.
+  const Vec m = exact_moments_scalar(sys, 2 * n, s0);
+
+  // Hankel system for the denominator: Σ_{j=1..n} q_j·m_{n+i−j} = −m_{n+i}.
+  Mat h(n, n);
+  Vec rhs(static_cast<size_t>(n));
+  double hnorm = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (Index j = 0; j < n; ++j) {
+      h(i, j) = m[static_cast<size_t>(n + i - j - 1)];
+      row += std::abs(h(i, j));
+    }
+    hnorm = std::max(hnorm, row);
+    rhs[static_cast<size_t>(i)] = -m[static_cast<size_t>(n + i)];
+  }
+  const LU lu(h);
+  require(!lu.singular(),
+          "awe_reduce: Hankel moment matrix is numerically singular (the "
+          "instability Section 3.1 describes); reduce the order or use "
+          "sypvl_reduce");
+  const Vec q = lu.solve(rhs);
+
+  Vec den(static_cast<size_t>(n) + 1);
+  den[0] = 1.0;
+  for (Index j = 0; j < n; ++j) den[static_cast<size_t>(j) + 1] = q[static_cast<size_t>(j)];
+  // Numerator from the convolution P = (Q·M) mod xⁿ.
+  Vec num(static_cast<size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (Index j = 0; j <= std::min<Index>(k, n); ++j)
+      acc += den[static_cast<size_t>(j)] * m[static_cast<size_t>(k - j)];
+    num[static_cast<size_t>(k)] = acc;
+  }
+  AweModel model(std::move(num), std::move(den), sys.variable, sys.s_prefactor,
+                 s0);
+  // Rough conditioning estimate: ‖H‖∞·‖q‖∞ / min moment magnitude.
+  double qmax = 0.0;
+  for (double v : q) qmax = std::max(qmax, std::abs(v));
+  model.set_hankel_condition(hnorm * std::max(1.0, qmax));
+  return model;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,45 @@
+// AWE baseline (references [13, 14] of the paper): Padé approximation by
+// explicit moment matching.
+//
+// Section 3.1 motivates the Lanczos approach by the numerical instability
+// of this method: the Hankel systems built from explicitly computed
+// moments become catastrophically ill-conditioned as the order grows, so
+// AWE is usable only for small orders (n ≲ 10). This implementation exists
+// to reproduce exactly that comparison (bench_awe_instability).
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+/// Scalar [n−1/n] Padé model from explicit moments: with x = −σ',
+///   H(x) = P(x)/Q(x),  P of degree n−1, Q of degree n, Q(0) = 1,
+/// matching the first 2n moments of the series Σₖ mₖ xᵏ.
+class AweModel {
+ public:
+  AweModel(Vec num, Vec den, SVariable variable, int s_prefactor, double s0);
+
+  Index order() const { return static_cast<Index>(den_.size()) - 1; }
+
+  /// Evaluates the physical scalar transfer function at s.
+  Complex eval(Complex s) const;
+
+  /// Condition diagnostic: ∞-norm estimate of the Hankel matrix solved to
+  /// obtain the denominator (set by awe_reduce).
+  double hankel_condition() const { return hankel_condition_; }
+  void set_hankel_condition(double c) { hankel_condition_ = c; }
+
+ private:
+  Vec num_, den_;  // ascending powers of x = −(σ − s₀)
+  SVariable variable_;
+  int s_prefactor_;
+  double s0_;
+  double hankel_condition_ = 0.0;
+};
+
+/// Runs AWE of the given order on a one-port system about shift s₀.
+/// Throws when the Hankel system is numerically singular.
+AweModel awe_reduce(const MnaSystem& sys, Index order, double s0 = 0.0);
+
+}  // namespace sympvl

@@ -1,0 +1,24 @@
+// Exact matrix moments of the transfer function about an expansion point.
+//
+// With G̃ = G + s₀C, the Taylor expansion of Ẑ about σ = s₀ reads
+//   Ẑ(s₀+σ') = Σₖ (−σ')ᵏ mₖ,   mₖ = Bᵀ (G̃⁻¹C)ᵏ G̃⁻¹ B,
+// computed by k+1 sparse solves per port. SyMPVL's reduced model matches
+// mₖ = ρₙᵀΔₙTₙᵏρₙ for all k < q(n) ≥ 2⌊n/p⌋ (Section 3.2) — the property
+// the moment-matching tests and the AWE baseline rely on.
+#pragma once
+
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+/// First `count` exact moments m₀ … m_{count−1} about s₀ (pencil variable).
+std::vector<Mat> exact_moments(const MnaSystem& sys, Index count,
+                               double s0 = 0.0);
+
+/// Scalar moments of a single-input single-output system (p = 1 shortcut).
+Vec exact_moments_scalar(const MnaSystem& sys, Index count, double s0 = 0.0);
+
+}  // namespace sympvl

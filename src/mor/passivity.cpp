@@ -1,0 +1,71 @@
+#include "mor/passivity.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/eig.hpp"
+
+namespace sympvl {
+
+double min_hermitian_part_eig(const CMat& z) {
+  require(z.is_square(), "min_hermitian_part_eig: matrix not square");
+  const Index p = z.rows();
+  // H = (Z + Zᴴ)/2 = X + iY with X symmetric, Y skew-symmetric. The real
+  // embedding [[X, −Y], [Y, X]] has the eigenvalues of H, doubled.
+  Mat e(2 * p, 2 * p);
+  for (Index i = 0; i < p; ++i)
+    for (Index j = 0; j < p; ++j) {
+      const Complex h = 0.5 * (z(i, j) + std::conj(z(j, i)));
+      e(i, j) = h.real();
+      e(p + i, p + j) = h.real();
+      e(i, p + j) = -h.imag();
+      e(p + i, j) = h.imag();
+    }
+  return eig_symmetric(e).values.front();
+}
+
+PassivityReport check_passivity_fn(const std::function<CMat(Complex)>& eval,
+                                   const CVec& poles,
+                                   const Vec& frequencies_hz, double tol) {
+  PassivityReport report;
+  report.max_pole_real = -std::numeric_limits<double>::infinity();
+  for (const Complex& pole : poles)
+    report.max_pole_real = std::max(report.max_pole_real, pole.real());
+  if (poles.empty()) report.max_pole_real = 0.0;
+
+  report.min_hermitian_eig = std::numeric_limits<double>::infinity();
+  double scale = 0.0;
+  for (double f : frequencies_hz) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const CMat z = eval(s);
+    scale = std::max(scale, z.max_abs());
+    report.min_hermitian_eig =
+        std::min(report.min_hermitian_eig, min_hermitian_part_eig(z));
+    // Reciprocity |Z − Zᵀ|.
+    for (Index i = 0; i < z.rows(); ++i)
+      for (Index j = i + 1; j < z.cols(); ++j)
+        report.max_symmetry_violation = std::max(
+            report.max_symmetry_violation, std::abs(z(i, j) - z(j, i)));
+    // Condition (ii): Z(s̄) = conj(Z(s)).
+    const CMat zbar = eval(std::conj(s));
+    for (Index i = 0; i < z.rows(); ++i)
+      for (Index j = 0; j < z.cols(); ++j)
+        report.max_conjugacy_violation =
+            std::max(report.max_conjugacy_violation,
+                     std::abs(zbar(i, j) - std::conj(z(i, j))));
+  }
+  const double abs_tol = tol * std::max(1.0, scale);
+  report.stable = report.max_pole_real <= abs_tol;
+  report.passive = report.stable &&
+                   report.min_hermitian_eig >= -abs_tol &&
+                   report.max_conjugacy_violation <= abs_tol;
+  return report;
+}
+
+PassivityReport check_passivity(const ReducedModel& model,
+                                const Vec& frequencies_hz, double tol) {
+  return check_passivity_fn([&](Complex s) { return model.eval(s); },
+                            model.poles(), frequencies_hz, tol);
+}
+
+}  // namespace sympvl

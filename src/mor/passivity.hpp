@@ -1,0 +1,45 @@
+// Numerical verification of the Section 5 theorems: stability and
+// passivity of reduced-order models.
+//
+// Passivity of a p-port impedance (conditions (i)-(iii) of Section 5.2):
+//   (i)  no poles in the open right half-plane,
+//   (ii) Zₙ(s̄) = conj(Zₙ(s)) — real-rational symmetry,
+//   (iii) Re(xᴴZₙ(s)x) ≥ 0 on ℂ₊, checked on the jω boundary through the
+//        smallest eigenvalue of the Hermitian part (Zₙ + Zₙᴴ)/2.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "mor/reduced_model.hpp"
+
+namespace sympvl {
+
+struct PassivityReport {
+  double max_pole_real = 0.0;  ///< stability margin (≤ 0 means stable)
+  double min_hermitian_eig = 0.0;  ///< min over samples of λmin((Z+Zᴴ)/2)
+  double max_conjugacy_violation = 0.0;  ///< max |Z(s̄) − conj(Z(s))|
+  double max_symmetry_violation = 0.0;   ///< max |Z − Zᵀ| (reciprocity)
+  bool stable = false;
+  bool passive = false;
+};
+
+/// Smallest eigenvalue of the Hermitian part of a complex square matrix,
+/// computed through the real-symmetric embedding [[X, −Y], [Y, X]].
+double min_hermitian_part_eig(const CMat& z);
+
+/// Checks a reduced model on sampled frequencies (Hz along jω) plus a few
+/// interior right-half-plane points for the conjugacy condition.
+PassivityReport check_passivity(const ReducedModel& model,
+                                const Vec& frequencies_hz,
+                                double tol = 1e-7);
+
+/// Same checks applied to any evaluator (exact circuits, baselines):
+/// `eval(s)` must return the p×p transfer matrix at s; `poles` may be empty
+/// when unknown (stability is then reported from the evaluations only).
+PassivityReport check_passivity_fn(const std::function<CMat(Complex)>& eval,
+                                   const CVec& poles,
+                                   const Vec& frequencies_hz,
+                                   double tol = 1e-7);
+
+}  // namespace sympvl

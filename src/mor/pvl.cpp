@@ -1,0 +1,142 @@
+#include "mor/pvl.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "linalg/dense_factor.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "mor/sympvl.hpp"
+
+namespace sympvl {
+
+PvlModel::PvlModel(Mat t, double eta, SVariable variable, int s_prefactor,
+                   double s0)
+    : t_(std::move(t)),
+      eta_(eta),
+      variable_(variable),
+      s_prefactor_(s_prefactor),
+      s0_(s0) {}
+
+Complex PvlModel::eval(Complex s) const {
+  const Index n = order();
+  const Complex sigma = (variable_ == SVariable::kS ? s : s * s) - s0_;
+  CMat lhs(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j)
+      lhs(i, j) = (i == j ? Complex(1.0, 0.0) : Complex(0.0, 0.0)) +
+                  sigma * t_(i, j);
+  CVec e1(static_cast<size_t>(n), Complex(0.0, 0.0));
+  e1[0] = Complex(1.0, 0.0);
+  const CVec x = DenseLU<Complex>(lhs).solve(e1);
+  Complex pref(1.0, 0.0);
+  for (int k = 0; k < s_prefactor_; ++k) pref *= s;
+  return pref * eta_ * x[0];
+}
+
+double PvlModel::moment(Index k) const {
+  Vec x(static_cast<size_t>(order()), 0.0);
+  x[0] = 1.0;
+  for (Index step = 0; step < k; ++step) x = t_ * x;
+  return eta_ * x[0];
+}
+
+PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
+                          const PvlOptions& options) {
+  require(options.order >= 1, "pvl_reduce_entry: order must be >= 1");
+  require(0 <= row && row < sys.port_count() && 0 <= col &&
+              col < sys.port_count(),
+          "pvl_reduce_entry: port index out of range");
+  const Index big_n = sys.size();
+
+  double s0 = options.s0;
+  std::unique_ptr<LDLT> fact;
+  auto try_factor = [&](double shift) {
+    const SMat gt = (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
+    return std::make_unique<LDLT>(gt, Ordering::kRCM, /*zero_pivot_tol=*/1e-12);
+  };
+  try {
+    fact = try_factor(s0);
+  } catch (const Error&) {
+    require(options.auto_shift && s0 == 0.0,
+            "pvl_reduce_entry: factorization of G failed");
+    s0 = automatic_shift(sys);
+    fact = try_factor(s0);
+  }
+
+  // A = G̃⁻¹C applied on the right; Aᵀ = CG̃⁻ᵀ = CG̃⁻¹ (G̃ symmetric) on the
+  // left Krylov space.
+  auto apply_a = [&](const Vec& v) { return fact->solve(sys.C.multiply(v)); };
+  auto apply_at = [&](const Vec& v) { return sys.C.multiply(fact->solve(v)); };
+
+  // Right start r̂ = G̃⁻¹ b_col, left start l = b_row.
+  Vec v = fact->solve(sys.B.col(col));
+  Vec w = sys.B.col(row);
+  const double beta1 = norm2(v);
+  const double gamma1 = norm2(w);
+  require(beta1 > 0.0 && gamma1 > 0.0, "pvl_reduce_entry: zero port vector");
+  scale(v, 1.0 / beta1);
+  scale(w, 1.0 / gamma1);
+
+  const Index n_max = std::min(options.order, big_n);
+  Mat t(n_max, n_max);
+  std::vector<Vec> vs, ws;
+  Vec deltas;
+  Index n = 0;
+
+  while (n < n_max) {
+    const double dn = dot(w, v);
+    require(std::abs(dn) > options.breakdown_tol,
+            "pvl_reduce_entry: serious Lanczos breakdown (delta ~ 0)");
+    vs.push_back(v);
+    ws.push_back(w);
+    deltas.push_back(dn);
+    ++n;
+
+    Vec av = apply_a(vs.back());
+    Vec atw = apply_at(ws.back());
+    const double av_ref = norm2(av);
+    const double atw_ref = norm2(atw);
+    // Biorthogonalize against the last two pairs (three-term recurrence),
+    // recording the T entries t_{j,n} = w_jᵀAv_n/δ_j. The column is needed
+    // even for the final vector (it holds the diagonal coefficient).
+    for (Index j = std::max<Index>(0, n - 2); j < n; ++j) {
+      const double tjn = dot(ws[static_cast<size_t>(j)], av) /
+                         deltas[static_cast<size_t>(j)];
+      t(j, n - 1) = tjn;
+      axpy(-tjn, vs[static_cast<size_t>(j)], av);
+      const double sjn = dot(vs[static_cast<size_t>(j)], atw) /
+                         deltas[static_cast<size_t>(j)];
+      axpy(-sjn, ws[static_cast<size_t>(j)], atw);
+    }
+    if (n == n_max) break;
+    const double beta = norm2(av);
+    const double gamma = norm2(atw);
+    if (av_ref == 0.0 || atw_ref == 0.0 ||
+        beta <= options.breakdown_tol * av_ref ||
+        gamma <= options.breakdown_tol * atw_ref)
+      break;  // Krylov space exhausted
+    t(n, n - 1) = beta;
+    scale(av, 1.0 / beta);
+    scale(atw, 1.0 / gamma);
+    v = std::move(av);
+    w = std::move(atw);
+  }
+
+  // η = b_rowᵀ G̃⁻¹ b_col scaled into the e₁ formulation:
+  // H_n(σ) = γ₁β₁δ₁ e₁ᵀ(I+σTₙ)⁻¹e₁.
+  const double eta = gamma1 * beta1 * deltas[0];
+  return PvlModel(t.block(0, n, 0, n), eta, sys.variable, sys.s_prefactor, s0);
+}
+
+std::vector<PvlModel> pvl_reduce_all(const MnaSystem& sys,
+                                     const PvlOptions& options) {
+  const Index p = sys.port_count();
+  std::vector<PvlModel> models;
+  models.reserve(static_cast<size_t>(p * p));
+  for (Index i = 0; i < p; ++i)
+    for (Index j = 0; j < p; ++j)
+      models.push_back(pvl_reduce_entry(sys, i, j, options));
+  return models;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,51 @@
+// PVL baseline (references [4, 5] of the paper): scalar Padé via the
+// classical two-sided (nonsymmetric) Lanczos process.
+//
+// Used for the Section 3.2 comparison: approximating a p-port transfer
+// matrix entry-by-entry requires p² PVL runs (or p(p+1)/2 by symmetry),
+// each with its own Krylov spaces, against a single SyMPVL run.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+/// Scalar reduced model H_n(s) ≈ Z(i,j)(s) from one PVL run.
+class PvlModel {
+ public:
+  PvlModel(Mat t, double eta, SVariable variable, int s_prefactor, double s0);
+
+  Index order() const { return t_.rows(); }
+
+  /// Evaluates the physical scalar transfer function at s.
+  Complex eval(Complex s) const;
+
+  /// kth scalar moment η·e₁ᵀTₙᵏe₁ of the expansion Σₖ(−σ')ᵏ μₖ.
+  double moment(Index k) const;
+
+ private:
+  Mat t_;
+  double eta_;
+  SVariable variable_;
+  int s_prefactor_;
+  double s0_;
+};
+
+struct PvlOptions {
+  Index order = 0;
+  double s0 = 0.0;
+  bool auto_shift = true;
+  double breakdown_tol = 1e-12;
+};
+
+/// Runs PVL on entry (row, col) of the system's Z matrix.
+PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
+                          const PvlOptions& options);
+
+/// Runs p² PVL reductions, one per Z entry. Returns models in row-major
+/// order; entry (i, j) at index i*p+j.
+std::vector<PvlModel> pvl_reduce_all(const MnaSystem& sys,
+                                     const PvlOptions& options);
+
+}  // namespace sympvl

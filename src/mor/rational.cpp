@@ -1,0 +1,117 @@
+#include "mor/rational.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "linalg/sparse_ldlt.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace sympvl {
+
+namespace {
+
+// Shifted solver: (G + s₀C)⁻¹ via LDLᵀ with a pivoted-LU fallback.
+class ShiftedSolver {
+ public:
+  ShiftedSolver(const MnaSystem& sys, double shift) {
+    const SMat gt =
+        (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
+    try {
+      ldlt_ = std::make_unique<LDLT>(gt, Ordering::kRCM,
+                                     /*zero_pivot_tol=*/1e-12);
+    } catch (const Error&) {
+      lu_ = std::make_unique<LUSparse>(gt, Ordering::kRCM,
+                                       /*pivot_threshold=*/1.0,
+                                       /*zero_pivot_tol=*/1e-12);
+    }
+  }
+  Vec solve(const Vec& b) const { return ldlt_ ? ldlt_->solve(b) : lu_->solve(b); }
+
+ private:
+  std::unique_ptr<LDLT> ldlt_;
+  std::unique_ptr<LUSparse> lu_;
+};
+
+}  // namespace
+
+ArnoldiModel rational_reduce(const MnaSystem& sys,
+                             const RationalOptions& options) {
+  require(!options.shifts.empty(), "rational_reduce: no expansion points");
+  require(options.iterations_per_shift >= 1,
+          "rational_reduce: iterations_per_shift must be >= 1");
+  const Index p = sys.port_count();
+  require(p >= 1, "rational_reduce: system has no ports");
+
+  // Union basis over all expansion points, orthonormalized with doubly
+  // applied modified Gram-Schmidt and norm-relative deflation.
+  std::vector<Vec> basis;
+  for (double shift : options.shifts) {
+    require(shift >= 0.0, "rational_reduce: shifts must be real and >= 0");
+    const ShiftedSolver solver(sys, shift);
+    std::vector<Vec> block;
+    for (Index j = 0; j < p; ++j) block.push_back(solver.solve(sys.B.col(j)));
+    for (Index it = 0; it < options.iterations_per_shift; ++it) {
+      std::vector<Vec> accepted;
+      for (auto& w : block) {
+        const double ref = norm2(w);
+        if (ref == 0.0) continue;
+        for (int pass = 0; pass < 2; ++pass)
+          for (const auto& q : basis) {
+            const double h = dot(q, w);
+            axpy(-h, q, w);
+          }
+        const double nrm = norm2(w);
+        if (nrm <= options.deflation_tol * ref) continue;
+        scale(w, 1.0 / nrm);
+        basis.push_back(w);
+        accepted.push_back(w);
+      }
+      if (it + 1 == options.iterations_per_shift) break;
+      block.clear();
+      for (const auto& q : accepted)
+        block.push_back(solver.solve(sys.C.multiply(q)));
+      if (block.empty()) break;
+    }
+  }
+  const Index n = static_cast<Index>(basis.size());
+  require(n >= 1, "rational_reduce: basis deflated to nothing");
+
+  // Congruence projection of the ORIGINAL pencil.
+  Mat gr(n, n), cr(n, n), br(n, p);
+  std::vector<Vec> gv(static_cast<size_t>(n)), cv(static_cast<size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    gv[static_cast<size_t>(j)] = sys.G.multiply(basis[static_cast<size_t>(j)]);
+    cv[static_cast<size_t>(j)] = sys.C.multiply(basis[static_cast<size_t>(j)]);
+  }
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) {
+      gr(i, j) = dot(basis[static_cast<size_t>(i)], gv[static_cast<size_t>(j)]);
+      cr(i, j) = dot(basis[static_cast<size_t>(i)], cv[static_cast<size_t>(j)]);
+    }
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < p; ++j)
+      br(i, j) = dot(basis[static_cast<size_t>(i)], sys.B.col(j));
+  return ArnoldiModel(std::move(gr), std::move(cr), std::move(br), sys.variable,
+                      sys.s_prefactor, /*s0=*/0.0);
+}
+
+Vec rational_shifts_for_band(const MnaSystem& sys, double f_min, double f_max,
+                             Index count) {
+  require(f_min > 0.0 && f_max > f_min && count >= 1,
+          "rational_shifts_for_band: invalid band");
+  Vec shifts(static_cast<size_t>(count));
+  const double l0 = std::log10(f_min);
+  const double l1 = std::log10(f_max);
+  for (Index k = 0; k < count; ++k) {
+    const double f =
+        std::pow(10.0, count == 1 ? 0.5 * (l0 + l1)
+                                  : l0 + (l1 - l0) * static_cast<double>(k) /
+                                             static_cast<double>(count - 1));
+    const double w = 2.0 * M_PI * f;
+    shifts[static_cast<size_t>(k)] =
+        (sys.variable == SVariable::kS) ? w : w * w;
+  }
+  return shifts;
+}
+
+}  // namespace sympvl

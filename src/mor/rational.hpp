@@ -1,0 +1,43 @@
+// Multi-point (rational Krylov) reduction — the natural extension of the
+// paper's single-expansion-point matrix-Padé approach when a single shift
+// cannot cover a wide frequency band.
+//
+// For each real expansion point s₀ᵢ the block Krylov space
+// K((G+s₀ᵢC)⁻¹C, (G+s₀ᵢC)⁻¹B) is generated; the union of all spaces is
+// orthonormalized and the original pencil congruence-projected
+// (Gr = VᵀGV, Cr = VᵀCV, Br = VᵀB). On the symmetric pencils this library
+// targets, the projection matches moments at EVERY expansion point
+// simultaneously (same argument as the single-point case — the transfer
+// function depends only on the span), trading per-point depth for band
+// coverage. Congruence preserves the PSD structure of RC/RL/LC pencils, so
+// the multi-point models inherit the Section 5 stability/passivity
+// guarantees.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "mor/arnoldi.hpp"
+
+namespace sympvl {
+
+struct RationalOptions {
+  /// Expansion points in the pencil variable σ (real, ≥ 0; 0 = DC).
+  /// At least one required. Points where G + s₀C cannot be factored are
+  /// rejected with sympvl::Error.
+  Vec shifts;
+  /// Block Krylov iterations per expansion point (each contributes up to
+  /// `iterations_per_shift · p` basis vectors before deflation).
+  Index iterations_per_shift = 2;
+  double deflation_tol = 1e-10;
+};
+
+/// Multi-point congruence reduction. The returned model projects the
+/// ORIGINAL pencil (no shift folded in), so it evaluates anywhere.
+ArnoldiModel rational_reduce(const MnaSystem& sys, const RationalOptions& options);
+
+/// Convenience: logarithmically spaced expansion points covering
+/// [f_min, f_max] (mapped into the pencil variable: σ = 2πf for kS,
+/// (2πf)² for kSSquared).
+Vec rational_shifts_for_band(const MnaSystem& sys, double f_min, double f_max,
+                             Index count);
+
+}  // namespace sympvl

@@ -1,0 +1,204 @@
+#include "mor/sympvl.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "circuit/topology.hpp"
+#include "linalg/dense_factor.hpp"
+
+namespace sympvl {
+
+namespace {
+
+// Abstracts the two factorization back-ends behind the M/J interface the
+// Lanczos operator needs.
+struct SymmetricFactor {
+  virtual ~SymmetricFactor() = default;
+  virtual Vec solve_m(const Vec& b) const = 0;   // M⁻¹ b
+  virtual Vec solve_mt(const Vec& b) const = 0;  // M⁻ᵀ b
+  virtual const Vec& j_signs() const = 0;
+};
+
+struct SparseFactor final : SymmetricFactor {
+  explicit SparseFactor(const SMat& g, Ordering ordering)
+      : ldlt(g, ordering, /*zero_pivot_tol=*/1e-12), j(ldlt.j_signs()) {}
+  Vec solve_m(const Vec& b) const override { return ldlt.solve_m(b); }
+  Vec solve_mt(const Vec& b) const override { return ldlt.solve_mt(b); }
+  const Vec& j_signs() const override { return j; }
+  LDLT ldlt;
+  Vec j;
+};
+
+struct DenseFactor final : SymmetricFactor {
+  explicit DenseFactor(const Mat& g) : bk(g) {
+    Mat m;
+    bk.symmetric_factor(m, j);
+    lu = std::make_unique<LU>(m);
+    require(!lu->singular(), "sympvl: dense symmetric factor is singular");
+    mt_lu = std::make_unique<LU>(m.transpose());
+  }
+  Vec solve_m(const Vec& b) const override { return lu->solve(b); }
+  Vec solve_mt(const Vec& b) const override { return mt_lu->solve(b); }
+  const Vec& j_signs() const override { return j; }
+  BunchKaufman bk;
+  std::unique_ptr<LU> lu, mt_lu;
+  Vec j;
+};
+
+}  // namespace
+
+double automatic_shift(const MnaSystem& sys) {
+  // Scale ratio of the pencil terms: s₀ ≈ Σ|diag G| / Σ|diag C| lands in
+  // the frequency range where G + s₀C is balanced (and, for PSD G and C
+  // with s₀ > 0, nonsingular whenever the pencil is regular).
+  double sg = 0.0, sc = 0.0;
+  for (Index i = 0; i < sys.size(); ++i) {
+    sg += std::abs(sys.G.coeff(i, i));
+    sc += std::abs(sys.C.coeff(i, i));
+  }
+  require(sc > 0.0, "automatic_shift: C has an empty diagonal");
+  if (sg == 0.0) return 1.0;
+  return sg / sc;
+}
+
+// ---- SympvlSession ---------------------------------------------------------
+
+struct SympvlSession::Impl {
+  // The relevant pieces of the system are copied so the session cannot
+  // dangle when the caller's MnaSystem goes out of scope.
+  SMat c_matrix;
+  SVariable variable = SVariable::kS;
+  int s_prefactor = 0;
+  double s0 = 0.0;
+  std::unique_ptr<SymmetricFactor> factor;
+  std::unique_ptr<BandLanczos> lanczos;
+  SympvlReport report;
+
+  void refresh_report() {
+    const LanczosResult snap = lanczos->result();
+    report.deflations = snap.deflations;
+    report.exhausted = snap.exhausted;
+    report.achieved_order = snap.n;
+    report.lookahead_clusters = snap.lookahead_clusters;
+  }
+};
+
+SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  require(options.order >= 1, "SympvlSession: order must be >= 1");
+  require(sys.port_count() >= 1, "SympvlSession: system has no ports");
+
+  // ---- Factor G + s₀C = M J Mᵀ (eq. 15 / eq. 26). ----
+  double s0 = options.s0;
+  bool dense_fallback = false;
+  auto try_sparse = [&](double shift) -> std::unique_ptr<SymmetricFactor> {
+    const SMat gt =
+        (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
+    return std::make_unique<SparseFactor>(gt, options.ordering);
+  };
+  std::unique_ptr<SymmetricFactor> factor;
+  try {
+    factor = try_sparse(s0);
+  } catch (const Error&) {
+    if (options.auto_shift && s0 == 0.0) {
+      s0 = automatic_shift(sys);
+      try {
+        factor = try_sparse(s0);
+      } catch (const Error&) {
+        dense_fallback = true;
+      }
+    } else {
+      dense_fallback = true;
+    }
+  }
+  if (dense_fallback) {
+    const SMat gt = (s0 == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, s0);
+    factor = std::make_unique<DenseFactor>(gt.to_dense());
+  }
+
+  impl_->c_matrix = sys.C;
+  impl_->variable = sys.variable;
+  impl_->s_prefactor = sys.s_prefactor;
+  impl_->s0 = s0;
+  impl_->factor = std::move(factor);
+  impl_->report.s0_used = s0;
+  impl_->report.used_dense_fallback = dense_fallback;
+  const Vec& j = impl_->factor->j_signs();
+  impl_->report.negative_j = 0;
+  for (double jk : j)
+    if (jk < 0.0) ++impl_->report.negative_j;
+
+  // ---- Starting block J⁻¹M⁻¹B and operator J⁻¹M⁻¹CM⁻ᵀ (steps 0, 3a). --
+  const Index n_full = sys.size();
+  Mat start(n_full, sys.port_count());
+  for (Index col = 0; col < sys.port_count(); ++col) {
+    Vec v = impl_->factor->solve_m(sys.B.col(col));
+    for (Index i = 0; i < n_full; ++i)
+      v[static_cast<size_t>(i)] *= j[static_cast<size_t>(i)];
+    start.set_col(col, v);
+  }
+  Impl* impl = impl_.get();  // stable address, captured by the operator
+  OperatorFn op = [impl](const Vec& v) {
+    Vec w = impl->factor->solve_mt(v);
+    w = impl->c_matrix.multiply(w);
+    w = impl->factor->solve_m(w);
+    const Vec& jj = impl->factor->j_signs();
+    for (size_t i = 0; i < w.size(); ++i) w[i] *= jj[i];
+    return w;
+  };
+
+  LanczosOptions lopt;
+  lopt.max_order = options.order;
+  lopt.deflation_tol = options.deflation_tol;
+  lopt.lookahead_tol = options.lookahead_tol;
+  lopt.full_reorthogonalization = options.full_reorthogonalization;
+  impl_->lanczos =
+      std::make_unique<BandLanczos>(std::move(op), start, j, lopt);
+  impl_->lanczos->run_to(options.order);
+  impl_->refresh_report();
+}
+
+SympvlSession::~SympvlSession() = default;
+SympvlSession::SympvlSession(SympvlSession&&) noexcept = default;
+SympvlSession& SympvlSession::operator=(SympvlSession&&) noexcept = default;
+
+ReducedModel SympvlSession::extend(Index additional) {
+  require(additional >= 0, "SympvlSession::extend: negative step");
+  const Index target = impl_->lanczos->order() + additional;
+  impl_->lanczos->run_to(std::max<Index>(target, 1));
+  impl_->refresh_report();
+  return current();
+}
+
+ReducedModel SympvlSession::current() const {
+  return ReducedModel(impl_->lanczos->result(), impl_->variable,
+                      impl_->s_prefactor, impl_->s0);
+}
+
+Index SympvlSession::order() const { return impl_->lanczos->order(); }
+
+const SympvlReport& SympvlSession::report() const { return impl_->report; }
+
+// ---- One-shot drivers ------------------------------------------------------
+
+ReducedModel sympvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
+                           SympvlReport* report) {
+  SympvlSession session(sys, options);
+  if (report != nullptr) *report = session.report();
+  return session.current();
+}
+
+ReducedModel sympvl_reduce(const Netlist& netlist, const SympvlOptions& options,
+                           SympvlReport* report) {
+  const MnaSystem sys = build_mna(netlist, MnaForm::kAuto);
+  SympvlOptions opt = options;
+  // Topology check (Section 2 / eq. 26): when some node has no DC path to
+  // the datum, G is structurally singular — pick the shift up front rather
+  // than failing a factorization first.
+  if (opt.s0 == 0.0 && opt.auto_shift &&
+      !has_dc_path_to_ground(netlist, MnaForm::kAuto))
+    opt.s0 = automatic_shift(sys);
+  return sympvl_reduce(sys, opt, report);
+}
+
+}  // namespace sympvl

@@ -1,0 +1,99 @@
+// SyMPVL: the paper's top-level algorithm.
+//
+// Pipeline (Sections 2-4):
+//   1. assemble the symmetric MNA pencil (G, C, B);
+//   2. factor G (or the shifted G + s₀C of eq. 26) as M J Mᵀ with
+//      J = diag(±1) — sparse LDLᵀ on an RCM ordering, dense Bunch-Kaufman
+//      fallback;
+//   3. run the symmetric block-Lanczos process (Algorithm 1) on the
+//      operator J⁻¹M⁻¹CM⁻ᵀ with starting block J⁻¹M⁻¹B;
+//   4. package (Tₙ, Δₙ, ρₙ) as a ReducedModel evaluating eq. (19).
+#pragma once
+
+#include <memory>
+
+#include "circuit/mna.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "mor/reduced_model.hpp"
+
+namespace sympvl {
+
+struct SympvlOptions {
+  /// Requested reduced order n (number of Lanczos vectors).
+  Index order = 0;
+  /// Frequency shift s₀ in the pencil variable (eq. 26). 0 expands about
+  /// DC; required nonzero when G is singular (e.g. the LC PEEC circuit).
+  double s0 = 0.0;
+  /// When G (or G + s₀C) cannot be factored, pick s₀ automatically from
+  /// the matrix scales and retry (mirrors the paper's PEEC treatment).
+  bool auto_shift = true;
+  /// Deflation tolerance (Algorithm 1, step 1c).
+  double deflation_tol = 1e-8;
+  /// Look-ahead cluster closure tolerance (step 2b).
+  double lookahead_tol = 1e-8;
+  /// Full reorthogonalization against all closed clusters (robust default).
+  bool full_reorthogonalization = true;
+  /// Sparse factorization ordering.
+  Ordering ordering = Ordering::kRCM;
+};
+
+/// Diagnostics describing how the reduction ran.
+struct SympvlReport {
+  double s0_used = 0.0;        ///< shift actually applied
+  bool used_dense_fallback = false;  ///< Bunch-Kaufman instead of sparse LDLᵀ
+  Index negative_j = 0;        ///< negative entries of J (0 for RC/RL/LC)
+  Index deflations = 0;
+  bool exhausted = false;
+  Index achieved_order = 0;
+  Index lookahead_clusters = 0;
+};
+
+/// Runs SyMPVL on an assembled MNA system.
+ReducedModel sympvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
+                           SympvlReport* report = nullptr);
+
+/// Resumable SyMPVL: the Section 7.1 workflow ("running the algorithm 6
+/// more iterations results in a perfect match"). The session owns the
+/// G = M J Mᵀ factorization and the Lanczos state, so extending an
+/// order-n model by k vectors costs k operator applications instead of a
+/// full restart — and produces exactly the matrices a fresh order-(n+k)
+/// run would (the process is deterministic).
+class SympvlSession {
+ public:
+  /// Factors the system and runs the Lanczos process to options.order.
+  SympvlSession(const MnaSystem& sys, const SympvlOptions& options);
+  ~SympvlSession();
+  SympvlSession(SympvlSession&&) noexcept;
+  SympvlSession& operator=(SympvlSession&&) noexcept;
+  SympvlSession(const SympvlSession&) = delete;
+  SympvlSession& operator=(const SympvlSession&) = delete;
+
+  /// Runs `additional` more Lanczos steps (stops early on exhaustion) and
+  /// returns the model at the new order.
+  ReducedModel extend(Index additional);
+
+  /// The model at the current order.
+  ReducedModel current() const;
+
+  /// Accepted Lanczos vectors so far.
+  Index order() const;
+
+  /// Diagnostics, refreshed after every extend().
+  const SympvlReport& report() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: assembles `netlist` (kAuto form — the most specific of
+/// RC/RL/LC per Section 2.2, else general RLC) and reduces it.
+ReducedModel sympvl_reduce(const Netlist& netlist, const SympvlOptions& options,
+                           SympvlReport* report = nullptr);
+
+/// Picks the automatic shift used when G is singular: the ratio of the
+/// diagonal scales of G and C (a frequency inside the band where both
+/// terms of the pencil matter).
+double automatic_shift(const MnaSystem& sys);
+
+}  // namespace sympvl

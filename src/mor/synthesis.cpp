@@ -1,0 +1,149 @@
+#include "mor/synthesis.hpp"
+
+#include <cmath>
+
+#include "linalg/dense_factor.hpp"
+#include "linalg/eig.hpp"
+
+namespace sympvl {
+
+namespace {
+
+void check_rc_model(const ReducedModel& model, const char* who) {
+  require(model.variable() == SVariable::kS && model.s_prefactor() == 0 &&
+              model.shift() == 0.0,
+          std::string(who) + ": requires an unshifted s-domain (RC) model");
+  // Δ must be the identity (J = I path, Section 5).
+  const Mat& d = model.delta();
+  for (Index i = 0; i < d.rows(); ++i)
+    for (Index j = 0; j < d.cols(); ++j) {
+      const double want = (i == j) ? 1.0 : 0.0;
+      require(std::abs(d(i, j) - want) < 1e-8,
+              std::string(who) + ": model Delta is not the identity (not an "
+                                 "RC-class reduction)");
+    }
+}
+
+// Stamps a symmetric nodal matrix as two-terminal elements: off-diagonal
+// (i,j) becomes an element of value −m(i,j) between nodes i+1 and j+1; the
+// row sum becomes the element to ground.
+template <typename AddElement>
+void realize_nodal_matrix(const Mat& m, double drop_abs, const AddElement& add) {
+  const Index n = m.rows();
+  for (Index i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (Index j = 0; j < n; ++j) row_sum += m(i, j);
+    if (std::abs(row_sum) > drop_abs) add(i + 1, Index(0), row_sum);
+    for (Index j = i + 1; j < n; ++j) {
+      const double v = -m(i, j);
+      if (std::abs(v) > drop_abs) add(i + 1, j + 1, v);
+    }
+  }
+}
+
+}  // namespace
+
+SynthesizedCircuit synthesize_congruence_rc(const ReducedModel& model,
+                                            const SynthesisOptions& options) {
+  check_rc_model(model, "synthesize_congruence_rc");
+  const Index n = model.order();
+  const Index p = model.port_count();
+  require(n >= p, "synthesize_congruence_rc: order below port count");
+
+  // Full QR of ρ: ρ = U·R with U the first p columns of the full factor.
+  const DenseQR qr(model.rho());
+  require(qr.rank() == p,
+          "synthesize_congruence_rc: rho is rank-deficient (redundant ports "
+          "were deflated); synthesize the reduced port set instead");
+  const Mat qfull = qr.q_full();
+  const Mat r = qr.r();
+  // Q = [U·R⁻ᵀ | U⊥]: first p columns solve Rᵀ·(cols) = Uᵀ rows… computed
+  // column-wise below.
+  Mat q(n, n);
+  // U·R⁻ᵀ: for each column c of R⁻ᵀ, R⁻ᵀ = (R⁻¹)ᵀ; column c solves Rᵀy = e_c.
+  Mat rt = r.transpose();
+  const LU rt_lu(rt);
+  require(!rt_lu.singular(), "synthesize_congruence_rc: singular R factor");
+  for (Index c = 0; c < p; ++c) {
+    Vec e(static_cast<size_t>(p), 0.0);
+    e[static_cast<size_t>(c)] = 1.0;
+    const Vec y = rt_lu.solve(e);  // p-vector
+    for (Index i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (Index k = 0; k < p; ++k) acc += qfull(i, k) * y[static_cast<size_t>(k)];
+      q(i, c) = acc;
+    }
+  }
+  for (Index c = p; c < n; ++c)
+    for (Index i = 0; i < n; ++i) q(i, c) = qfull(i, c);
+
+  // Nodal pair: Ĝ = QᵀQ, Ĉ = QᵀTQ.
+  const Mat ghat = q.transpose() * q;
+  const Mat chat = q.transpose() * (model.t() * q);
+
+  // Conductance and capacitance matrices live on completely different
+  // scales (Ĝ is O(1), Ĉ carries the circuit time constants), so each is
+  // thresholded against its own largest entry.
+  const double drop_g = options.drop_tolerance * ghat.max_abs();
+  const double drop_c = options.drop_tolerance * chat.max_abs();
+
+  SynthesizedCircuit out;
+  out.netlist.set_allow_negative(true);
+  out.netlist.ensure_nodes(n + 1);
+  realize_nodal_matrix(ghat, drop_g, [&](Index a, Index b, double g) {
+    out.netlist.add_resistor(a, b, 1.0 / g);
+  });
+  realize_nodal_matrix(chat, drop_c, [&](Index a, Index b, double c) {
+    out.netlist.add_capacitor(a, b, c);
+  });
+  for (Index k = 0; k < p; ++k) {
+    out.netlist.add_port(k + 1, 0, "P" + std::to_string(k + 1));
+    out.port_nodes.push_back(k + 1);
+  }
+  return out;
+}
+
+SynthesizedCircuit synthesize_foster_siso(const ReducedModel& model,
+                                          const SynthesisOptions& options) {
+  check_rc_model(model, "synthesize_foster_siso");
+  require(model.port_count() == 1,
+          "synthesize_foster_siso: model must be single-port");
+  const Index n = model.order();
+  const SymmetricEig eig = eig_symmetric(model.t());
+
+  // Residues rᵢ = (Σ_k ρ(k)·q(k,i))².
+  Vec residues(static_cast<size_t>(n));
+  double rmax = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (Index k = 0; k < n; ++k) acc += model.rho()(k, 0) * eig.vectors(k, i);
+    residues[static_cast<size_t>(i)] = acc * acc;
+    rmax = std::max(rmax, acc * acc);
+  }
+
+  SynthesizedCircuit out;
+  Index prev = 0;  // chain builds from the port toward ground
+  std::vector<std::pair<double, double>> sections;  // (R, C or 0)
+  for (Index i = 0; i < n; ++i) {
+    const double r = residues[static_cast<size_t>(i)];
+    if (r <= options.drop_tolerance * std::max(1.0, rmax)) continue;
+    const double lambda = std::max(0.0, eig.values[static_cast<size_t>(i)]);
+    sections.emplace_back(r, lambda > 0.0 ? lambda / r : 0.0);
+  }
+  require(!sections.empty(), "synthesize_foster_siso: all residues dropped");
+
+  const Index port_node = out.netlist.new_node();
+  prev = port_node;
+  for (size_t k = 0; k < sections.size(); ++k) {
+    const Index next = (k + 1 == sections.size()) ? 0 : out.netlist.new_node();
+    out.netlist.add_resistor(prev, next, sections[k].first);
+    if (sections[k].second > 0.0)
+      out.netlist.add_capacitor(prev, next, sections[k].second);
+    prev = next;
+  }
+  out.netlist.add_port(port_node, 0, "P1");
+  out.port_nodes.push_back(port_node);
+  return out;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,48 @@
+// Reduced-circuit synthesis (Section 6 of the paper).
+//
+// Two realizations of an RC reduced-order model Zₙ(s) = ρᵀ(I + sT)⁻¹ρ as an
+// actual netlist:
+//
+//  * Multiport congruence synthesis: with the change of basis x = Qy where
+//    Qᵀρ = [I_p; 0] (built from a full QR of ρ), the reduced system becomes
+//    nodal: Zₙ(s) = Eᵀ(Ĝ + sĈ)⁻¹E with Ĝ = QᵀQ (SPD) and Ĉ = QᵀTQ (PSD).
+//    Any symmetric conductance/capacitance pair realizes directly as a
+//    resistor/capacitor network on n nodes with the first p nodes as the
+//    ports — possibly with negative element values, exactly as Section 6
+//    allows. This generalizes the paper's Cauer-form synthesis and
+//    reproduces the Figure 5 experiment (the paper's 17-port, 34-node
+//    synthesized circuit).
+//
+//  * Foster synthesis (p = 1): eigendecomposition T = QΛQᵀ gives
+//    Zₙ(s) = Σᵢ rᵢ/(1+sλᵢ) with rᵢ = (ρ₁q₁ᵢ)² ≥ 0 — a series chain of
+//    parallel RC sections with provably non-negative elements for RC
+//    circuits (a direct corollary of the Section 5 theorems).
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "mor/reduced_model.hpp"
+
+namespace sympvl {
+
+struct SynthesisOptions {
+  /// Relative threshold below which synthesized elements are dropped
+  /// (keeps the emitted netlist sparse; 0 keeps everything).
+  double drop_tolerance = 0.0;
+};
+
+struct SynthesizedCircuit {
+  Netlist netlist;
+  std::vector<Index> port_nodes;  ///< circuit node of each reduced port
+};
+
+/// Multiport congruence synthesis of an RC reduced model (requires an
+/// unshifted s-domain model with Δ = I and full-rank ρ).
+SynthesizedCircuit synthesize_congruence_rc(const ReducedModel& model,
+                                            const SynthesisOptions& options = {});
+
+/// Foster-form synthesis of a single-port RC reduced model; all element
+/// values non-negative.
+SynthesizedCircuit synthesize_foster_siso(const ReducedModel& model,
+                                          const SynthesisOptions& options = {});
+
+}  // namespace sympvl

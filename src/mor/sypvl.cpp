@@ -1,0 +1,140 @@
+#include "mor/sypvl.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "linalg/sparse_ldlt.hpp"
+
+namespace sympvl {
+
+ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
+                          SympvlReport* report) {
+  require(sys.port_count() == 1, "sypvl_reduce: system must have exactly one port");
+  require(options.order >= 1, "sypvl_reduce: order must be >= 1");
+
+  // Factor G + s₀C = M J Mᵀ (sparse path only; SyPVL predates the dense
+  // fallback and the circuits it targets are always sparse).
+  double s0 = options.s0;
+  std::unique_ptr<LDLT> fact;
+  auto try_factor = [&](double shift) {
+    const SMat gt = (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
+    return std::make_unique<LDLT>(gt, options.ordering, /*zero_pivot_tol=*/1e-12);
+  };
+  try {
+    fact = try_factor(s0);
+  } catch (const Error&) {
+    require(options.auto_shift && s0 == 0.0,
+            "sypvl_reduce: factorization of G failed and auto_shift is off");
+    s0 = automatic_shift(sys);
+    fact = try_factor(s0);
+  }
+  const Vec j = fact->j_signs();
+  const Index big_n = sys.size();
+
+  auto apply_op = [&](const Vec& v) {
+    Vec w = fact->solve_mt(v);
+    w = sys.C.multiply(w);
+    w = fact->solve_m(w);
+    for (size_t i = 0; i < w.size(); ++i) w[i] *= j[i];
+    return w;
+  };
+
+  const Index n_max = std::min(options.order, big_n);
+  Mat t(n_max, n_max);
+  Mat delta(n_max, n_max);
+  Mat rho(n_max, 1);
+
+  // v̂₁ = J M⁻¹ b (step 0 of Algorithm 1 with p = 1).
+  Vec vh = fact->solve_m(sys.B.col(0));
+  for (size_t i = 0; i < vh.size(); ++i) vh[i] *= j[i];
+  const double rho1 = norm2(vh);
+  require(rho1 > 0.0, "sypvl_reduce: zero starting vector");
+
+  std::vector<Vec> vs;
+  vs.reserve(static_cast<size_t>(n_max));
+  Vec deltas;
+  Index n = 0;
+  bool exhausted = false;
+
+  scale(vh, 1.0 / rho1);
+  rho(0, 0) = rho1;
+
+  while (n < n_max) {
+    // Accept v_{n+1} = vh.
+    vs.push_back(vh);
+    Vec jv(vh);
+    for (size_t i = 0; i < jv.size(); ++i) jv[i] *= j[i];
+    const double dn = dot(vh, jv);
+    require(std::abs(dn) > options.lookahead_tol,
+            "sypvl_reduce: serious breakdown (delta_n ~ 0); use sympvl_reduce "
+            "with look-ahead");
+    deltas.push_back(dn);
+    delta(n, n) = dn;
+    ++n;
+
+    // Three-term recurrence: w = Op v_n − α v_n − t_{n-1,n} v_{n-1}.
+    // The diagonal coefficient is needed even for the final vector.
+    Vec w = apply_op(vs.back());
+    const double w_ref = norm2(w);  // scale for the relative deflation test
+    const double alpha = dot(jv, w) / dn;  // vᵀJ(Op v)/δ
+    t(n - 1, n - 1) = alpha;
+    axpy(-alpha, vs.back(), w);
+    if (n >= 2) {
+      // t_{n-1,n} = δ_n t_{n,n-1} / δ_{n-1} (J-symmetry of ΔT).
+      const double tupper = dn * t(n - 1, n - 2) / deltas[static_cast<size_t>(n) - 2];
+      t(n - 2, n - 1) = tupper;
+      axpy(-tupper, vs[static_cast<size_t>(n) - 2], w);
+    }
+    if (n == n_max) break;
+    const double beta = norm2(w);
+    if (w_ref == 0.0 || beta <= options.deflation_tol * w_ref) {
+      exhausted = true;  // Krylov space exhausted: Zₙ = Z
+      break;
+    }
+    t(n, n - 1) = beta;
+    scale(w, 1.0 / beta);
+    vh = std::move(w);
+  }
+
+  LanczosResult res;
+  res.n = n;
+  res.p1 = 1;
+  res.exhausted = exhausted;
+  res.deflations = exhausted ? 1 : 0;
+  res.cluster_sizes.assign(static_cast<size_t>(n), 1);
+  res.t = t.block(0, n, 0, n);
+  res.delta = delta.block(0, n, 0, n);
+  res.rho = rho.block(0, n, 0, 1);
+
+  if (report != nullptr) {
+    report->s0_used = s0;
+    report->used_dense_fallback = false;
+    report->negative_j = 0;
+    for (double jk : j)
+      if (jk < 0.0) ++report->negative_j;
+    report->deflations = res.deflations;
+    report->exhausted = exhausted;
+    report->achieved_order = n;
+    report->lookahead_clusters = 0;
+  }
+  return ReducedModel(res, sys.variable, sys.s_prefactor, s0);
+}
+
+SypvlCoefficients sypvl_coefficients(const ReducedModel& model) {
+  require(model.port_count() == 1,
+          "sypvl_coefficients: model must be single-port");
+  const Index n = model.order();
+  SypvlCoefficients c;
+  c.rho1 = model.rho()(0, 0);
+  c.diag.resize(static_cast<size_t>(n));
+  c.deltas.resize(static_cast<size_t>(n));
+  if (n > 1) c.sub.resize(static_cast<size_t>(n) - 1);
+  for (Index i = 0; i < n; ++i) {
+    c.diag[static_cast<size_t>(i)] = model.t()(i, i);
+    c.deltas[static_cast<size_t>(i)] = model.delta()(i, i);
+    if (i + 1 < n) c.sub[static_cast<size_t>(i)] = model.t()(i + 1, i);
+  }
+  return c;
+}
+
+}  // namespace sympvl

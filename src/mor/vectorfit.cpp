@@ -1,0 +1,265 @@
+#include "mor/vectorfit.hpp"
+
+#include <cmath>
+
+#include "linalg/dense_factor.hpp"
+#include "linalg/eig.hpp"
+
+namespace sympvl {
+
+namespace {
+
+// Pole bookkeeping: conjugate pairs are stored as one entry with
+// imag > 0; real poles stand alone. Each pole entry owns 1 (real) or 2
+// (pair) REAL basis coefficients, Gustavsen's real-arithmetic arrangement.
+struct PoleSet {
+  CVec poles;  // imag(a) >= 0; imag > 0 means a conjugate pair
+
+  Index coefficient_count() const {
+    Index n = 0;
+    for (const Complex& a : poles) n += (a.imag() > 0.0) ? 2 : 1;
+    return n;
+  }
+
+  // Complex values of the real basis functions at s.
+  CVec basis(Complex s) const {
+    CVec phi;
+    for (const Complex& a : poles) {
+      if (a.imag() > 0.0) {
+        const Complex f1 = 1.0 / (s - a);
+        const Complex f2 = 1.0 / (s - std::conj(a));
+        phi.push_back(f1 + f2);
+        phi.push_back(Complex(0.0, 1.0) * (f1 - f2));
+      } else {
+        phi.push_back(1.0 / (s - a));
+      }
+    }
+    return phi;
+  }
+};
+
+// Initial poles: weakly damped conjugate pairs log-spaced over the band.
+PoleSet initial_poles(Index count, double f_min, double f_max) {
+  PoleSet ps;
+  const Index pairs = count / 2;
+  for (Index k = 0; k < pairs; ++k) {
+    const double t = pairs == 1 ? 0.5
+                                : static_cast<double>(k) /
+                                      static_cast<double>(pairs - 1);
+    const double w =
+        2.0 * M_PI * std::pow(10.0, std::log10(f_min) +
+                                        t * (std::log10(f_max) - std::log10(f_min)));
+    ps.poles.push_back(Complex(-w / 100.0, w));
+  }
+  if (count % 2 == 1)
+    ps.poles.push_back(Complex(-2.0 * M_PI * std::sqrt(f_min * f_max), 0.0));
+  return ps;
+}
+
+// Zeros of σ(s) = 1 + Σ c̃·φ(s): eigenvalues of H = A − b·c̃ᵀ in
+// Gustavsen's real block form.
+CVec sigma_zeros(const PoleSet& ps, const Vec& c_tilde) {
+  const Index n = ps.coefficient_count();
+  Mat h(n, n);
+  Vec b(static_cast<size_t>(n), 0.0);
+  Index idx = 0;
+  for (const Complex& a : ps.poles) {
+    if (a.imag() > 0.0) {
+      h(idx, idx) = a.real();
+      h(idx, idx + 1) = a.imag();
+      h(idx + 1, idx) = -a.imag();
+      h(idx + 1, idx + 1) = a.real();
+      b[static_cast<size_t>(idx)] = 2.0;
+      idx += 2;
+    } else {
+      h(idx, idx) = a.real();
+      b[static_cast<size_t>(idx)] = 1.0;
+      idx += 1;
+    }
+  }
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j)
+      h(i, j) -= b[static_cast<size_t>(i)] * c_tilde[static_cast<size_t>(j)];
+  return eig_general(h);
+}
+
+// Repackage eigenvalues as a PoleSet (pairs with imag > 0, reals alone),
+// optionally reflecting unstable poles into the left half-plane.
+PoleSet repackage(const CVec& eigenvalues, bool enforce_stable) {
+  PoleSet ps;
+  std::vector<bool> used(eigenvalues.size(), false);
+  for (size_t k = 0; k < eigenvalues.size(); ++k) {
+    if (used[k]) continue;
+    Complex a = eigenvalues[k];
+    if (enforce_stable && a.real() > 0.0) a = Complex(-a.real(), a.imag());
+    if (std::abs(a.imag()) <= 1e-9 * (1.0 + std::abs(a))) {
+      ps.poles.push_back(Complex(a.real(), 0.0));
+      used[k] = true;
+      continue;
+    }
+    // Find and consume the conjugate partner.
+    for (size_t m = k + 1; m < eigenvalues.size(); ++m) {
+      if (used[m]) continue;
+      Complex bm = eigenvalues[m];
+      if (enforce_stable && bm.real() > 0.0) bm = Complex(-bm.real(), bm.imag());
+      if (std::abs(bm - std::conj(a)) <=
+          1e-6 * (1.0 + std::abs(a))) {
+        used[m] = true;
+        break;
+      }
+    }
+    used[k] = true;
+    ps.poles.push_back(Complex(a.real(), std::abs(a.imag())));
+  }
+  return ps;
+}
+
+}  // namespace
+
+VectorFitResult vector_fit(const Vec& frequencies_hz,
+                           const std::vector<CMat>& data,
+                           const VectorFitOptions& options) {
+  require(frequencies_hz.size() == data.size() && !data.empty(),
+          "vector_fit: one matrix per frequency required");
+  require(options.poles >= 2, "vector_fit: at least two poles required");
+  require(options.iterations >= 1, "vector_fit: iterations must be >= 1");
+  const Index p = data.front().rows();
+  for (const auto& m : data)
+    require(m.rows() == p && m.cols() == p, "vector_fit: inconsistent sizes");
+  double f_min = frequencies_hz.front(), f_max = frequencies_hz.front();
+  for (double f : frequencies_hz) {
+    require(f > 0.0, "vector_fit: frequencies must be positive");
+    f_min = std::min(f_min, f);
+    f_max = std::max(f_max, f);
+  }
+  require(f_max > f_min, "vector_fit: need a nontrivial frequency band");
+
+  // Fit the upper triangle (the data is reciprocal; the model is built
+  // symmetric from these entries).
+  std::vector<std::pair<Index, Index>> entries;
+  for (Index i = 0; i < p; ++i)
+    for (Index j = i; j < p; ++j) entries.emplace_back(i, j);
+  const Index ne = static_cast<Index>(entries.size());
+  const Index ns = static_cast<Index>(frequencies_hz.size());
+
+  PoleSet ps = initial_poles(options.poles, f_min, f_max);
+
+  // ---- Pole relocation iterations. ----
+  for (Index it = 0; it < options.iterations; ++it) {
+    const Index n = ps.coefficient_count();
+    // Unknowns: per entry (n residue coeffs + 1 direct) then shared c̃ (n).
+    const Index cols = ne * (n + 1) + n;
+    const Index rows = 2 * ns * ne;  // Re and Im of every sample/entry
+    Mat a(rows, cols);
+    Vec rhs(static_cast<size_t>(rows), 0.0);
+    Index row = 0;
+    for (Index k = 0; k < ns; ++k) {
+      const Complex s(0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]);
+      const CVec phi = ps.basis(s);
+      for (Index e = 0; e < ne; ++e) {
+        const Complex f = data[static_cast<size_t>(k)](entries[static_cast<size_t>(e)].first,
+                                                       entries[static_cast<size_t>(e)].second);
+        const Index base = e * (n + 1);
+        for (Index m = 0; m < n; ++m) {
+          a(row, base + m) = phi[static_cast<size_t>(m)].real();
+          a(row + 1, base + m) = phi[static_cast<size_t>(m)].imag();
+          const Complex fp = -f * phi[static_cast<size_t>(m)];
+          a(row, ne * (n + 1) + m) = fp.real();
+          a(row + 1, ne * (n + 1) + m) = fp.imag();
+        }
+        a(row, base + n) = 1.0;  // direct term (real unknown)
+        rhs[static_cast<size_t>(row)] = f.real();
+        rhs[static_cast<size_t>(row) + 1] = f.imag();
+        row += 2;
+      }
+    }
+    const Vec x = DenseQR(a).solve(rhs);
+    Vec c_tilde(static_cast<size_t>(n));
+    for (Index m = 0; m < n; ++m)
+      c_tilde[static_cast<size_t>(m)] = x[static_cast<size_t>(ne * (n + 1) + m)];
+    ps = repackage(sigma_zeros(ps, c_tilde), options.enforce_stable);
+  }
+
+  // ---- Final residue fit with the poles fixed. ----
+  const Index n = ps.coefficient_count();
+  const Index cols = n + 1;
+  Mat a(2 * ns, cols);
+  std::vector<Vec> coeffs;  // per entry
+  double sq_err = 0.0;
+  for (Index e = 0; e < ne; ++e) {
+    Vec rhs(static_cast<size_t>(2 * ns), 0.0);
+    for (Index k = 0; k < ns; ++k) {
+      const Complex s(0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]);
+      const CVec phi = ps.basis(s);
+      for (Index m = 0; m < n; ++m) {
+        a(2 * k, m) = phi[static_cast<size_t>(m)].real();
+        a(2 * k + 1, m) = phi[static_cast<size_t>(m)].imag();
+      }
+      a(2 * k, n) = 1.0;
+      a(2 * k + 1, n) = 0.0;
+      const Complex f = data[static_cast<size_t>(k)](entries[static_cast<size_t>(e)].first,
+                                                     entries[static_cast<size_t>(e)].second);
+      rhs[static_cast<size_t>(2 * k)] = f.real();
+      rhs[static_cast<size_t>(2 * k) + 1] = f.imag();
+    }
+    coeffs.push_back(DenseQR(a).solve(rhs));
+    // Accumulate the residual.
+    const Vec& x = coeffs.back();
+    for (Index k = 0; k < ns; ++k) {
+      const Complex s(0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]);
+      const CVec phi = ps.basis(s);
+      Complex fit(x[static_cast<size_t>(n)], 0.0);
+      for (Index m = 0; m < n; ++m) fit += x[static_cast<size_t>(m)] * phi[static_cast<size_t>(m)];
+      const Complex f = data[static_cast<size_t>(k)](entries[static_cast<size_t>(e)].first,
+                                                     entries[static_cast<size_t>(e)].second);
+      sq_err += std::norm(fit - f);
+    }
+  }
+
+  // ---- Assemble the ModalModel (every pole listed individually). ----
+  CVec model_poles;
+  std::vector<CMat> residues;
+  Mat direct(p, p);
+  for (Index e = 0; e < ne; ++e) {
+    const auto [i, j] = entries[static_cast<size_t>(e)];
+    direct(i, j) = coeffs[static_cast<size_t>(e)][static_cast<size_t>(n)];
+    direct(j, i) = direct(i, j);
+  }
+  Index idx = 0;
+  for (const Complex& pole : ps.poles) {
+    if (pole.imag() > 0.0) {
+      CMat r1(p, p), r2(p, p);
+      for (Index e = 0; e < ne; ++e) {
+        const auto [i, j] = entries[static_cast<size_t>(e)];
+        const Complex res(coeffs[static_cast<size_t>(e)][static_cast<size_t>(idx)],
+                          coeffs[static_cast<size_t>(e)][static_cast<size_t>(idx) + 1]);
+        r1(i, j) = res;
+        r1(j, i) = res;
+        r2(i, j) = std::conj(res);
+        r2(j, i) = std::conj(res);
+      }
+      model_poles.push_back(pole);
+      residues.push_back(std::move(r1));
+      model_poles.push_back(std::conj(pole));
+      residues.push_back(std::move(r2));
+      idx += 2;
+    } else {
+      CMat r(p, p);
+      for (Index e = 0; e < ne; ++e) {
+        const auto [i, j] = entries[static_cast<size_t>(e)];
+        r(i, j) = Complex(coeffs[static_cast<size_t>(e)][static_cast<size_t>(idx)], 0.0);
+        r(j, i) = r(i, j);
+      }
+      model_poles.push_back(pole);
+      residues.push_back(std::move(r));
+      idx += 1;
+    }
+  }
+
+  VectorFitResult out{ModalModel(std::move(model_poles), std::move(residues),
+                                 std::move(direct), SVariable::kS, 0),
+                      std::sqrt(sq_err / static_cast<double>(ns * ne))};
+  return out;
+}
+
+}  // namespace sympvl

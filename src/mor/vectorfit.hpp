@@ -1,0 +1,40 @@
+// Vector fitting (Gustavsen-Semlyen style): fit a stable pole/residue
+// model directly to sampled frequency-response data.
+//
+// Where SyMPVL reduces a known circuit, vector fitting macromodels a
+// RESPONSE — measured S-parameters, a Touchstone file, or the output of an
+// exact sweep — by iteratively relocating a set of poles:
+//   1. with current poles aᵢ solve the linear least-squares problem
+//        σ(s)·f(s) ≈ p(s),  σ(s) = 1 + Σ c̃ᵢ/(s−aᵢ),  p(s) = d + Σ cᵢ/(s−aᵢ);
+//   2. the zeros of σ — eigenvalues of diag(a) − 1·c̃ᵀ — become the new
+//      poles (flipped into the left half-plane for stability);
+//   3. after convergence, fit the residues once more with the poles fixed.
+// The result reuses ModalModel, so everything downstream (evaluation,
+// stability checks, passivity post-processing) applies.
+#pragma once
+
+#include "mor/postprocess.hpp"
+
+namespace sympvl {
+
+struct VectorFitOptions {
+  Index poles = 8;          ///< model order (number of poles)
+  Index iterations = 10;    ///< pole-relocation passes
+  bool enforce_stable = true;  ///< flip relocated poles into Re(s) ≤ 0
+};
+
+struct VectorFitResult {
+  ModalModel model;      ///< fitted p×p pole/residue model (s-domain)
+  double rms_error = 0.0;  ///< RMS of |fit − data| over all samples/entries
+};
+
+/// Fits the sampled matrices `data[k] = Z(j·2π·frequencies_hz[k])`.
+/// All matrix entries share one pole set (the standard VF arrangement);
+/// residues are fitted per entry. Sampled data should cover the band of
+/// interest; conjugate samples are added internally so the fitted
+/// coefficients come out (numerically) real-rational.
+VectorFitResult vector_fit(const Vec& frequencies_hz,
+                           const std::vector<CMat>& data,
+                           const VectorFitOptions& options);
+
+}  // namespace sympvl

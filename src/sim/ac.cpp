@@ -1,0 +1,197 @@
+#include "sim/ac.hpp"
+
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "linalg/sparse_ldlt.hpp"
+#include "linalg/sparse_lu.hpp"
+
+namespace sympvl {
+
+namespace {
+
+// Solver for one pencil G + f(s)C. The unpivoted complex-symmetric sparse
+// LDLᵀ is the fast path; MNA pencils can hit exact structural zero pivots
+// (e.g. a series R-L chain cancels the node conductance during
+// elimination), in which case the partial-pivoting sparse LU takes over.
+class PencilSolver {
+ public:
+  explicit PencilSolver(const CSMat& pencil) {
+    try {
+      ldlt_.emplace(pencil);
+    } catch (const Error&) {
+      lu_.emplace(pencil);  // throws if the pencil is truly singular
+    }
+  }
+  CVec solve(const CVec& b) const {
+    return ldlt_ ? ldlt_->solve(b) : lu_->solve(b);
+  }
+
+ private:
+  std::optional<CLDLT> ldlt_;
+  std::optional<CLUSparse> lu_;
+};
+
+}  // namespace
+
+CMat ac_z_matrix(const MnaSystem& sys, Complex s) {
+  const Index n = sys.size();
+  const Index p = sys.port_count();
+  require(p > 0, "ac_z_matrix: system has no ports");
+  const CSMat pencil = pencil_combine(sys.G, sys.C, sys.map_s(s));
+  const PencilSolver fact(pencil);
+  CMat z(p, p);
+  const Complex pref = sys.prefactor(s);
+  for (Index j = 0; j < p; ++j) {
+    CVec b(static_cast<size_t>(n), Complex(0.0, 0.0));
+    for (Index i = 0; i < n; ++i) b[static_cast<size_t>(i)] = Complex(sys.B(i, j), 0.0);
+    const CVec x = fact.solve(b);
+    for (Index i = 0; i < p; ++i) {
+      Complex acc(0.0, 0.0);
+      for (Index k = 0; k < n; ++k) acc += sys.B(k, i) * x[static_cast<size_t>(k)];
+      z(i, j) = pref * acc;
+    }
+  }
+  return z;
+}
+
+std::vector<CMat> ac_sweep(const MnaSystem& sys, const Vec& frequencies_hz) {
+  // The engine amortizes ordering + symbolic analysis over the sweep.
+  return AcSweepEngine(sys).sweep(frequencies_hz);
+}
+
+Complex voltage_transfer(const CMat& z, Index drive, Index out) {
+  require(0 <= drive && drive < z.rows() && 0 <= out && out < z.rows(),
+          "voltage_transfer: port index out of range");
+  const Complex zdd = z(drive, drive);
+  require(std::abs(zdd) > 0.0, "voltage_transfer: drive port impedance is zero");
+  return z(out, drive) / zdd;
+}
+
+Vec log_frequency_grid(double f_min, double f_max, Index count) {
+  require(f_min > 0.0 && f_max > f_min && count >= 2,
+          "log_frequency_grid: invalid range");
+  Vec f(static_cast<size_t>(count));
+  const double l0 = std::log10(f_min);
+  const double l1 = std::log10(f_max);
+  for (Index k = 0; k < count; ++k)
+    f[static_cast<size_t>(k)] =
+        std::pow(10.0, l0 + (l1 - l0) * static_cast<double>(k) /
+                                static_cast<double>(count - 1));
+  return f;
+}
+
+// ---- AcSweepEngine ---------------------------------------------------------
+
+struct AcSweepEngine::Impl {
+  MnaSystem sys;  // copied: the engine must not dangle
+  // Union pattern of G and C (template CSMat whose values get rewritten
+  // per frequency) and slot maps from each G/C entry into that pattern.
+  std::vector<Index> pat_colptr, pat_rowind;
+  std::vector<Index> g_slot, c_slot;
+  std::shared_ptr<const LdltSymbolic> symbolic;
+
+  CSMat assemble(Complex fs) const {
+    CVec values(pat_rowind.size(), Complex(0.0, 0.0));
+    const auto& gv = sys.G.values();
+    for (size_t k = 0; k < gv.size(); ++k)
+      values[static_cast<size_t>(g_slot[k])] += Complex(gv[k], 0.0);
+    const auto& cv = sys.C.values();
+    for (size_t k = 0; k < cv.size(); ++k)
+      values[static_cast<size_t>(c_slot[k])] += fs * cv[k];
+    CSMat pencil(sys.size(), sys.size());
+    pencil.set_raw(pat_colptr, pat_rowind, std::move(values));
+    return pencil;
+  }
+};
+
+AcSweepEngine::AcSweepEngine(const MnaSystem& sys) : impl_(std::make_unique<Impl>()) {
+  require(sys.port_count() > 0, "AcSweepEngine: system has no ports");
+  impl_->sys = sys;
+  // Union pattern: all G entries plus all C entries (unit weights so no
+  // accidental cancellation drops an entry).
+  const Index n = sys.size();
+  TripletBuilder<double> t(n, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index k = sys.G.colptr()[static_cast<size_t>(j)];
+         k < sys.G.colptr()[static_cast<size_t>(j) + 1]; ++k)
+      t.add(sys.G.rowind()[static_cast<size_t>(k)], j, 1.0);
+    for (Index k = sys.C.colptr()[static_cast<size_t>(j)];
+         k < sys.C.colptr()[static_cast<size_t>(j) + 1]; ++k)
+      t.add(sys.C.rowind()[static_cast<size_t>(k)], j, 1.0);
+  }
+  const SMat pattern = t.compress();
+  impl_->pat_colptr = pattern.colptr();
+  impl_->pat_rowind = pattern.rowind();
+  // Slot maps.
+  auto build_slots = [&](const SMat& m, std::vector<Index>& slots) {
+    slots.resize(static_cast<size_t>(m.nnz()));
+    Index idx = 0;
+    for (Index j = 0; j < n; ++j)
+      for (Index k = m.colptr()[static_cast<size_t>(j)];
+           k < m.colptr()[static_cast<size_t>(j) + 1]; ++k) {
+        const Index slot = pattern.find(m.rowind()[static_cast<size_t>(k)], j);
+        require(slot >= 0, "AcSweepEngine: pattern construction failed");
+        slots[static_cast<size_t>(idx++)] = slot;
+      }
+  };
+  build_slots(sys.G, impl_->g_slot);
+  build_slots(sys.C, impl_->c_slot);
+  impl_->symbolic = std::make_shared<const LdltSymbolic>(pattern);
+}
+
+AcSweepEngine::~AcSweepEngine() = default;
+AcSweepEngine::AcSweepEngine(AcSweepEngine&&) noexcept = default;
+AcSweepEngine& AcSweepEngine::operator=(AcSweepEngine&&) noexcept = default;
+
+CMat AcSweepEngine::z_at(Complex s) const {
+  const MnaSystem& sys = impl_->sys;
+  const Index n = sys.size();
+  const Index p = sys.port_count();
+  const CSMat pencil = impl_->assemble(sys.map_s(s));
+
+  // Numeric-only LDLᵀ with the shared symbolic; pivoted LU as fallback.
+  std::optional<CLDLT> ldlt;
+  std::optional<CLUSparse> lu;
+  try {
+    ldlt.emplace(pencil, impl_->symbolic);
+  } catch (const Error&) {
+    lu.emplace(pencil);
+  }
+  auto solve = [&](const CVec& b) { return ldlt ? ldlt->solve(b) : lu->solve(b); };
+
+  CMat z(p, p);
+  const Complex pref = sys.prefactor(s);
+  for (Index j = 0; j < p; ++j) {
+    CVec b(static_cast<size_t>(n), Complex(0.0, 0.0));
+    for (Index i = 0; i < n; ++i) b[static_cast<size_t>(i)] = Complex(sys.B(i, j), 0.0);
+    const CVec x = solve(b);
+    for (Index i = 0; i < p; ++i) {
+      Complex acc(0.0, 0.0);
+      for (Index k = 0; k < n; ++k) acc += sys.B(k, i) * x[static_cast<size_t>(k)];
+      z(i, j) = pref * acc;
+    }
+  }
+  return z;
+}
+
+std::vector<CMat> AcSweepEngine::sweep(const Vec& frequencies_hz) const {
+  std::vector<CMat> out;
+  out.reserve(frequencies_hz.size());
+  for (double f : frequencies_hz)
+    out.push_back(z_at(Complex(0.0, 2.0 * M_PI * f)));
+  return out;
+}
+
+Vec linear_frequency_grid(double f_min, double f_max, Index count) {
+  require(f_max > f_min && count >= 2, "linear_frequency_grid: invalid range");
+  Vec f(static_cast<size_t>(count));
+  for (Index k = 0; k < count; ++k)
+    f[static_cast<size_t>(k)] =
+        f_min + (f_max - f_min) * static_cast<double>(k) /
+                    static_cast<double>(count - 1);
+  return f;
+}
+
+}  // namespace sympvl

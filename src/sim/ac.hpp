@@ -1,0 +1,64 @@
+// Exact frequency-domain (AC) analysis of assembled MNA systems.
+//
+// Provides the "exact analysis" reference curves of Figures 2-4: for each
+// frequency point the complex symmetric pencil G + f(s)C is factored with
+// the sparse LDLᵀ and solved against all p port columns, giving the full
+// p×p Z(s) without any model reduction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+/// Exact physical Z(s) = s^prefactor · Bᵀ (G + f(s)C)⁻¹ B at one complex
+/// frequency point.
+CMat ac_z_matrix(const MnaSystem& sys, Complex s);
+
+/// Exact sweep over `frequencies_hz` along the jω axis (s = j·2πf).
+/// Returns one p×p matrix per frequency.
+std::vector<CMat> ac_sweep(const MnaSystem& sys, const Vec& frequencies_hz);
+
+/// Voltage-to-voltage transfer H(s) = V_out / V_in when port `drive` is
+/// driven by a current source and every other port is left open:
+///   H = Z(out, drive) / Z(drive, drive).
+/// This is how the paper's package plots (Figs 3, 4) are produced.
+Complex voltage_transfer(const CMat& z, Index drive, Index out);
+
+/// Logarithmically spaced frequency grid [f_min, f_max] with `count` points.
+Vec log_frequency_grid(double f_min, double f_max, Index count);
+
+/// Linearly spaced frequency grid.
+Vec linear_frequency_grid(double f_min, double f_max, Index count);
+
+/// Repeated-factorization AC engine. The union sparsity pattern of
+/// G + f(s)C and the LDLᵀ symbolic analysis (ordering, elimination tree,
+/// fill pattern) are computed ONCE; each frequency point then costs only a
+/// numeric refactorization — the standard way production circuit
+/// simulators run AC sweeps. Falls back to the pivoted sparse LU at points
+/// where the unpivoted path hits a zero pivot.
+class AcSweepEngine {
+ public:
+  explicit AcSweepEngine(const MnaSystem& sys);
+  ~AcSweepEngine();
+  AcSweepEngine(AcSweepEngine&&) noexcept;
+  AcSweepEngine& operator=(AcSweepEngine&&) noexcept;
+  AcSweepEngine(const AcSweepEngine&) = delete;
+  AcSweepEngine& operator=(const AcSweepEngine&) = delete;
+
+  /// Physical Z(s) at one complex frequency point.
+  CMat z_at(Complex s) const;
+
+  /// Sweep along the jω axis (equivalent to ac_sweep, but with the
+  /// symbolic analysis amortized).
+  std::vector<CMat> sweep(const Vec& frequencies_hz) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sympvl

@@ -1,0 +1,219 @@
+#include "sim/nonlinear.hpp"
+
+#include <cmath>
+
+#include "linalg/sparse_lu.hpp"
+
+namespace sympvl {
+
+// ---- Diode -----------------------------------------------------------------
+
+Diode::Diode(Index anode, Index cathode, double saturation, double thermal)
+    : anode_(anode), cathode_(cathode), is_(saturation), vt_(thermal) {
+  require(anode != cathode, "Diode: terminals coincide");
+  require(saturation > 0.0 && thermal > 0.0, "Diode: invalid parameters");
+}
+
+std::vector<Index> Diode::terminals() const { return {anode_, cathode_}; }
+
+void Diode::evaluate(const Vec& v, Vec& currents, Mat& conductance) const {
+  const double vd = v[0] - v[1];
+  // Exponential limiting: linearize beyond vd_max so Newton cannot
+  // overflow; vd_max ≈ 40·Vt puts the knee around 1 V for silicon.
+  const double vd_max = 40.0 * vt_;
+  double i, g;
+  if (vd <= vd_max) {
+    const double e = std::exp(vd / vt_);
+    i = is_ * (e - 1.0);
+    g = is_ * e / vt_;
+  } else {
+    const double e = std::exp(vd_max / vt_);
+    const double g_knee = is_ * e / vt_;
+    i = is_ * (e - 1.0) + g_knee * (vd - vd_max);
+    g = g_knee;
+  }
+  currents = {i, -i};
+  conductance = Mat{{g, -g}, {-g, g}};
+}
+
+// ---- TanhDriver ------------------------------------------------------------
+
+TanhDriver::TanhDriver(Index control, Index output, double g_max,
+                       double v_swing)
+    : control_(control), output_(output), gmax_(g_max), vswing_(v_swing) {
+  require(control != output, "TanhDriver: terminals coincide");
+  require(g_max > 0.0 && v_swing > 0.0, "TanhDriver: invalid parameters");
+}
+
+std::vector<Index> TanhDriver::terminals() const { return {control_, output_}; }
+
+void TanhDriver::evaluate(const Vec& v, Vec& currents, Mat& conductance) const {
+  const double d = (v[1] - v[0]) / vswing_;  // v_out − v_ctl, normalized
+  const double t = std::tanh(d);
+  const double sech2 = 1.0 - t * t;
+  const double i_out = gmax_ * vswing_ * t;  // out of the output node
+  const double g = gmax_ * sech2;
+  currents = {0.0, i_out};
+  conductance = Mat{{0.0, 0.0}, {-g, g}};
+}
+
+// ---- Newton solves -----------------------------------------------------
+
+namespace {
+
+// One Newton solve of  lin·x + F_nl(x) = rhs,  warm-started from `x`.
+// Returns true on convergence.
+bool newton_solve(const SMat& lin,
+                  const std::vector<std::shared_ptr<NonlinearDevice>>& devices,
+                  const Vec& rhs, Vec& x, int max_iterations, double tol) {
+  const Index n = lin.rows();
+  Vec term_v, dev_i;
+  Mat dev_g;
+  for (int it = 0; it < max_iterations; ++it) {
+    Vec residual = lin.multiply(x);
+    for (Index i = 0; i < n; ++i) residual[static_cast<size_t>(i)] -= rhs[static_cast<size_t>(i)];
+    TripletBuilder<double> jac(n, n);
+    for (Index j = 0; j < n; ++j)
+      for (Index e = lin.colptr()[static_cast<size_t>(j)];
+           e < lin.colptr()[static_cast<size_t>(j) + 1]; ++e)
+        jac.add(lin.rowind()[static_cast<size_t>(e)], j,
+                lin.values()[static_cast<size_t>(e)]);
+    for (const auto& dev : devices) {
+      const auto terms = dev->terminals();
+      term_v.assign(terms.size(), 0.0);
+      for (size_t a = 0; a < terms.size(); ++a)
+        term_v[a] = terms[a] >= 0 ? x[static_cast<size_t>(terms[a])] : 0.0;
+      dev->evaluate(term_v, dev_i, dev_g);
+      for (size_t a = 0; a < terms.size(); ++a) {
+        if (terms[a] < 0) continue;
+        residual[static_cast<size_t>(terms[a])] += dev_i[a];
+        for (size_t b = 0; b < terms.size(); ++b) {
+          if (terms[b] < 0) continue;
+          if (dev_g(static_cast<Index>(a), static_cast<Index>(b)) != 0.0)
+            jac.add(terms[a], terms[b],
+                    dev_g(static_cast<Index>(a), static_cast<Index>(b)));
+        }
+      }
+    }
+    const LUSparse lu(jac.compress());
+    Vec delta = residual;
+    for (auto& v : delta) v = -v;
+    delta = lu.solve(delta);
+    double dn = 0.0, xn = 0.0;
+    for (size_t i = 0; i < delta.size(); ++i) {
+      dn = std::max(dn, std::abs(delta[i]));
+      xn = std::max(xn, std::abs(x[i]));
+    }
+    for (size_t i = 0; i < delta.size(); ++i) x[i] += delta[i];
+    if (dn <= tol * (1.0 + xn)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Vec dc_operating_point(
+    const MnaSystem& sys,
+    const std::vector<std::shared_ptr<NonlinearDevice>>& devices,
+    const Mat& input_map, const Vec& u0,
+    const NonlinearTransientOptions& options) {
+  require(sys.variable == SVariable::kS && sys.s_prefactor == 0,
+          "dc_operating_point: requires a general or RC MNA form");
+  const Index n = sys.size();
+  require(input_map.rows() == n, "dc_operating_point: map dimension mismatch");
+  require(static_cast<Index>(u0.size()) == input_map.cols(),
+          "dc_operating_point: one value per input required");
+  for (const auto& dev : devices) {
+    require(dev != nullptr, "dc_operating_point: null device");
+    for (Index t : dev->terminals())
+      require(-1 <= t && t < n, "dc_operating_point: terminal out of range");
+  }
+  Vec rhs(static_cast<size_t>(n), 0.0);
+  for (Index j = 0; j < input_map.cols(); ++j) {
+    const double uj = u0[static_cast<size_t>(j)];
+    if (uj == 0.0) continue;
+    for (Index i = 0; i < n; ++i) rhs[static_cast<size_t>(i)] += input_map(i, j) * uj;
+  }
+  Vec x(static_cast<size_t>(n), 0.0);
+  require(newton_solve(sys.G, devices, rhs, x,
+                       options.max_newton_iterations, options.newton_tol),
+          "dc_operating_point: Newton failed to converge");
+  return x;
+}
+
+// ---- Newton transient ------------------------------------------------------
+
+TransientResult simulate_nonlinear_transient(
+    const MnaSystem& sys,
+    const std::vector<std::shared_ptr<NonlinearDevice>>& devices,
+    const Mat& input_map, const std::vector<Waveform>& inputs,
+    const Mat& output_map, const NonlinearTransientOptions& options) {
+  require(sys.variable == SVariable::kS && sys.s_prefactor == 0,
+          "simulate_nonlinear_transient: requires a general or RC MNA form");
+  const Index n = sys.size();
+  require(input_map.rows() == n && output_map.rows() == n,
+          "simulate_nonlinear_transient: map dimension mismatch");
+  require(static_cast<Index>(inputs.size()) == input_map.cols(),
+          "simulate_nonlinear_transient: one waveform per input required");
+  require(options.dt > 0.0 && options.t_end > options.dt,
+          "simulate_nonlinear_transient: invalid time grid");
+  for (const auto& dev : devices) {
+    require(dev != nullptr, "simulate_nonlinear_transient: null device");
+    for (Index t : dev->terminals())
+      require(-1 <= t && t < n,
+              "simulate_nonlinear_transient: device terminal out of range");
+  }
+
+  const double h = options.dt;
+  const Index steps = static_cast<Index>(std::ceil(options.t_end / h));
+  const Index n_in = input_map.cols();
+  const Index n_out = output_map.cols();
+
+  // Constant linear part of the Jacobian: C/h + G (backward Euler).
+  const SMat lin = SMat::add(sys.C, 1.0 / h, sys.G, 1.0);
+
+  auto eval_inputs = [&](double t) {
+    Vec u(static_cast<size_t>(n_in));
+    for (Index j = 0; j < n_in; ++j) u[static_cast<size_t>(j)] = inputs[static_cast<size_t>(j)](t);
+    return u;
+  };
+
+  TransientResult result;
+  result.time.resize(static_cast<size_t>(steps) + 1);
+  result.outputs.resize(steps + 1, n_out);
+
+  Vec x(static_cast<size_t>(n), 0.0);
+  auto record = [&](Index k, double t) {
+    result.time[static_cast<size_t>(k)] = t;
+    for (Index j = 0; j < n_out; ++j) {
+      double acc = 0.0;
+      for (Index i = 0; i < n; ++i) acc += output_map(i, j) * x[static_cast<size_t>(i)];
+      result.outputs(k, j) = acc;
+    }
+  };
+  record(0, 0.0);
+
+  for (Index k = 1; k <= steps; ++k) {
+    const double t = static_cast<double>(k) * h;
+    const Vec u = eval_inputs(t);
+    // Right-hand side: C/h·x_prev + B·u.
+    Vec rhs = sys.C.multiply(x);
+    for (auto& v : rhs) v /= h;
+    for (Index j = 0; j < n_in; ++j) {
+      const double uj = u[static_cast<size_t>(j)];
+      if (uj == 0.0) continue;
+      for (Index i = 0; i < n; ++i) rhs[static_cast<size_t>(i)] += input_map(i, j) * uj;
+    }
+
+    // Newton iteration on F(x) = lin·x + F_nl(x) − rhs = 0, warm-started
+    // from the previous time step.
+    require(newton_solve(lin, devices, rhs, x, options.max_newton_iterations,
+                         options.newton_tol),
+            "simulate_nonlinear_transient: Newton failed to converge at t = " +
+                std::to_string(t));
+    record(k, t);
+  }
+  return result;
+}
+
+}  // namespace sympvl

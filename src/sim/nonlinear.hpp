@@ -1,0 +1,105 @@
+// Nonlinear transient simulation: MNA plus voltage-controlled nonlinear
+// devices, solved by Newton iteration with companion models per time step
+// (backward Euler).
+//
+// This is the paper's Section 6 setting: "when the linear circuit
+// represents a sub-block of a larger, nonlinear circuit … equations (23)
+// together with the equations describing the rest of the nonlinear circuit
+// form a smaller and easier to solve system". A SyMPVL ReducedModel
+// stamped via ReducedModel::stamp_into co-simulates with the nonlinear
+// devices defined here, and the Jacobian is refactored with a reused
+// symbolic analysis (the device stamps keep a fixed sparsity pattern).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "sim/transient.hpp"
+
+namespace sympvl {
+
+/// A voltage-controlled nonlinear device. At each Newton iteration the
+/// device reports its branch currents and small-signal conductances at the
+/// current voltage guess; the engine stamps the companion model.
+class NonlinearDevice {
+ public:
+  virtual ~NonlinearDevice() = default;
+
+  /// MNA unknown indices this device couples (fixed over the run, so the
+  /// Jacobian pattern is constant). Index −1 denotes the datum node.
+  virtual std::vector<Index> terminals() const = 0;
+
+  /// Evaluates the device at the guessed terminal voltages (same order as
+  /// terminals(); the datum reads 0):
+  ///   currents[k]          current flowing OUT of terminal k into the device,
+  ///   conductance(k, m)    ∂currents[k] / ∂v[m].
+  virtual void evaluate(const Vec& terminal_voltages, Vec& currents,
+                        Mat& conductance) const = 0;
+};
+
+/// Shockley diode with junction-voltage limiting (SPICE-style pnjlim keeps
+/// Newton from exploding on the exponential).
+class Diode final : public NonlinearDevice {
+ public:
+  /// Anode/cathode are MNA node indices (node k of the netlist → k−1;
+  /// −1 = datum). `saturation` in amperes, `thermal` the emission-scaled
+  /// thermal voltage nVt.
+  Diode(Index anode, Index cathode, double saturation = 1e-14,
+        double thermal = 0.02585);
+
+  std::vector<Index> terminals() const override;
+  void evaluate(const Vec& terminal_voltages, Vec& currents,
+                Mat& conductance) const override;
+
+ private:
+  Index anode_, cathode_;
+  double is_, vt_;
+};
+
+/// A saturating push-pull driver: a voltage-controlled current source that
+/// pushes its output node toward ±limit with a tanh characteristic,
+///   i_out = −g_max·v_swing·tanh((v_ctl − v_out)/v_swing),
+/// i.e. a finite-gain, finite-current buffer — a simple stand-in for the
+/// "logic gates" driving the paper's interconnect ports.
+class TanhDriver final : public NonlinearDevice {
+ public:
+  TanhDriver(Index control, Index output, double g_max = 0.02,
+             double v_swing = 0.3);
+
+  std::vector<Index> terminals() const override;
+  void evaluate(const Vec& terminal_voltages, Vec& currents,
+                Mat& conductance) const override;
+
+ private:
+  Index control_, output_;
+  double gmax_, vswing_;
+};
+
+struct NonlinearTransientOptions {
+  double dt = 1e-12;
+  double t_end = 1e-9;
+  int max_newton_iterations = 50;
+  double newton_tol = 1e-9;  ///< relative update norm for convergence
+};
+
+/// DC operating point: solves  G·x + F(x) = input_map·u0  by Newton (the
+/// capacitive term vanishes at DC). Requires a DC path at every node (G
+/// plus the device conductances nonsingular); throws on Newton failure.
+Vec dc_operating_point(
+    const MnaSystem& sys,
+    const std::vector<std::shared_ptr<NonlinearDevice>>& devices,
+    const Mat& input_map, const Vec& u0,
+    const NonlinearTransientOptions& options = {});
+
+/// Simulates  C·dx/dt + G·x + F(x) = input_map·u(t)  (backward Euler +
+/// Newton). `sys` supplies the linear part (general or RC form; a system
+/// returned by ReducedModel::stamp_into works directly). Outputs are
+/// output_mapᵀ·x. Throws when Newton fails to converge at any step.
+TransientResult simulate_nonlinear_transient(
+    const MnaSystem& sys,
+    const std::vector<std::shared_ptr<NonlinearDevice>>& devices,
+    const Mat& input_map, const std::vector<Waveform>& inputs,
+    const Mat& output_map, const NonlinearTransientOptions& options);
+
+}  // namespace sympvl

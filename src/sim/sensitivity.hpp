@@ -1,0 +1,40 @@
+// Adjoint small-change sensitivity of the multi-port transfer function:
+// ∂Z(i,j)(s)/∂(element value) for EVERY element of the netlist, from a
+// single factorization of the pencil.
+//
+// With P(s) = G + f(s)C and Z = BᵀP⁻¹B, a perturbation of one element
+// changes the pencil by dP = w·aₑaₑᵀ (aₑ the element's incidence vector),
+// so  dZ(i,j) = −(aₑᵀxᵢ)·w·(aₑᵀxⱼ)  where xᵢ = P⁻¹bᵢ. The network is
+// reciprocal (P symmetric), so the adjoint solutions ARE the port
+// solutions: all sensitivities cost p solves total — the classic adjoint
+// trick used by circuit optimizers, and a natural companion to a
+// reduced-order-modeling library (which elements matter enough to keep?).
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/mna.hpp"
+
+namespace sympvl {
+
+/// Sensitivities of one Z entry at one frequency with respect to every
+/// element's *primary value* (Ω, F, H, and coupling coefficient k).
+struct SensitivityResult {
+  Complex s;          ///< evaluation point
+  Index port_row = 0; ///< the Z entry differentiated
+  Index port_col = 0;
+  CVec d_resistance;  ///< ∂Z/∂Rₑ, one per netlist resistor
+  CVec d_capacitance; ///< ∂Z/∂Cₑ
+  CVec d_inductance;  ///< ∂Z/∂Lₑ (general RLC form)
+  CVec d_coupling;    ///< ∂Z/∂kₑ, one per mutual element
+};
+
+/// Computes all element sensitivities of Z(port_row, port_col) at `s`.
+/// The netlist must be the one `build_mna(netlist, MnaForm::kGeneral)` (or
+/// kRC for RC circuits) was assembled from; the general/RC form is rebuilt
+/// internally so indices line up.
+SensitivityResult z_sensitivities(const Netlist& netlist, Complex s,
+                                  Index port_row, Index port_col);
+
+}  // namespace sympvl

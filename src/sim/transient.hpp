@@ -1,0 +1,61 @@
+// Time-domain (transient) simulation of assembled MNA systems,
+//   C·dx/dt + G·x = B·i(t),
+// with fixed-step trapezoidal or backward-Euler integration and a single
+// sparse LDLᵀ factorization reused across all steps.
+//
+// This is the "full circuit" side of the paper's Figure 5 comparison; the
+// reduced-order counterpart (eq. 23) lives in mor/reduced_model.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "linalg/dense.hpp"
+
+namespace sympvl {
+
+/// Scalar waveform i(t).
+using Waveform = std::function<double(double)>;
+
+enum class IntegrationMethod {
+  kTrapezoidal,   ///< second order, A-stable (SPICE default)
+  kBackwardEuler, ///< first order, L-stable
+};
+
+struct TransientOptions {
+  double dt = 1e-12;     ///< fixed time step [s]
+  double t_end = 1e-9;   ///< final time [s]
+  IntegrationMethod method = IntegrationMethod::kTrapezoidal;
+};
+
+/// Result of a transient run: `outputs(k, j)` is output j at `time[k]`.
+struct TransientResult {
+  Vec time;
+  Mat outputs;
+};
+
+/// Simulates the MNA system driven by current waveforms at its ports
+/// (column j of sys.B is driven by port_currents[j]) and records the port
+/// voltages v = Bᵀx. Requires a prefactor-free s-domain form (general RLC
+/// or RC assembly). Zero initial conditions.
+TransientResult simulate_ports_transient(
+    const MnaSystem& sys, const std::vector<Waveform>& port_currents,
+    const TransientOptions& options);
+
+/// General form: drive columns of `input_map` with `inputs`, observe rows
+/// of `output_mapᵀ·x`.
+TransientResult simulate_transient(const MnaSystem& sys, const Mat& input_map,
+                                   const std::vector<Waveform>& inputs,
+                                   const Mat& output_map,
+                                   const TransientOptions& options);
+
+/// Common stimulus: 0 until t0, linear ramp to `amplitude` over `rise`,
+/// then constant.
+Waveform ramp_waveform(double amplitude, double t0, double rise);
+
+/// Common stimulus: trapezoidal pulse.
+Waveform pulse_waveform(double amplitude, double t0, double rise, double width,
+                        double fall);
+
+}  // namespace sympvl

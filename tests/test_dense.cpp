@@ -1,0 +1,145 @@
+#include "linalg/dense.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sympvl {
+namespace {
+
+TEST(Dense, ConstructionAndAccess) {
+  Mat a(2, 3);
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_DOUBLE_EQ(a(1, 2), 0.0);
+  a(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(a(1, 2), 5.0);
+}
+
+TEST(Dense, InitializerList) {
+  Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 3.0);
+}
+
+TEST(Dense, RaggedInitializerThrows) {
+  EXPECT_THROW((Mat{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(Dense, Identity) {
+  const Mat i = Mat::identity(3);
+  for (Index r = 0; r < 3; ++r)
+    for (Index c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Dense, Transpose) {
+  Mat a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Mat at = a.transpose();
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 2);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+}
+
+TEST(Dense, AdjointConjugates) {
+  CMat a(1, 1);
+  a(0, 0) = Complex(1.0, 2.0);
+  const CMat ah = a.adjoint();
+  EXPECT_DOUBLE_EQ(ah(0, 0).imag(), -2.0);
+}
+
+TEST(Dense, MatMul) {
+  Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  Mat b{{5.0, 6.0}, {7.0, 8.0}};
+  const Mat c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Dense, MatMulShapeMismatchThrows) {
+  Mat a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, Error);
+}
+
+TEST(Dense, MatVec) {
+  Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vec y = a * Vec{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Dense, AddSubtractScale) {
+  Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  Mat b{{1.0, 1.0}, {1.0, 1.0}};
+  const Mat c = a + b;
+  const Mat d = a - b;
+  const Mat e = a * 2.0;
+  EXPECT_DOUBLE_EQ(c(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(e(1, 0), 6.0);
+}
+
+TEST(Dense, Block) {
+  Mat a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const Mat b = a.block(1, 3, 0, 2);
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b.cols(), 2);
+  EXPECT_DOUBLE_EQ(b(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 8.0);
+}
+
+TEST(Dense, BlockOutOfRangeThrows) {
+  Mat a(2, 2);
+  EXPECT_THROW(a.block(0, 3, 0, 1), Error);
+}
+
+TEST(Dense, NormAndMaxAbs) {
+  Mat a{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Dense, Asymmetry) {
+  Mat a{{1.0, 2.0}, {2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.0);
+  a(1, 0) = 2.5;
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.5);
+}
+
+TEST(Dense, ColRowAccess) {
+  Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vec c = a.col(1);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 4.0);
+  a.set_col(0, Vec{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(a(1, 0), 8.0);
+}
+
+TEST(Dense, DotConjugatesComplex) {
+  CVec x{Complex(0.0, 1.0)};
+  CVec y{Complex(0.0, 1.0)};
+  const Complex d = dot(x, y);
+  EXPECT_DOUBLE_EQ(d.real(), 1.0);
+  EXPECT_DOUBLE_EQ(d.imag(), 0.0);
+}
+
+TEST(Dense, VectorHelpers) {
+  Vec x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  Vec y{1.0, 1.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 4.5);
+}
+
+TEST(Dense, ComplexConversions) {
+  Mat a{{1.0, -2.0}};
+  const CMat c = to_complex(a);
+  EXPECT_DOUBLE_EQ(c(0, 1).real(), -2.0);
+  EXPECT_DOUBLE_EQ(real_part(c)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(imag_part(c)(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace sympvl

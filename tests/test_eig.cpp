@@ -1,0 +1,286 @@
+#include "linalg/eig.hpp"
+
+#include "linalg/dense_factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace sympvl {
+namespace {
+
+Mat random_symmetric(Index n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Mat a(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j <= i; ++j) {
+      a(i, j) = u(rng);
+      a(j, i) = a(i, j);
+    }
+  return a;
+}
+
+TEST(EigSymmetric, Diagonal) {
+  Mat a{{3.0, 0.0}, {0.0, -1.0}};
+  const auto e = eig_symmetric(a);
+  EXPECT_NEAR(e.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+}
+
+TEST(EigSymmetric, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Mat a{{2.0, 1.0}, {1.0, 2.0}};
+  const auto e = eig_symmetric(a);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+}
+
+TEST(EigSymmetric, ResidualAndOrthogonality) {
+  for (unsigned seed : {1u, 5u, 9u}) {
+    const Index n = 25;
+    const Mat a = random_symmetric(n, seed);
+    const auto e = eig_symmetric(a);
+    // A·V = V·diag(λ).
+    Mat av = a * e.vectors;
+    for (Index j = 0; j < n; ++j)
+      for (Index i = 0; i < n; ++i)
+        EXPECT_NEAR(av(i, j), e.vectors(i, j) * e.values[static_cast<size_t>(j)],
+                    1e-9)
+            << "seed " << seed;
+    // Vᵀ V = I.
+    EXPECT_NEAR((e.vectors.transpose() * e.vectors - Mat::identity(n)).max_abs(),
+                0.0, 1e-10);
+    // Ascending order.
+    EXPECT_TRUE(std::is_sorted(e.values.begin(), e.values.end()));
+  }
+}
+
+TEST(EigSymmetric, TraceAndDeterminantInvariants) {
+  const Mat a = random_symmetric(12, 17);
+  const auto e = eig_symmetric(a);
+  double trace = 0.0, eig_sum = 0.0;
+  for (Index i = 0; i < 12; ++i) {
+    trace += a(i, i);
+    eig_sum += e.values[static_cast<size_t>(i)];
+  }
+  EXPECT_NEAR(trace, eig_sum, 1e-10);
+}
+
+TEST(EigSymmetric, RejectsNonSymmetric) {
+  Mat a{{1.0, 5.0}, {0.0, 1.0}};
+  EXPECT_THROW(eig_symmetric(a), Error);
+}
+
+TEST(EigSymmetricTridiagonal, ToeplitzFormula) {
+  // Tridiag(-1, 2, -1) of size n has eigenvalues 2-2cos(kπ/(n+1)).
+  const Index n = 10;
+  Vec d(static_cast<size_t>(n), 2.0);
+  Vec e(static_cast<size_t>(n) - 1, -1.0);
+  const Vec w = eig_symmetric_tridiagonal(d, e);
+  for (Index k = 1; k <= n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(M_PI * static_cast<double>(k) /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(w[static_cast<size_t>(k) - 1], expected, 1e-10);
+  }
+}
+
+TEST(EigGeneral, RealEigenvalues) {
+  Mat a{{1.0, 0.0}, {0.0, 2.0}};
+  CVec w = eig_general(a);
+  std::sort(w.begin(), w.end(),
+            [](Complex x, Complex y) { return x.real() < y.real(); });
+  EXPECT_NEAR(w[0].real(), 1.0, 1e-10);
+  EXPECT_NEAR(w[1].real(), 2.0, 1e-10);
+}
+
+TEST(EigGeneral, ComplexPair) {
+  // Rotation-like matrix: eigenvalues a ± bi.
+  Mat a{{1.0, -2.0}, {2.0, 1.0}};
+  CVec w = eig_general(a);
+  std::sort(w.begin(), w.end(),
+            [](Complex x, Complex y) { return x.imag() < y.imag(); });
+  EXPECT_NEAR(w[0].real(), 1.0, 1e-10);
+  EXPECT_NEAR(w[0].imag(), -2.0, 1e-10);
+  EXPECT_NEAR(w[1].imag(), 2.0, 1e-10);
+}
+
+TEST(EigGeneral, CompanionMatrixRoots) {
+  // Companion matrix of x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+  Mat a(3, 3);
+  a(0, 0) = 6.0;
+  a(0, 1) = -11.0;
+  a(0, 2) = 6.0;
+  a(1, 0) = 1.0;
+  a(2, 1) = 1.0;
+  CVec w = eig_general(a);
+  Vec reals;
+  for (const auto& z : w) {
+    EXPECT_NEAR(z.imag(), 0.0, 1e-8);
+    reals.push_back(z.real());
+  }
+  std::sort(reals.begin(), reals.end());
+  EXPECT_NEAR(reals[0], 1.0, 1e-8);
+  EXPECT_NEAR(reals[1], 2.0, 1e-8);
+  EXPECT_NEAR(reals[2], 3.0, 1e-8);
+}
+
+TEST(EigGeneral, AgreesWithSymmetricSolver) {
+  for (unsigned seed : {2u, 6u}) {
+    const Index n = 15;
+    const Mat a = random_symmetric(n, seed);
+    const auto sym = eig_symmetric(a);
+    CVec w = eig_general(a);
+    Vec reals;
+    for (const auto& z : w) {
+      EXPECT_NEAR(z.imag(), 0.0, 1e-7);
+      reals.push_back(z.real());
+    }
+    std::sort(reals.begin(), reals.end());
+    for (Index i = 0; i < n; ++i)
+      EXPECT_NEAR(reals[static_cast<size_t>(i)], sym.values[static_cast<size_t>(i)],
+                  1e-7);
+  }
+}
+
+TEST(EigGeneral, CharacteristicInvariants) {
+  // Sum of eigenvalues = trace for a random matrix.
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const Index n = 20;
+  Mat a(n, n);
+  double trace = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) a(i, j) = u(rng);
+    trace += a(i, i);
+  }
+  const CVec w = eig_general(a);
+  Complex sum(0.0, 0.0);
+  for (const auto& z : w) sum += z;
+  EXPECT_NEAR(sum.real(), trace, 1e-8);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-8);
+}
+
+TEST(EigGeneral, SizeOneAndEmpty) {
+  Mat a(1, 1);
+  a(0, 0) = 4.2;
+  const CVec w = eig_general(a);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NEAR(w[0].real(), 4.2, 1e-14);
+  EXPECT_TRUE(eig_general(Mat(0, 0)).empty());
+}
+
+TEST(EigSymmetricBackends, JacobiAndQlAgree) {
+  for (Index n : {3, 10, 30, 80}) {
+    const Mat a = random_symmetric(n, static_cast<unsigned>(100 + n));
+    const auto ja = eig_symmetric_jacobi(a);
+    const auto ql = eig_symmetric_ql(a);
+    for (Index k = 0; k < n; ++k)
+      EXPECT_NEAR(ja.values[static_cast<size_t>(k)],
+                  ql.values[static_cast<size_t>(k)],
+                  1e-9 * (1.0 + std::abs(ja.values[static_cast<size_t>(k)])))
+          << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(EigSymmetricBackends, QlResidualAndOrthogonality) {
+  const Index n = 90;  // above the cutover: the dispatcher uses QL here
+  const Mat a = random_symmetric(n, 7);
+  const auto e = eig_symmetric(a);
+  Mat av = a * e.vectors;
+  for (Index j = 0; j < n; ++j)
+    for (Index i = 0; i < n; ++i)
+      EXPECT_NEAR(av(i, j), e.vectors(i, j) * e.values[static_cast<size_t>(j)],
+                  1e-8 * (1.0 + a.max_abs()));
+  EXPECT_NEAR((e.vectors.transpose() * e.vectors - Mat::identity(n)).max_abs(),
+              0.0, 1e-9);
+}
+
+TEST(EigSymmetricBackends, QlHandlesDegenerateSpectra) {
+  // Repeated eigenvalues: A = diag(2, 2, 2, 5, 5).
+  Mat a(5, 5);
+  for (Index i = 0; i < 3; ++i) a(i, i) = 2.0;
+  for (Index i = 3; i < 5; ++i) a(i, i) = 5.0;
+  const auto e = eig_symmetric_ql(a);
+  EXPECT_NEAR(e.values[0], 2.0, 1e-13);
+  EXPECT_NEAR(e.values[2], 2.0, 1e-13);
+  EXPECT_NEAR(e.values[4], 5.0, 1e-13);
+}
+
+TEST(EigGeneralVectors, ResidualOnRandomMatrix) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const Index n = 12;
+  Mat a(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) a(i, j) = u(rng);
+  const GeneralEig e = eig_general_vectors(a);
+  const CMat ac = to_complex(a);
+  for (Index k = 0; k < n; ++k) {
+    CVec x = e.vectors.col(k);
+    CVec r = ac * x;
+    for (Index i = 0; i < n; ++i) r[static_cast<size_t>(i)] -= e.values[static_cast<size_t>(k)] * x[static_cast<size_t>(i)];
+    EXPECT_LT(norm2(r), 1e-6 * a.max_abs()) << "eigenpair " << k;
+    EXPECT_NEAR(norm2(x), 1.0, 1e-12);
+  }
+}
+
+TEST(EigGeneralVectors, ComplexPairVectorsAreConjugateDirections) {
+  Mat a{{1.0, -3.0}, {3.0, 1.0}};  // eigenvalues 1 ± 3i
+  const GeneralEig e = eig_general_vectors(a);
+  const CMat ac = to_complex(a);
+  for (Index k = 0; k < 2; ++k) {
+    CVec x = e.vectors.col(k);
+    CVec r = ac * x;
+    for (Index i = 0; i < 2; ++i) r[static_cast<size_t>(i)] -= e.values[static_cast<size_t>(k)] * x[static_cast<size_t>(i)];
+    EXPECT_LT(norm2(r), 1e-8);
+  }
+}
+
+TEST(EigGeneralVectors, DiagonalizationReconstructs) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const Index n = 8;
+  Mat a(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) a(i, j) = u(rng);
+  const GeneralEig e = eig_general_vectors(a);
+  // A ≈ X Λ X⁻¹.
+  const CMat xinv = dense_solve(e.vectors, CMat::identity(n));
+  CMat lam(n, n);
+  for (Index i = 0; i < n; ++i) lam(i, i) = e.values[static_cast<size_t>(i)];
+  const CMat recon = e.vectors * lam * xinv;
+  const CMat ac = to_complex(a);
+  EXPECT_LT((recon - ac).max_abs(), 1e-6 * (1.0 + a.max_abs()));
+}
+
+TEST(EigSymmetricGeneralized, SimplePencil) {
+  // A v = λ B v with A = diag(1, 8), B = diag(1, 2): λ = 1, 4.
+  Mat a{{1.0, 0.0}, {0.0, 8.0}};
+  Mat b{{1.0, 0.0}, {0.0, 2.0}};
+  const auto e = eig_symmetric_generalized(a, b);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 4.0, 1e-10);
+}
+
+TEST(EigSymmetricGeneralized, Residual) {
+  const Mat a = random_symmetric(10, 3);
+  Mat m = random_symmetric(10, 4);
+  Mat b = m * m.transpose();
+  for (Index i = 0; i < 10; ++i) b(i, i) += 10.0;
+  const auto e = eig_symmetric_generalized(a, b);
+  for (Index k = 0; k < 10; ++k) {
+    const Vec v = e.vectors.col(k);
+    const Vec av = a * v;
+    const Vec bv = b * v;
+    for (Index i = 0; i < 10; ++i)
+      EXPECT_NEAR(av[static_cast<size_t>(i)],
+                  e.values[static_cast<size_t>(k)] * bv[static_cast<size_t>(i)],
+                  1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace sympvl

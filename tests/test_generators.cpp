@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "gen/package.hpp"
+#include "gen/peec.hpp"
+#include "gen/random_circuit.hpp"
+#include "gen/rc_interconnect.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+TEST(Generators, RandomRcIsValidAndConnected) {
+  const Netlist nl = random_rc({.nodes = 30, .ports = 3, .seed = 1});
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_TRUE(nl.is_rc());
+  // Connected to ground through resistors: G is nonsingular.
+  const MnaSystem sys = build_mna(nl);
+  EXPECT_NO_THROW(LDLT{sys.G});
+}
+
+TEST(Generators, RandomCircuitsDeterministicInSeed) {
+  const Netlist a = random_rc({.nodes = 20, .ports = 2, .seed = 7});
+  const Netlist b = random_rc({.nodes = 20, .ports = 2, .seed = 7});
+  ASSERT_EQ(a.resistors().size(), b.resistors().size());
+  for (size_t k = 0; k < a.resistors().size(); ++k)
+    EXPECT_DOUBLE_EQ(a.resistors()[k].resistance, b.resistors()[k].resistance);
+}
+
+TEST(Generators, RandomLcUngroundedHasSingularG) {
+  const Netlist nl = random_lc({.nodes = 12, .ports = 1, .seed = 2,
+                                .grounded = false});
+  const MnaSystem sys = build_mna(nl, MnaForm::kLC);
+  EXPECT_THROW(LDLT(sys.G, Ordering::kRCM, 1e-12), Error);
+}
+
+TEST(Generators, RandomRlAndRlcClassifyCorrectly) {
+  EXPECT_TRUE(random_rl({.nodes = 15, .ports = 1, .seed = 3}).is_rl());
+  const Netlist rlc = random_rlc({.nodes = 15, .ports = 2, .seed = 4});
+  EXPECT_FALSE(rlc.is_rc());
+  EXPECT_FALSE(rlc.is_rl());
+  EXPECT_FALSE(rlc.is_lc());
+}
+
+TEST(Generators, PeecStructureMatchesPaper) {
+  const PeecCircuit peec = make_peec_circuit({.grid = 8});
+  // LC only.
+  EXPECT_TRUE(peec.netlist.is_lc());
+  EXPECT_GT(peec.netlist.mutuals().size(), 0u);
+  // Two-port B with the observation column.
+  EXPECT_EQ(peec.system.port_count(), 2);
+  EXPECT_EQ(peec.system.variable, SVariable::kSSquared);
+  // G singular (no DC path to the reference plane) — the paper's reason
+  // for the frequency shift of eq. 26.
+  EXPECT_THROW(LDLT(peec.system.G, Ordering::kRCM, 1e-12), Error);
+  // Shifted pencil factors fine.
+  EXPECT_NO_THROW(LDLT{SMat::add(peec.system.G, 1.0, peec.system.C, 1e18)});
+}
+
+TEST(Generators, PeecInductanceMatrixIsSpd) {
+  const PeecCircuit peec = make_peec_circuit({.grid = 6});
+  EXPECT_NO_THROW(inductance_matrix(peec.netlist));
+}
+
+TEST(Generators, PackageDimensionsMatchPaper) {
+  const PackageCircuit pkg = make_package_circuit();
+  // ~4000 circuit elements, MNA size ~2000, 16 ports.
+  EXPECT_NEAR(static_cast<double>(pkg.netlist.element_count()), 4000.0, 500.0);
+  const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kGeneral);
+  EXPECT_NEAR(static_cast<double>(sys.size()), 2000.0, 200.0);
+  EXPECT_EQ(sys.port_count(), 16);
+  EXPECT_EQ(pkg.ext_nodes.size(), 8u);
+  EXPECT_EQ(pkg.int_nodes.size(), 8u);
+}
+
+TEST(Generators, PackagePortIndexHelpers) {
+  const PackageCircuit pkg = make_package_circuit({.pins = 16, .segments = 3,
+                                                   .signal_pins = 4});
+  EXPECT_EQ(pkg.ext_port(0), 0);
+  EXPECT_EQ(pkg.int_port(0), 4);
+  EXPECT_EQ(pkg.int_port(3), 7);
+}
+
+TEST(Generators, PackageIsPhysicallyConsistent) {
+  const PackageCircuit pkg = make_package_circuit({.pins = 8, .segments = 3,
+                                                   .signal_pins = 2});
+  EXPECT_NO_THROW(pkg.netlist.validate());
+  EXPECT_NO_THROW(inductance_matrix(pkg.netlist));
+  // DC: a signal pin sees a finite resistance to ground (through the
+  // grounded supply pins' network).
+  const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kGeneral);
+  const CMat z = ac_z_matrix(sys, Complex(0.0, 1.0));  // near-DC
+  EXPECT_GT(std::abs(z(0, 0)), 0.0);
+}
+
+TEST(Generators, InterconnectDimensionsMatchPaper) {
+  const InterconnectCircuit ic = make_interconnect_circuit();
+  // Paper: 1350 nodes, 1355 R, 36620 C, 17 ports.
+  EXPECT_EQ(ic.netlist.port_count(), 17);
+  EXPECT_NEAR(static_cast<double>(ic.netlist.node_count() - 1), 1350.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(ic.netlist.resistors().size()), 1355.0, 100.0);
+  EXPECT_GT(ic.netlist.capacitors().size(), 20000u);
+  EXPECT_TRUE(ic.netlist.is_rc());
+}
+
+TEST(Generators, InterconnectIsWellPosed) {
+  const InterconnectCircuit ic = make_interconnect_circuit(
+      {.wires = 4, .segments = 20});
+  EXPECT_EQ(ic.netlist.port_count(), 9);
+  const MnaSystem sys = build_mna(ic.netlist, MnaForm::kRC);
+  EXPECT_NO_THROW(LDLT{sys.G});
+  // Crosstalk exists: transfer impedance between adjacent wires nonzero.
+  const CMat z = ac_z_matrix(sys, Complex(0.0, 2.0 * M_PI * 1e9));
+  EXPECT_GT(std::abs(z(0, 1)), 0.0);
+}
+
+TEST(Generators, OptionValidation) {
+  EXPECT_THROW(make_peec_circuit({.grid = 1}), Error);
+  EXPECT_THROW(make_package_circuit({.pins = 2}), Error);
+  EXPECT_THROW(make_interconnect_circuit({.wires = 1}), Error);
+  EXPECT_THROW(random_rc({.nodes = 3, .ports = 5, .seed = 1}), Error);
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,183 @@
+// End-to-end integration tests across the whole pipeline: generator →
+// MNA → SyMPVL → evaluation / synthesis / transient, mirroring the paper's
+// three experiments at reduced scale so they run in seconds.
+#include <gtest/gtest.h>
+
+#include "circuit/parser.hpp"
+#include "gen/package.hpp"
+#include "gen/peec.hpp"
+#include "gen/rc_interconnect.hpp"
+#include "mor/passivity.hpp"
+#include "mor/sympvl.hpp"
+#include "mor/synthesis.hpp"
+#include "sim/ac.hpp"
+#include "sim/transient.hpp"
+
+namespace sympvl {
+namespace {
+
+double max_rel_err(const CMat& a, const CMat& b) {
+  double scale = b.max_abs() + 1e-300;
+  double err = 0.0;
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j)
+      err = std::max(err, std::abs(a(i, j) - b(i, j)));
+  return err / scale;
+}
+
+TEST(Integration, PeecTwoPortReduction) {
+  // Scaled-down Section 7.1: LC PEEC grid, shifted expansion, order raised
+  // until the transfer function matches — the paper's "order 50 good,
+  // +6 iterations perfect" pattern at this scale is roughly
+  // "order 30 rough, order 36 good".
+  const PeecCircuit peec = make_peec_circuit({.grid = 6});
+  const Vec freqs = log_frequency_grid(1e8, 2e10, 12);
+  const auto exact = ac_sweep(peec.system, freqs);
+
+  auto sweep_err = [&](Index order, SympvlReport* report) {
+    SympvlOptions opt;
+    opt.order = order;
+    const ReducedModel rom = sympvl_reduce(peec.system, opt, report);
+    double err = 0.0;
+    for (size_t k = 0; k < freqs.size(); ++k)
+      err = std::max(err, max_rel_err(
+                              rom.eval(Complex(0.0, 2.0 * M_PI * freqs[k])),
+                              exact[k]));
+    return err;
+  };
+
+  SympvlReport report;
+  const double e20 = sweep_err(20, &report);
+  EXPECT_GT(report.s0_used, 0.0);  // eq. 26 was needed (G singular)
+  const double e30 = sweep_err(30, nullptr);
+  const double e36 = sweep_err(36, nullptr);
+  EXPECT_LT(e30, e20);
+  EXPECT_LT(e36, e30);
+  EXPECT_LT(e36, 1e-2) << "near-full order must track the sweep";
+}
+
+TEST(Integration, PackageVoltageTransferConverges) {
+  // Scaled-down Section 7.2: the ext→int voltage transfer of pin 1 from
+  // the reduced model converges to the exact one as the order grows.
+  const PackageCircuit pkg = make_package_circuit(
+      {.pins = 16, .segments = 4, .signal_pins = 4});
+  const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kGeneral);
+  const Vec freqs = log_frequency_grid(1e7, 5e9, 10);
+  const auto exact = ac_sweep(sys, freqs);
+
+  double prev_err = 1e100;
+  for (Index order : {16, 32, 48}) {
+    SympvlOptions opt;
+    opt.order = order;
+    opt.s0 = automatic_shift(sys);  // expand mid-band as the paper does
+    const ReducedModel rom = sympvl_reduce(sys, opt);
+    double err = 0.0;
+    for (size_t k = 0; k < freqs.size(); ++k) {
+      const CMat z = rom.eval(Complex(0.0, 2.0 * M_PI * freqs[k]));
+      const Complex h = voltage_transfer(z, pkg.ext_port(0), pkg.int_port(0));
+      const Complex h_exact =
+          voltage_transfer(exact[k], pkg.ext_port(0), pkg.int_port(0));
+      err = std::max(err, std::abs(h - h_exact) / (std::abs(h_exact) + 1e-300));
+    }
+    EXPECT_LT(err, prev_err * 2.0) << "order " << order;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.05);
+}
+
+TEST(Integration, InterconnectSynthesisRoundTrip) {
+  // Scaled-down Section 7.3: reduce the coupled-RC bus, synthesize, and
+  // verify the synthesized circuit reproduces the reduced model's port
+  // behaviour in both frequency and time domain.
+  const InterconnectCircuit ic =
+      make_interconnect_circuit({.wires = 3, .segments = 30});
+  const MnaSystem sys = build_mna(ic.netlist, MnaForm::kRC);
+  const Index p = sys.port_count();  // 7
+
+  SympvlOptions opt;
+  opt.order = 21;
+  const ReducedModel rom = sympvl_reduce(sys, opt);
+  SynthesisOptions sopt;
+  sopt.drop_tolerance = 1e-10;
+  const SynthesizedCircuit syn = synthesize_congruence_rc(rom, sopt);
+  EXPECT_EQ(syn.netlist.node_count() - 1, rom.order());
+  const MnaSystem syn_sys = build_mna(syn.netlist, MnaForm::kRC);
+
+  // Frequency domain: synthesized == reduced == (approximately) exact.
+  for (double f : {1e7, 1e8, 1e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    EXPECT_LT(max_rel_err(ac_z_matrix(syn_sys, s), rom.eval(s)), 1e-7);
+    EXPECT_LT(max_rel_err(rom.eval(s), ac_z_matrix(sys, s)), 0.03) << f;
+  }
+
+  // Time domain: drive near-end of wire 0, watch far ends (crosstalk).
+  TransientOptions topt;
+  topt.dt = 1e-11;
+  topt.t_end = 5e-9;
+  std::vector<Waveform> drives(static_cast<size_t>(p),
+                               [](double) { return 0.0; });
+  drives[0] = ramp_waveform(1e-3, 0.2e-9, 0.5e-9);
+  const auto full = simulate_ports_transient(sys, drives, topt);
+  const auto red = simulate_ports_transient(syn_sys, drives, topt);
+  double vmax = 0.0;
+  for (size_t k = 0; k < full.time.size(); ++k)
+    vmax = std::max(vmax, std::abs(full.outputs(static_cast<Index>(k), 0)));
+  for (size_t k = 0; k < full.time.size(); ++k)
+    for (Index j = 0; j < p; ++j)
+      EXPECT_NEAR(red.outputs(static_cast<Index>(k), j),
+                  full.outputs(static_cast<Index>(k), j), 0.02 * vmax);
+}
+
+TEST(Integration, PackageRlcAccurateButStabilityNotGuaranteed) {
+  // Section 5: for general RLC circuits the Padé reduced models are NOT
+  // guaranteed stable/passive (the paper defers that to post-processing).
+  // What the algorithm does guarantee is moment-matching accuracy; assert
+  // that, and merely record the stability outcome.
+  const PackageCircuit pkg = make_package_circuit(
+      {.pins = 8, .segments = 3, .signal_pins = 2});
+  const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kGeneral);
+  SympvlOptions opt;
+  opt.order = 40;
+  opt.s0 = automatic_shift(sys);
+  const ReducedModel rom = sympvl_reduce(sys, opt);
+
+  const Vec freqs = log_frequency_grid(1e7, 5e9, 9);
+  const auto exact = ac_sweep(sys, freqs);
+  double err = 0.0;
+  for (size_t k = 0; k < freqs.size(); ++k)
+    err = std::max(err, max_rel_err(
+                            rom.eval(Complex(0.0, 2.0 * M_PI * freqs[k])),
+                            exact[k]));
+  EXPECT_LT(err, 5e-2) << "order-40 model must track the 9-point sweep";
+  // Stability may or may not hold — just exercise the check.
+  (void)rom.is_stable();
+}
+
+TEST(Integration, ParserToReductionPipeline) {
+  // Text netlist in, reduced model out.
+  const char* text = R"(
+* three-section RC line
+R1 in n1 100
+R2 n1 n2 100
+R3 n2 n3 100
+C1 n1 0 1p
+C2 n2 0 1p
+C3 n3 0 1p
+.port drive in
+.end
+)";
+  const Netlist nl = parse_netlist(text);
+  SympvlOptions opt;
+  opt.order = 4;
+  const ReducedModel rom = sympvl_reduce(nl, opt);
+  const MnaSystem sys = build_mna(nl);
+  for (double f : {1e7, 1e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    EXPECT_LT(max_rel_err(rom.eval(s), ac_z_matrix(sys, s)), 1e-6);
+  }
+  const auto report = check_passivity(rom, log_frequency_grid(1e6, 1e10, 9));
+  EXPECT_TRUE(report.passive);
+}
+
+}  // namespace
+}  // namespace sympvl

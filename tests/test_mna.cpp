@@ -1,0 +1,219 @@
+#include "circuit/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+TEST(Mna, ResistorDividerStamps) {
+  // in --R1-- mid --R2-- gnd, port at in.
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 0, 300.0);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  ASSERT_EQ(sys.size(), 2);
+  const Mat g = sys.G.to_dense();
+  EXPECT_NEAR(g(0, 0), 0.01, 1e-15);
+  EXPECT_NEAR(g(0, 1), -0.01, 1e-15);
+  EXPECT_NEAR(g(1, 1), 0.01 + 1.0 / 300.0, 1e-15);
+  EXPECT_DOUBLE_EQ(sys.B(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sys.B(1, 0), 0.0);
+}
+
+TEST(Mna, DcResistanceOfDivider) {
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 0, 300.0);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  const CMat z = ac_z_matrix(sys, Complex(0.0, 0.0));
+  EXPECT_NEAR(z(0, 0).real(), 400.0, 1e-9);
+  EXPECT_NEAR(z(0, 0).imag(), 0.0, 1e-12);
+}
+
+TEST(Mna, GeneralFormHasInductorUnknowns) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 10.0);
+  nl.add_inductor(1, 2, 1e-9);
+  nl.add_capacitor(2, 0, 1e-12);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl, MnaForm::kGeneral);
+  EXPECT_EQ(sys.node_unknowns, 2);
+  EXPECT_EQ(sys.inductor_unknowns, 1);
+  EXPECT_EQ(sys.size(), 3);
+  // C contains -L in the inductor block.
+  EXPECT_NEAR(sys.C.coeff(2, 2), -1e-9, 1e-24);
+  // G couples node and inductor rows with the incidence ±1.
+  EXPECT_DOUBLE_EQ(sys.G.coeff(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(sys.G.coeff(2, 1), -1.0);
+}
+
+TEST(Mna, MatricesAreSymmetric) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 10.0);
+  const Index l1 = nl.add_inductor(1, 2, 1e-9);
+  const Index l2 = nl.add_inductor(2, 3, 2e-9);
+  nl.add_mutual(l1, l2, 0.4);
+  nl.add_capacitor(3, 0, 1e-12);
+  nl.add_capacitor(2, 3, 5e-13);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl, MnaForm::kGeneral);
+  EXPECT_DOUBLE_EQ(sys.G.asymmetry(), 0.0);
+  EXPECT_DOUBLE_EQ(sys.C.asymmetry(), 0.0);
+}
+
+TEST(Mna, MutualStampedIntoInductorBlock) {
+  Netlist nl;
+  const Index l1 = nl.add_inductor(1, 0, 1e-9);
+  const Index l2 = nl.add_inductor(2, 0, 4e-9);
+  nl.add_mutual(l1, l2, 0.5);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_capacitor(2, 0, 1e-12);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl, MnaForm::kGeneral);
+  // M = 0.5·√(1n·4n) = 1n; stored negated.
+  EXPECT_NEAR(sys.C.coeff(2, 3), -1e-9, 1e-24);
+  EXPECT_NEAR(sys.C.coeff(3, 2), -1e-9, 1e-24);
+}
+
+TEST(Mna, RcFormMatchesGeneralForm) {
+  Netlist nl;
+  nl.add_resistor(1, 2, 50.0);
+  nl.add_resistor(2, 0, 150.0);
+  nl.add_capacitor(1, 0, 2e-12);
+  nl.add_capacitor(2, 0, 1e-12);
+  nl.add_capacitor(1, 2, 5e-13);
+  nl.add_port(1, 0);
+  nl.add_port(2, 0);
+  const MnaSystem rc = build_mna(nl, MnaForm::kRC);
+  const MnaSystem gen = build_mna(nl, MnaForm::kGeneral);
+  EXPECT_TRUE(rc.definite);
+  for (double f : {1e7, 1e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const CMat z1 = ac_z_matrix(rc, s);
+    const CMat z2 = ac_z_matrix(gen, s);
+    for (Index i = 0; i < 2; ++i)
+      for (Index j = 0; j < 2; ++j)
+        EXPECT_NEAR(std::abs(z1(i, j) - z2(i, j)), 0.0,
+                    1e-10 * std::abs(z1(i, j)) + 1e-15);
+  }
+}
+
+TEST(Mna, RlFormMatchesGeneralForm) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 20.0);
+  nl.add_resistor(1, 2, 5.0);
+  const Index l1 = nl.add_inductor(1, 2, 2e-9);
+  const Index l2 = nl.add_inductor(2, 0, 1e-9);
+  nl.add_mutual(l1, l2, 0.3);
+  nl.add_port(1, 0);
+  const MnaSystem rl = build_mna(nl, MnaForm::kRL);
+  const MnaSystem gen = build_mna(nl, MnaForm::kGeneral);
+  EXPECT_EQ(rl.s_prefactor, 1);
+  EXPECT_TRUE(rl.definite);
+  for (double f : {1e8, 1e9, 1e10}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const CMat z1 = ac_z_matrix(rl, s);
+    const CMat z2 = ac_z_matrix(gen, s);
+    EXPECT_NEAR(std::abs(z1(0, 0) - z2(0, 0)), 0.0,
+                1e-9 * std::abs(z2(0, 0)));
+  }
+}
+
+TEST(Mna, LcFormMatchesGeneralForm) {
+  Netlist nl;
+  const Index l1 = nl.add_inductor(1, 2, 2e-9);
+  const Index l2 = nl.add_inductor(2, 0, 1e-9);
+  nl.add_mutual(l1, l2, 0.25);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_capacitor(2, 0, 2e-12);
+  nl.add_port(1, 0);
+  const MnaSystem lc = build_mna(nl, MnaForm::kLC);
+  const MnaSystem gen = build_mna(nl, MnaForm::kGeneral);
+  EXPECT_EQ(lc.variable, SVariable::kSSquared);
+  EXPECT_EQ(lc.s_prefactor, 1);
+  for (double f : {1e8, 7e8, 3e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const CMat z1 = ac_z_matrix(lc, s);
+    const CMat z2 = ac_z_matrix(gen, s);
+    EXPECT_NEAR(std::abs(z1(0, 0) - z2(0, 0)), 0.0,
+                1e-8 * std::abs(z2(0, 0)))
+        << "f=" << f;
+  }
+}
+
+TEST(Mna, SingleInductorImpedance) {
+  // Z(s) = sL for one inductor; exercised through the RL eliminated form.
+  Netlist nl;
+  nl.add_inductor(1, 0, 1e-9);
+  nl.add_resistor(1, 2, 1e6);  // weak shunt to keep the circuit RL
+  nl.add_resistor(2, 0, 1e6);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl, MnaForm::kRL);
+  const double f = 1e9;
+  const Complex s(0.0, 2.0 * M_PI * f);
+  const CMat z = ac_z_matrix(sys, s);
+  // |Z| ≈ ωL (shunt is negligible).
+  EXPECT_NEAR(z(0, 0).imag(), 2.0 * M_PI * f * 1e-9,
+              1e-3 * 2.0 * M_PI * f * 1e-9);
+}
+
+TEST(Mna, SpecialFormRejectsWrongClass) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 1.0);
+  nl.add_inductor(1, 2, 1e-9);
+  nl.add_capacitor(2, 0, 1e-12);
+  nl.add_port(1, 0);
+  EXPECT_THROW(build_mna(nl, MnaForm::kRC), Error);
+  EXPECT_THROW(build_mna(nl, MnaForm::kRL), Error);
+  EXPECT_THROW(build_mna(nl, MnaForm::kLC), Error);
+}
+
+TEST(Mna, AutoPicksSpecialForms) {
+  Netlist rc;
+  rc.add_resistor(1, 0, 1.0);
+  rc.add_capacitor(1, 0, 1e-12);
+  rc.add_port(1, 0);
+  EXPECT_TRUE(build_mna(rc).definite);
+  EXPECT_EQ(build_mna(rc).size(), 1);
+
+  Netlist lc;
+  lc.add_inductor(1, 2, 1e-9);
+  lc.add_capacitor(2, 0, 1e-12);
+  lc.add_capacitor(1, 0, 1e-12);
+  lc.add_port(1, 0);
+  EXPECT_EQ(build_mna(lc).variable, SVariable::kSSquared);
+}
+
+TEST(Mna, RequiresPorts) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 1.0);
+  EXPECT_THROW(build_mna(nl, MnaForm::kRC), Error);
+}
+
+TEST(Mna, InductanceMatrixSpdCheck) {
+  Netlist nl;
+  const Index l1 = nl.add_inductor(1, 0, 1e-9);
+  const Index l2 = nl.add_inductor(2, 0, 1e-9);
+  nl.add_mutual(l1, l2, 0.99);
+  const Mat lm = inductance_matrix(nl);
+  EXPECT_NEAR(lm(0, 1), 0.99e-9, 1e-22);
+}
+
+TEST(Mna, SourceIncidence) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 1.0);
+  nl.add_resistor(2, 0, 1.0);
+  nl.add_current_source(0, 2, 1e-3);
+  const Mat b = source_incidence(nl);
+  ASSERT_EQ(b.rows(), 2);
+  ASSERT_EQ(b.cols(), 1);
+  EXPECT_DOUBLE_EQ(b(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(b(1, 0), -1.0);
+}
+
+}  // namespace
+}  // namespace sympvl

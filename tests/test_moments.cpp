@@ -1,0 +1,89 @@
+#include "mor/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+TEST(Moments, ZerothMomentIsDcImpedance) {
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 0, 300.0);
+  nl.add_capacitor(2, 0, 1e-12);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  const auto m = exact_moments(sys, 1);
+  EXPECT_NEAR(m[0](0, 0), 400.0, 1e-9);
+}
+
+TEST(Moments, SingleRcPoleAnalytic) {
+  // Z(s) = R/(1+sRC): mₖ = R·(RC)ᵏ in the series Σ(−s)ᵏmₖ.
+  const double r = 200.0, c = 3e-12;
+  Netlist nl;
+  nl.add_resistor(1, 0, r);
+  nl.add_capacitor(1, 0, c);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  const Vec m = exact_moments_scalar(sys, 5);
+  for (Index k = 0; k < 5; ++k)
+    EXPECT_NEAR(m[static_cast<size_t>(k)], r * std::pow(r * c, static_cast<double>(k)),
+                1e-9 * r * std::pow(r * c, static_cast<double>(k)));
+}
+
+TEST(Moments, MatricesAreSymmetric) {
+  const Netlist nl = random_rc({.nodes = 25, .ports = 3, .seed = 2});
+  const auto m = exact_moments(build_mna(nl), 4);
+  for (const auto& mk : m)
+    EXPECT_NEAR(mk.asymmetry(), 0.0, 1e-10 * (1.0 + mk.max_abs()));
+}
+
+TEST(Moments, TaylorSeriesReconstructsZNearZero) {
+  const Netlist nl = random_rc({.nodes = 20, .ports = 1, .seed = 3});
+  const MnaSystem sys = build_mna(nl);
+  const Vec m = exact_moments_scalar(sys, 12);
+  // Pick s small relative to the slowest time constant so the series
+  // converges quickly (m_{k+1}/m_k → the dominant eigenvalue of G⁻¹C).
+  const double scale = std::abs(m[11] / m[10]);
+  const Complex s(0.1 / scale, 0.05 / scale);
+  Complex series(0.0, 0.0);
+  Complex power(1.0, 0.0);
+  for (size_t k = 0; k < m.size(); ++k) {
+    series += power * m[k];
+    power *= -s;
+  }
+  const Complex exact = ac_z_matrix(sys, s)(0, 0);
+  EXPECT_NEAR(std::abs(series - exact), 0.0, 1e-6 * std::abs(exact));
+}
+
+TEST(Moments, ShiftedMomentsMatchShiftedSeries) {
+  const Netlist nl = random_rc({.nodes = 15, .ports = 1, .seed = 4});
+  const MnaSystem sys = build_mna(nl);
+  const double s0 = 1e9;
+  const Vec m = exact_moments_scalar(sys, 10, s0);
+  // Series about s0 evaluated at s = s0 + σ'.
+  const double scale = std::abs(m[9] / m[8]);
+  const Complex sigma(0.05 / scale, 0.0);
+  Complex series(0.0, 0.0), power(1.0, 0.0);
+  for (size_t k = 0; k < m.size(); ++k) {
+    series += power * m[k];
+    power *= -sigma;
+  }
+  const Complex exact = ac_z_matrix(sys, Complex(s0, 0.0) + sigma)(0, 0);
+  EXPECT_NEAR(std::abs(series - exact), 0.0, 1e-7 * std::abs(exact));
+}
+
+TEST(Moments, RequiresPositiveCount) {
+  const Netlist nl = random_rc({.nodes = 5, .ports = 1, .seed = 5});
+  EXPECT_THROW(exact_moments(build_mna(nl), 0), Error);
+}
+
+TEST(Moments, ScalarRequiresOnePort) {
+  const Netlist nl = random_rc({.nodes = 10, .ports = 2, .seed = 6});
+  EXPECT_THROW(exact_moments_scalar(build_mna(nl), 3), Error);
+}
+
+}  // namespace
+}  // namespace sympvl

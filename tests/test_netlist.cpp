@@ -1,0 +1,113 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sympvl {
+namespace {
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl;
+  EXPECT_EQ(nl.node_count(), 1);  // datum
+  nl.add_resistor(1, 0, 100.0);
+  nl.add_capacitor(1, 2, 1e-12);
+  EXPECT_EQ(nl.node_count(), 3);
+  EXPECT_EQ(nl.element_count(), 2);
+}
+
+TEST(Netlist, AutoNames) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 1.0);
+  nl.add_resistor(2, 0, 1.0);
+  EXPECT_EQ(nl.resistors()[0].name, "R1");
+  EXPECT_EQ(nl.resistors()[1].name, "R2");
+}
+
+TEST(Netlist, RejectsNonPositiveElements) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_resistor(1, 0, 0.0), Error);
+  EXPECT_THROW(nl.add_resistor(1, 0, -5.0), Error);
+  EXPECT_THROW(nl.add_capacitor(1, 0, -1e-12), Error);
+  EXPECT_THROW(nl.add_inductor(1, 0, 0.0), Error);
+}
+
+TEST(Netlist, AllowNegativePermitsSynthesisElements) {
+  Netlist nl;
+  nl.set_allow_negative(true);
+  nl.add_resistor(1, 0, -5.0);
+  nl.add_capacitor(1, 2, -1e-12);
+  EXPECT_NO_THROW(nl.validate());
+  // Zero still rejected.
+  EXPECT_THROW(nl.add_resistor(1, 0, 0.0), Error);
+}
+
+TEST(Netlist, RejectsSelfLoop) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_resistor(1, 1, 10.0), Error);
+  EXPECT_THROW(nl.add_port(0, 0), Error);
+}
+
+TEST(Netlist, MutualValidation) {
+  Netlist nl;
+  const Index l1 = nl.add_inductor(1, 0, 1e-9);
+  const Index l2 = nl.add_inductor(2, 0, 1e-9);
+  EXPECT_THROW(nl.add_mutual(l1, l1, 0.5), Error);
+  EXPECT_THROW(nl.add_mutual(l1, l2, 1.0), Error);
+  EXPECT_THROW(nl.add_mutual(l1, 5, 0.5), Error);
+  EXPECT_NO_THROW(nl.add_mutual(l1, l2, 0.5));
+}
+
+TEST(Netlist, CircuitClassification) {
+  Netlist rc;
+  rc.add_resistor(1, 0, 1.0);
+  rc.add_capacitor(1, 0, 1e-12);
+  EXPECT_TRUE(rc.is_rc());
+  EXPECT_FALSE(rc.is_lc());
+
+  Netlist lc;
+  lc.add_inductor(1, 2, 1e-9);
+  lc.add_capacitor(2, 0, 1e-12);
+  EXPECT_TRUE(lc.is_lc());
+  EXPECT_FALSE(lc.is_rc());
+
+  Netlist rl;
+  rl.add_resistor(1, 0, 1.0);
+  rl.add_inductor(1, 2, 1e-9);
+  EXPECT_TRUE(rl.is_rl());
+
+  Netlist rlc;
+  rlc.add_resistor(1, 0, 1.0);
+  rlc.add_capacitor(1, 0, 1e-12);
+  rlc.add_inductor(1, 2, 1e-9);
+  EXPECT_FALSE(rlc.is_rc());
+  EXPECT_FALSE(rlc.is_rl());
+  EXPECT_FALSE(rlc.is_lc());
+}
+
+TEST(Netlist, FindPort) {
+  Netlist nl;
+  nl.add_port(1, 0, "in");
+  nl.add_port(2, 0, "out");
+  ASSERT_TRUE(nl.find_port("out").has_value());
+  EXPECT_EQ(*nl.find_port("out"), 1);
+  EXPECT_FALSE(nl.find_port("missing").has_value());
+}
+
+TEST(Netlist, NewNodeAllocation) {
+  Netlist nl;
+  const Index a = nl.new_node();
+  const Index b = nl.new_node();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(nl.node_count(), 3);
+}
+
+TEST(Netlist, ValidatePasses) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 50.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_port(1, 0);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,98 @@
+#include "circuit/network_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+CMat sample_z(unsigned seed, Index ports, double f) {
+  const Netlist nl = random_rc({.nodes = 25, .ports = ports, .seed = seed});
+  return ac_z_matrix(build_mna(nl), Complex(0.0, 2.0 * M_PI * f));
+}
+
+double max_dev(const CMat& a, const CMat& b) {
+  double d = 0.0;
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j)
+      d = std::max(d, std::abs(a(i, j) - b(i, j)));
+  return d;
+}
+
+TEST(NetworkParams, ZyRoundTrip) {
+  const CMat z = sample_z(1, 3, 1e9);
+  const CMat y = z_to_y(z);
+  EXPECT_LT(max_dev(y_to_z(y), z), 1e-9 * z.max_abs());
+  // Z·Y = I.
+  const CMat zy = z * y;
+  EXPECT_LT(max_dev(zy, CMat::identity(3)), 1e-10);
+}
+
+TEST(NetworkParams, ZsRoundTrip) {
+  const CMat z = sample_z(2, 2, 5e8);
+  const CMat s = z_to_s(z, 50.0);
+  EXPECT_LT(max_dev(s_to_z(s, 50.0), z), 1e-9 * z.max_abs());
+}
+
+TEST(NetworkParams, MatchedLoadHasZeroReflection) {
+  // A 1-port with Z = Z0 exactly: S = 0.
+  CMat z(1, 1);
+  z(0, 0) = Complex(50.0, 0.0);
+  const CMat s = z_to_s(z, 50.0);
+  EXPECT_NEAR(std::abs(s(0, 0)), 0.0, 1e-14);
+}
+
+TEST(NetworkParams, OpenAndShortReflections) {
+  CMat open_z(1, 1);
+  open_z(0, 0) = Complex(1e12, 0.0);
+  EXPECT_NEAR(z_to_s(open_z, 50.0)(0, 0).real(), 1.0, 1e-9);
+  CMat short_z(1, 1);
+  short_z(0, 0) = Complex(1e-9, 0.0);
+  EXPECT_NEAR(z_to_s(short_z, 50.0)(0, 0).real(), -1.0, 1e-9);
+}
+
+TEST(NetworkParams, PassiveNetworkHasContractiveS) {
+  for (unsigned seed : {3u, 4u, 5u}) {
+    for (double f : {1e7, 1e9}) {
+      const CMat z = sample_z(seed, 2, f);
+      const CMat s = z_to_s(z, 50.0);
+      EXPECT_LE(s_passivity_violation(s), 1e-9)
+          << "seed " << seed << " f " << f;
+    }
+  }
+}
+
+TEST(NetworkParams, ActiveNetworkViolatesContraction) {
+  CMat z(1, 1);
+  z(0, 0) = Complex(-20.0, 0.0);  // negative resistance
+  const CMat s = z_to_s(z, 50.0);
+  EXPECT_GT(s_passivity_violation(s), 0.1);
+}
+
+TEST(NetworkParams, VoltageTransferMatchesAcHelper) {
+  const CMat z = sample_z(6, 3, 1e9);
+  EXPECT_NEAR(std::abs(z_voltage_transfer(z, 0, 2) -
+                       voltage_transfer(z, 0, 2)),
+              0.0, 1e-15);
+}
+
+TEST(NetworkParams, SingularInputsThrow) {
+  CMat z(2, 2);  // all zeros: singular
+  EXPECT_THROW(z_to_y(z), Error);
+  CMat s = CMat::identity(2);  // I - S singular
+  EXPECT_THROW(s_to_z(s), Error);
+  EXPECT_THROW(z_to_s(z, -1.0), Error);
+}
+
+TEST(NetworkParams, ReciprocityPreservedThroughConversions) {
+  const CMat z = sample_z(7, 3, 3e9);
+  const CMat s = z_to_s(z, 75.0);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = i + 1; j < 3; ++j)
+      EXPECT_NEAR(std::abs(s(i, j) - s(j, i)), 0.0, 1e-10 * s.max_abs());
+}
+
+}  // namespace
+}  // namespace sympvl

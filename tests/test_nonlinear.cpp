@@ -1,0 +1,249 @@
+#include "sim/nonlinear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "mor/sympvl.hpp"
+
+namespace sympvl {
+namespace {
+
+// Scalar solve of  (v − v_s)/R + i_d(v) = 0  by bisection, for reference.
+double diode_node_voltage(double v_source, double r, double is, double vt) {
+  double lo = 0.0, hi = v_source;
+  for (int k = 0; k < 200; ++k) {
+    const double mid = 0.5 * (lo + hi);
+    const double f = (mid - v_source) / r + is * (std::exp(mid / vt) - 1.0);
+    (f > 0.0 ? hi : lo) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+TEST(Nonlinear, DeviceFreeMatchesLinearBackwardEuler) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 100.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  TransientOptions lopt;
+  lopt.dt = 1e-12;
+  lopt.t_end = 3e-10;
+  lopt.method = IntegrationMethod::kBackwardEuler;
+  std::vector<Waveform> drive{[](double t) { return t > 0 ? 1e-3 : 0.0; }};
+  const auto linear = simulate_ports_transient(sys, drive, lopt);
+
+  NonlinearTransientOptions nopt;
+  nopt.dt = lopt.dt;
+  nopt.t_end = lopt.t_end;
+  const auto nonlinear =
+      simulate_nonlinear_transient(sys, {}, sys.B, drive, sys.B, nopt);
+  ASSERT_EQ(linear.time.size(), nonlinear.time.size());
+  for (size_t k = 0; k < linear.time.size(); ++k)
+    EXPECT_NEAR(nonlinear.outputs(static_cast<Index>(k), 0),
+                linear.outputs(static_cast<Index>(k), 0), 1e-9);
+}
+
+TEST(Nonlinear, DiodeClampsNodeVoltage) {
+  // Current source I0 into node 1; R and diode to ground. Steady state
+  // satisfies v/R + i_d(v) = I0 ⇔ the bisection reference with
+  // v_source = I0·R.
+  const double r = 1000.0, is = 1e-14, vt = 0.02585, i0 = 5e-3;
+  Netlist nl;
+  nl.add_resistor(1, 0, r);
+  nl.add_capacitor(1, 0, 1e-13);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  auto diode = std::make_shared<Diode>(0, -1, is, vt);  // MNA index 0 = node 1
+
+  NonlinearTransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_end = 3e-9;  // ≫ RC so the run reaches steady state
+  std::vector<Waveform> drive{[=](double t) { return t > 0 ? i0 : 0.0; }};
+  const auto res =
+      simulate_nonlinear_transient(sys, {diode}, sys.B, drive, sys.B, opt);
+  const double v_final =
+      res.outputs(static_cast<Index>(res.time.size()) - 1, 0);
+  const double v_ref = diode_node_voltage(i0 * r, r, is, vt);
+  EXPECT_NEAR(v_final, v_ref, 1e-3 * v_ref);
+  // Clamped far below the linear value I0·R = 5 V.
+  EXPECT_LT(v_final, 1.0);
+  EXPECT_GT(v_final, 0.5);
+}
+
+TEST(Nonlinear, DiodeRectifies) {
+  // Sine drive across R ∥ diode: positive half-waves clamp, negative don't.
+  Netlist nl;
+  nl.add_resistor(1, 0, 1000.0);
+  nl.add_capacitor(1, 0, 1e-14);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  auto diode = std::make_shared<Diode>(0, -1);
+  NonlinearTransientOptions opt;
+  opt.dt = 1e-11;
+  opt.t_end = 2e-9;
+  const double f0 = 1e9;
+  std::vector<Waveform> drive{
+      [=](double t) { return 2e-3 * std::sin(2.0 * M_PI * f0 * t); }};
+  const auto res =
+      simulate_nonlinear_transient(sys, {diode}, sys.B, drive, sys.B, opt);
+  double vmax = -1e9, vmin = 1e9;
+  for (size_t k = 0; k < res.time.size(); ++k) {
+    vmax = std::max(vmax, res.outputs(static_cast<Index>(k), 0));
+    vmin = std::min(vmin, res.outputs(static_cast<Index>(k), 0));
+  }
+  EXPECT_LT(vmax, 1.0);    // clamped by the diode
+  EXPECT_LT(vmin, -1.5);   // negative swing nearly unclamped (−2 V ideal)
+}
+
+TEST(Nonlinear, TanhDriverFollowsControl) {
+  // Driver buffers a control node onto a capacitive load: the output must
+  // settle at the control voltage.
+  Netlist nl;
+  nl.add_resistor(1, 0, 1e6);   // control node held by the source
+  nl.add_capacitor(1, 0, 1e-15);
+  nl.add_capacitor(2, 0, 1e-12);  // load
+  nl.add_resistor(2, 0, 1e6);
+  nl.add_port(1, 0);
+  nl.add_port(2, 0);
+  const MnaSystem sys = build_mna(nl);
+  auto driver = std::make_shared<TanhDriver>(0, 1, 0.02, 0.3);
+
+  NonlinearTransientOptions opt;
+  opt.dt = 5e-12;
+  opt.t_end = 5e-9;
+  std::vector<Waveform> drives{[](double t) { return t > 0 ? 1e-6 : 0.0; },
+                               [](double) { return 0.0; }};
+  // 1 µA into 1 MΩ ⇒ control settles at 1 V; the driver must pull the
+  // output there too.
+  const auto res =
+      simulate_nonlinear_transient(sys, {driver}, sys.B, drives, sys.B, opt);
+  const Index last = static_cast<Index>(res.time.size()) - 1;
+  EXPECT_NEAR(res.outputs(last, 0), 1.0, 0.01);
+  EXPECT_NEAR(res.outputs(last, 1), 1.0, 0.02);
+}
+
+TEST(Nonlinear, RomCosimulationMatchesFullCircuit) {
+  // The paper's Section 6 scenario: nonlinear driver + linear block. Run
+  // (a) driver + full block, (b) driver + SyMPVL ROM stamped in; compare.
+  const Netlist block = random_rc({.nodes = 40, .ports = 2, .seed = 51});
+  const MnaSystem block_sys = build_mna(block);
+  SympvlOptions sopt;
+  sopt.order = 16;
+  const ReducedModel rom = sympvl_reduce(block_sys, sopt);
+
+  // Host: a control node driven by a current source; the TanhDriver
+  // buffers it onto the block's first port; port 2 is observed.
+  const Index ctl_node_block = block.node_count();  // fresh node in "full"
+  Netlist full = block;
+  full.add_resistor(ctl_node_block, 0, 1e5);
+  full.add_capacitor(ctl_node_block, 0, 1e-14);
+  // Replace ports: drive = control node, observe = block port 2 node.
+  Netlist full2;
+  full2.ensure_nodes(full.node_count());
+  for (const auto& r : full.resistors()) full2.add_resistor(r.n1, r.n2, r.resistance);
+  for (const auto& c : full.capacitors()) full2.add_capacitor(c.n1, c.n2, c.capacitance);
+  full2.add_port(ctl_node_block, 0, "ctl");
+  full2.add_port(block.ports()[1].n1, 0, "obs");
+  const MnaSystem full_sys = build_mna(full2, MnaForm::kGeneral);
+  auto drv_full = std::make_shared<TanhDriver>(ctl_node_block - 1,
+                                               block.ports()[0].n1 - 1);
+
+  // ROM version: host = control node + attachment nodes for the two ports.
+  Netlist host;
+  host.ensure_nodes(4);
+  host.add_resistor(3, 0, 1e5);
+  host.add_capacitor(3, 0, 1e-14);
+  host.add_resistor(1, 0, 1e9);  // attachment nodes need a DC path in the host
+  host.add_resistor(2, 0, 1e9);
+  host.add_port(3, 0, "ctl");
+  host.add_port(2, 0, "obs");
+  const MnaSystem rom_sys = rom.stamp_into(host, {1, 2});
+  auto drv_rom = std::make_shared<TanhDriver>(2, 0);  // ctl = node 3 → idx 2
+
+  NonlinearTransientOptions opt;
+  opt.dt = 1e-11;
+  opt.t_end = 8e-9;
+  std::vector<Waveform> drives{ramp_waveform(1e-5, 0.5e-9, 1e-9),
+                               [](double) { return 0.0; }};
+  const auto a = simulate_nonlinear_transient(full_sys, {drv_full}, full_sys.B,
+                                              drives, full_sys.B, opt);
+  const auto b = simulate_nonlinear_transient(rom_sys, {drv_rom}, rom_sys.B,
+                                              drives, rom_sys.B, opt);
+  double scale = 0.0;
+  for (size_t k = 0; k < a.time.size(); ++k)
+    scale = std::max(scale, std::abs(a.outputs(static_cast<Index>(k), 1)));
+  ASSERT_GT(scale, 0.0);
+  for (size_t k = 0; k < a.time.size(); ++k)
+    EXPECT_NEAR(b.outputs(static_cast<Index>(k), 1),
+                a.outputs(static_cast<Index>(k), 1), 0.02 * scale)
+        << "t=" << a.time[k];
+}
+
+TEST(Nonlinear, DcOperatingPointLinearMatchesSolve) {
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 0, 300.0);
+  nl.add_capacitor(2, 0, 1e-12);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  const Vec x = dc_operating_point(sys, {}, sys.B, {1e-3});
+  // 1 mA through 400 Ω: node 1 at 0.4 V, node 2 at 0.3 V.
+  EXPECT_NEAR(x[0], 0.4, 1e-12);
+  EXPECT_NEAR(x[1], 0.3, 1e-12);
+}
+
+TEST(Nonlinear, DcOperatingPointDiodeMatchesBisection) {
+  const double r = 1000.0, is = 1e-14, vt = 0.02585, i0 = 5e-3;
+  Netlist nl;
+  nl.add_resistor(1, 0, r);
+  nl.add_capacitor(1, 0, 1e-13);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  auto diode = std::make_shared<Diode>(0, -1, is, vt);
+  const Vec x = dc_operating_point(sys, {diode}, sys.B, {i0});
+  EXPECT_NEAR(x[0], diode_node_voltage(i0 * r, r, is, vt), 1e-9);
+}
+
+TEST(Nonlinear, DcOperatingPointMatchesTransientSteadyState) {
+  Netlist nl;
+  nl.add_resistor(1, 2, 200.0);
+  nl.add_resistor(2, 0, 200.0);
+  nl.add_capacitor(1, 0, 1e-13);
+  nl.add_capacitor(2, 0, 1e-13);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  auto diode = std::make_shared<Diode>(1, -1);  // at node 2
+  const Vec x0 = dc_operating_point(sys, {diode}, sys.B, {2e-3});
+  NonlinearTransientOptions opt;
+  opt.dt = 5e-12;
+  opt.t_end = 5e-9;
+  const auto res = simulate_nonlinear_transient(
+      sys, {diode}, sys.B, {[](double t) { return t > 0 ? 2e-3 : 0.0; }},
+      sys.B, opt);
+  EXPECT_NEAR(res.outputs(static_cast<Index>(res.time.size()) - 1, 0), x0[0],
+              1e-4 * std::abs(x0[0]));
+}
+
+TEST(Nonlinear, Validation) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 10.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  NonlinearTransientOptions opt;
+  opt.dt = 0.0;
+  EXPECT_THROW(simulate_nonlinear_transient(
+                   sys, {}, sys.B, {[](double) { return 0.0; }}, sys.B, opt),
+               Error);
+  EXPECT_THROW(Diode(1, 1), Error);
+  EXPECT_THROW(TanhDriver(0, 0), Error);
+  opt.dt = 1e-12;
+  opt.t_end = 1e-10;
+  auto bad = std::make_shared<Diode>(7, -1);  // out of range for this system
+  EXPECT_THROW(simulate_nonlinear_transient(
+                   sys, {bad}, sys.B, {[](double) { return 0.0; }}, sys.B, opt),
+               Error);
+}
+
+}  // namespace
+}  // namespace sympvl

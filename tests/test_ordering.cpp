@@ -1,0 +1,188 @@
+#include "linalg/ordering.hpp"
+
+#include "linalg/sparse_ldlt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace sympvl {
+namespace {
+
+// Path graph 0-1-2-...-n-1 laid out in a scrambled order.
+SMat scrambled_path(Index n, unsigned seed) {
+  std::vector<Index> label(static_cast<size_t>(n));
+  std::iota(label.begin(), label.end(), Index(0));
+  std::mt19937 rng(seed);
+  std::shuffle(label.begin(), label.end(), rng);
+  TripletBuilder<double> t(n, n);
+  for (Index i = 0; i < n; ++i) t.add(i, i, 2.0);
+  for (Index i = 0; i + 1 < n; ++i)
+    t.add_symmetric(label[static_cast<size_t>(i)], label[static_cast<size_t>(i) + 1],
+                    -1.0);
+  return t.compress();
+}
+
+TEST(Ordering, NaturalIsIdentity) {
+  const auto p = natural_ordering(4);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(p[static_cast<size_t>(i)], i);
+}
+
+TEST(Ordering, RcmIsAPermutation) {
+  const SMat m = scrambled_path(30, 7);
+  const auto p = rcm_ordering(m);
+  ASSERT_EQ(p.size(), 30u);
+  std::vector<Index> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < 30; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Ordering, RcmRecoversPathBandwidth) {
+  // A scrambled path graph has large bandwidth; RCM restores bandwidth 1.
+  const SMat m = scrambled_path(50, 3);
+  EXPECT_GT(bandwidth(m), 5);
+  const SMat r = m.permute_symmetric(rcm_ordering(m));
+  EXPECT_EQ(bandwidth(r), 1);
+}
+
+TEST(Ordering, RcmReducesGridBandwidth) {
+  // 2D grid graph: natural bandwidth m; RCM should stay near m, not blow up.
+  const Index m = 8;
+  TripletBuilder<double> t(m * m, m * m);
+  auto id = [m](Index i, Index j) { return i * m + j; };
+  for (Index i = 0; i < m; ++i)
+    for (Index j = 0; j < m; ++j) {
+      t.add(id(i, j), id(i, j), 4.0);
+      if (j + 1 < m) t.add_symmetric(id(i, j), id(i, j + 1), -1.0);
+      if (i + 1 < m) t.add_symmetric(id(i, j), id(i + 1, j), -1.0);
+    }
+  const SMat g = t.compress();
+  const SMat r = g.permute_symmetric(rcm_ordering(g));
+  EXPECT_LE(bandwidth(r), 2 * m);
+}
+
+TEST(Ordering, HandlesDisconnectedGraph) {
+  // Two disjoint paths.
+  TripletBuilder<double> t(6, 6);
+  for (Index i = 0; i < 6; ++i) t.add(i, i, 1.0);
+  t.add_symmetric(0, 1, -1.0);
+  t.add_symmetric(1, 2, -1.0);
+  t.add_symmetric(3, 4, -1.0);
+  t.add_symmetric(4, 5, -1.0);
+  const auto p = rcm_ordering(t.compress());
+  std::vector<Index> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < 6; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Ordering, HandlesIsolatedVertices) {
+  TripletBuilder<double> t(4, 4);
+  t.add(1, 1, 1.0);  // diagonal only: no edges at all
+  const auto p = rcm_ordering(t.compress());
+  ASSERT_EQ(p.size(), 4u);
+  std::vector<Index> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Ordering, GraphDegrees) {
+  const SMat m = scrambled_path(10, 1);
+  const AdjacencyGraph g = build_graph(m);
+  Index deg1 = 0, deg2 = 0;
+  for (Index v = 0; v < g.size(); ++v) {
+    if (g.degree(v) == 1) ++deg1;
+    if (g.degree(v) == 2) ++deg2;
+  }
+  EXPECT_EQ(deg1, 2);  // path ends
+  EXPECT_EQ(deg2, 8);  // interior
+}
+
+TEST(Ordering, MinDegreeIsAPermutation) {
+  const SMat m = scrambled_path(40, 11);
+  const auto p = min_degree_ordering(m);
+  std::vector<Index> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < 40; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Ordering, MinDegreePathHasNoFill) {
+  // Eliminating a path graph by minimum degree (always an endpoint or an
+  // already-degree-1 node) produces zero fill.
+  const SMat m = scrambled_path(60, 13);
+  const auto p = min_degree_ordering(m);
+  EXPECT_EQ(symbolic_fill(m, p), 59);  // exactly the tree edges, no extra
+}
+
+TEST(Ordering, MinDegreeBeatsNaturalOnGrid) {
+  const Index m = 10;
+  TripletBuilder<double> t(m * m, m * m);
+  auto id = [m](Index i, Index j) { return i * m + j; };
+  for (Index i = 0; i < m; ++i)
+    for (Index j = 0; j < m; ++j) {
+      t.add(id(i, j), id(i, j), 4.0);
+      if (j + 1 < m) t.add_symmetric(id(i, j), id(i, j + 1), -1.0);
+      if (i + 1 < m) t.add_symmetric(id(i, j), id(i + 1, j), -1.0);
+    }
+  const SMat g = t.compress();
+  const Index fill_nat = symbolic_fill(g, natural_ordering(m * m));
+  const Index fill_rcm = symbolic_fill(g, rcm_ordering(g));
+  const Index fill_md = symbolic_fill(g, min_degree_ordering(g));
+  EXPECT_LT(fill_md, fill_nat);
+  EXPECT_LE(fill_md, fill_rcm);
+}
+
+TEST(Ordering, SymbolicFillMatchesNumericFactorization) {
+  const SMat m = scrambled_path(25, 17);
+  // Make it SPD so the factorization exists.
+  TripletBuilder<double> t(25, 25);
+  for (Index j = 0; j < 25; ++j)
+    for (Index k = m.colptr()[static_cast<size_t>(j)];
+         k < m.colptr()[static_cast<size_t>(j) + 1]; ++k)
+      t.add(m.rowind()[static_cast<size_t>(k)], j,
+            m.values()[static_cast<size_t>(k)]);
+  for (Index i = 0; i < 25; ++i) t.add(i, i, 1.0);
+  const SMat spd = t.compress();
+  const auto perm = rcm_ordering(spd);
+  const LDLT fact(spd, Ordering::kRCM);
+  EXPECT_EQ(fact.l_nnz(), symbolic_fill(spd, perm));
+}
+
+TEST(Ordering, MakeOrderingDispatch) {
+  const SMat m = scrambled_path(12, 19);
+  EXPECT_EQ(make_ordering(m, Ordering::kNatural), natural_ordering(12));
+  EXPECT_EQ(make_ordering(m, Ordering::kRCM), rcm_ordering(m));
+  EXPECT_EQ(make_ordering(m, Ordering::kMinDegree), min_degree_ordering(m));
+}
+
+TEST(Ordering, FactorizationsAcceptMinDegree) {
+  // SPD random matrix: LDLᵀ under kMinDegree still solves correctly.
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> u(0.1, 1.0);
+  std::uniform_int_distribution<Index> pick(0, 29);
+  TripletBuilder<double> t(30, 30);
+  for (Index i = 0; i < 30; ++i) t.add(i, i, 2.0);
+  for (int k = 0; k < 90; ++k) {
+    const Index a = pick(rng), b = pick(rng);
+    if (a == b) continue;
+    const double w = u(rng);
+    t.add(a, a, w);
+    t.add(b, b, w);
+    t.add_symmetric(a, b, -w);
+  }
+  const SMat spd = t.compress();
+  Vec b(30, 1.0);
+  const Vec x1 = LDLT(spd, Ordering::kMinDegree).solve(b);
+  const Vec x2 = LDLT(spd, Ordering::kRCM).solve(b);
+  for (size_t i = 0; i < 30; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+TEST(Ordering, BandwidthOfDiagonal) {
+  TripletBuilder<double> t(5, 5);
+  for (Index i = 0; i < 5; ++i) t.add(i, i, 1.0);
+  EXPECT_EQ(bandwidth(t.compress()), 0);
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,287 @@
+#include "circuit/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/mna.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+TEST(ParseValue, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_value("10"), 10.0);
+  EXPECT_DOUBLE_EQ(parse_value("4.7"), 4.7);
+  EXPECT_DOUBLE_EQ(parse_value("1e-12"), 1e-12);
+  EXPECT_DOUBLE_EQ(parse_value("-3.5e2"), -350.0);
+}
+
+TEST(ParseValue, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_value("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(parse_value("2.2K"), 2.2e3);
+  EXPECT_DOUBLE_EQ(parse_value("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_value("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_value("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_value("3u"), 3e-6);
+  EXPECT_DOUBLE_EQ(parse_value("7n"), 7e-9);
+  EXPECT_DOUBLE_EQ(parse_value("2p"), 2e-12);
+  EXPECT_DOUBLE_EQ(parse_value("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(parse_value("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_value("1t"), 1e12);
+}
+
+TEST(ParseValue, UnitTailsIgnored) {
+  EXPECT_DOUBLE_EQ(parse_value("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_value("2kOhm"), 2e3);
+}
+
+TEST(ParseValue, Malformed) {
+  EXPECT_THROW(parse_value("abc"), Error);
+  EXPECT_THROW(parse_value(""), Error);
+  EXPECT_THROW(parse_value("1x"), Error);
+}
+
+TEST(Parser, SimpleRcNetlist) {
+  const Netlist nl = parse_netlist(R"(
+* RC divider
+R1 in mid 1k
+R2 mid 0 1k
+C1 mid gnd 10p
+.port in in
+.end
+)");
+  EXPECT_EQ(nl.resistors().size(), 2u);
+  EXPECT_EQ(nl.capacitors().size(), 1u);
+  EXPECT_EQ(nl.port_count(), 1);
+  EXPECT_DOUBLE_EQ(nl.resistors()[0].resistance, 1000.0);
+  EXPECT_DOUBLE_EQ(nl.capacitors()[0].capacitance, 1e-11);
+}
+
+TEST(Parser, GndAliasesToDatum) {
+  const Netlist nl = parse_netlist("R1 a gnd 5\nR2 b 0 5\n.port p a\n");
+  EXPECT_EQ(nl.resistors()[0].n2, 0);
+  EXPECT_EQ(nl.resistors()[1].n2, 0);
+}
+
+TEST(Parser, MutualInductance) {
+  const Netlist nl = parse_netlist(R"(
+L1 a 0 1n
+L2 b 0 2n
+K12 L1 L2 0.5
+.port p a
+)");
+  ASSERT_EQ(nl.mutuals().size(), 1u);
+  EXPECT_EQ(nl.mutuals()[0].l1, 0);
+  EXPECT_EQ(nl.mutuals()[0].l2, 1);
+  EXPECT_DOUBLE_EQ(nl.mutuals()[0].coupling, 0.5);
+}
+
+TEST(Parser, CurrentSource) {
+  const Netlist nl = parse_netlist("I1 0 a 1m\nR1 a 0 50\n.port p a\n");
+  ASSERT_EQ(nl.current_sources().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.current_sources()[0].value, 1e-3);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const Netlist nl = parse_netlist(R"(
+* full-line comment
+; also a comment
+
+R1 a 0 10 * trailing comment
+.port p a
+)");
+  EXPECT_EQ(nl.resistors().size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("R1 a 0 10\nXbogus 1 2 3\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, BadCardArity) {
+  EXPECT_THROW(parse_netlist("R1 a 0\n"), Error);
+  EXPECT_THROW(parse_netlist("K1 L1 L2 0.5\n"), Error);  // unknown inductors
+  EXPECT_THROW(parse_netlist(".port\n"), Error);
+}
+
+TEST(Parser, StopsAtEnd) {
+  const Netlist nl = parse_netlist("R1 a 0 1\n.port p a\n.end\nR2 b 0 1\n");
+  EXPECT_EQ(nl.resistors().size(), 1u);
+}
+
+TEST(Parser, SubcktFlattening) {
+  // One RC section defined once, instanced twice in series.
+  const Netlist nl = parse_netlist(R"(
+.subckt rcsec in out
+Rs in out 100
+Cs out 0 1p
+.ends rcsec
+X1 a b rcsec
+X2 b c rcsec
+Rload c 0 1k
+.port drive a
+)");
+  EXPECT_EQ(nl.resistors().size(), 3u);
+  EXPECT_EQ(nl.capacitors().size(), 2u);
+  // Flattened names carry the instance prefix.
+  EXPECT_EQ(nl.resistors()[0].name, "x1.Rs");
+  EXPECT_EQ(nl.capacitors()[1].name, "x2.Cs");
+
+  // Same transfer function as the hand-flattened circuit.
+  Netlist hand;
+  hand.add_resistor(1, 2, 100.0);
+  hand.add_capacitor(2, 0, 1e-12);
+  hand.add_resistor(2, 3, 100.0);
+  hand.add_capacitor(3, 0, 1e-12);
+  hand.add_resistor(3, 0, 1000.0);
+  hand.add_port(1, 0);
+  for (double f : {1e7, 1e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const Complex za = ac_z_matrix(build_mna(nl), s)(0, 0);
+    const Complex zb = ac_z_matrix(build_mna(hand), s)(0, 0);
+    EXPECT_NEAR(std::abs(za - zb), 0.0, 1e-10 * std::abs(zb)) << f;
+  }
+}
+
+TEST(Parser, SubcktGroundPin) {
+  // A pin wired to ground in the parent must land on the datum node.
+  const Netlist nl = parse_netlist(R"(
+.subckt load a ref
+Rl a ref 50
+.ends
+X1 in 0 load
+C1 in 0 1p
+.port p in
+)");
+  ASSERT_EQ(nl.resistors().size(), 1u);
+  EXPECT_EQ(nl.resistors()[0].n2, 0);
+  EXPECT_EQ(nl.node_count(), 2);  // only "in" beyond the datum
+}
+
+TEST(Parser, NestedSubcktInstances) {
+  const Netlist nl = parse_netlist(R"(
+.subckt unit a b
+Ru a b 10
+.ends
+.subckt pair x y
+X1 x m unit
+X2 m y unit
+.ends
+Xtop in out pair
+Rterm out 0 100
+C1 in 0 1p
+.port p in
+)");
+  EXPECT_EQ(nl.resistors().size(), 3u);
+  // DC resistance: 10 + 10 + 100.
+  const CMat z = ac_z_matrix(build_mna(nl), Complex(0.0, 0.0));
+  EXPECT_NEAR(z(0, 0).real(), 120.0, 1e-9);
+}
+
+TEST(Parser, SubcktWithMutualInductors) {
+  const Netlist nl = parse_netlist(R"(
+.subckt xfmr p s
+L1 p 0 1n
+L2 s 0 4n
+K1 L1 L2 0.5
+.ends
+Xa in out xfmr
+Rload out 0 50
+.port drive in
+)");
+  ASSERT_EQ(nl.mutuals().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.mutuals()[0].coupling, 0.5);
+}
+
+TEST(Parser, SubcktErrors) {
+  EXPECT_THROW(parse_netlist("X1 a b missing\n"), Error);  // unknown def
+  EXPECT_THROW(parse_netlist(".subckt s a\nRx a 0 1\n"), Error);  // unterminated
+  EXPECT_THROW(parse_netlist(".subckt s a\n.ends t\n"), Error);  // name mismatch
+  EXPECT_THROW(parse_netlist(R"(
+.subckt s a
+.subckt t b
+.ends
+.ends
+)"),
+               Error);  // nested definitions
+  EXPECT_THROW(parse_netlist(R"(
+.subckt s a b
+Rs a b 1
+.ends
+X1 n1 s
+.port p n1
+)"),
+               Error);  // wrong pin count
+  EXPECT_THROW(parse_netlist(R"(
+.subckt s a
+.port p a
+.ends
+X1 n1 s
+)"),
+               Error);  // .port inside a subckt
+}
+
+TEST(Parser, WriteSubcktRoundTrip) {
+  // Export a small netlist as a subckt, instance it behind a resistor and
+  // verify the composite transfer function.
+  Netlist block;
+  block.add_resistor(1, 2, 100.0);
+  block.add_capacitor(2, 0, 2e-12);
+  block.add_resistor(2, 0, 400.0);
+  block.add_port(1, 0, "in");
+  const std::string sub = write_subckt(block, "blk", "exported block");
+
+  const std::string full = sub + R"(
+Rdrv top 1 50
+X1 1 blk
+C0 top 0 1f
+.port p top
+)";
+  // X pins: block has one port at node "1" -> pin name "1".
+  const Netlist nl = parse_netlist(full);
+  const Complex z0 = ac_z_matrix(build_mna(nl), Complex(0.0, 0.0))(0, 0);
+  EXPECT_NEAR(z0.real(), 50.0 + 100.0 + 400.0, 1e-8);
+}
+
+TEST(Parser, WriteSubcktRejectsFloatingPorts) {
+  Netlist block;
+  block.add_resistor(1, 2, 10.0);
+  block.add_capacitor(1, 0, 1e-12);
+  block.add_capacitor(2, 0, 1e-12);
+  block.add_port(1, 2);  // not ground-referenced
+  EXPECT_THROW(write_subckt(block, "b"), Error);
+}
+
+TEST(Parser, WriteParseRoundTripPreservesTransferFunction) {
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 0, 400.0);
+  nl.add_capacitor(2, 0, 2e-12);
+  const Index l1 = nl.add_inductor(1, 3, 1e-9);
+  const Index l2 = nl.add_inductor(3, 0, 2e-9);
+  nl.add_mutual(l1, l2, 0.3);
+  nl.add_port(1, 0, "in");
+
+  const std::string text = write_netlist(nl, "round trip");
+  const Netlist back = parse_netlist(text);
+  EXPECT_EQ(back.resistors().size(), nl.resistors().size());
+  EXPECT_EQ(back.inductors().size(), nl.inductors().size());
+  EXPECT_EQ(back.mutuals().size(), nl.mutuals().size());
+
+  // The transfer function must be identical even if node numbering moved.
+  const MnaSystem s1 = build_mna(nl, MnaForm::kGeneral);
+  const MnaSystem s2 = build_mna(back, MnaForm::kGeneral);
+  for (double f : {1e6, 1e8, 1e10}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const CMat z1 = ac_z_matrix(s1, s);
+    const CMat z2 = ac_z_matrix(s2, s);
+    EXPECT_NEAR(std::abs(z1(0, 0) - z2(0, 0)), 0.0,
+                1e-9 * std::abs(z1(0, 0)));
+  }
+}
+
+}  // namespace
+}  // namespace sympvl

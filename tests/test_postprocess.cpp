@@ -1,0 +1,230 @@
+#include "mor/postprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "mor/passivity.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+double max_rel_err(const CMat& a, const CMat& b) {
+  double err = 0.0;
+  const double scale = b.max_abs() + 1e-300;
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j)
+      err = std::max(err, std::abs(a(i, j) - b(i, j)));
+  return err / scale;
+}
+
+ReducedModel make_rom(const Netlist& nl, Index order, MnaForm form) {
+  SympvlOptions opt;
+  opt.order = order;
+  return sympvl_reduce(build_mna(nl, form), opt);
+}
+
+TEST(Postprocess, ModalDecompositionIsExactRc) {
+  const Netlist nl = random_rc({.nodes = 30, .ports = 2, .seed = 1});
+  const ReducedModel rom = make_rom(nl, 10, MnaForm::kRC);
+  const ModalModel modal = modal_decompose(rom);
+  for (double f : {1e6, 1e8, 1e9, 1e10}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    EXPECT_LT(max_rel_err(modal.eval(s), rom.eval(s)), 1e-8) << f;
+  }
+}
+
+TEST(Postprocess, ModalDecompositionIsExactRlc) {
+  const Netlist nl = random_rlc({.nodes = 25, .ports = 2, .seed = 2});
+  const ReducedModel rom = make_rom(nl, 10, MnaForm::kGeneral);
+  const ModalModel modal = modal_decompose(rom);
+  for (double f : {1e6, 1e8, 1e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    EXPECT_LT(max_rel_err(modal.eval(s), rom.eval(s)), 1e-7) << f;
+  }
+}
+
+TEST(Postprocess, ModalPolesMatchReducedModelPoles) {
+  const Netlist nl = random_rc({.nodes = 20, .ports = 1, .seed = 3});
+  const ReducedModel rom = make_rom(nl, 8, MnaForm::kRC);
+  const ModalModel modal = modal_decompose(rom);
+  const CVec a = rom.poles();
+  const CVec b = modal.physical_poles();
+  ASSERT_EQ(a.size(), b.size());
+  // Match as multisets (sort by real part; RC poles are real).
+  Vec ra, rb;
+  for (const auto& z : a) ra.push_back(z.real());
+  for (const auto& z : b) rb.push_back(z.real());
+  std::sort(ra.begin(), ra.end());
+  std::sort(rb.begin(), rb.end());
+  for (size_t k = 0; k < ra.size(); ++k)
+    EXPECT_NEAR(ra[k], rb[k], 1e-6 * (1.0 + std::abs(ra[k])));
+}
+
+// Hand-built unstable modal model: one stable pole, one unstable pole.
+ModalModel unstable_model() {
+  CVec poles{Complex(-2e9, 0.0), Complex(5e8, 0.0)};
+  std::vector<CMat> residues;
+  CMat r1(1, 1), r2(1, 1);
+  r1(0, 0) = Complex(3e11, 0.0);
+  r2(0, 0) = Complex(1e10, 0.0);
+  residues.push_back(r1);
+  residues.push_back(r2);
+  Mat d(1, 1);
+  d(0, 0) = 10.0;
+  return ModalModel(std::move(poles), std::move(residues), std::move(d),
+                    SVariable::kS, 0);
+}
+
+TEST(Postprocess, FlipStabilizes) {
+  const ModalModel m = unstable_model();
+  EXPECT_FALSE(m.is_stable());
+  StabilizeReport rep;
+  const ModalModel stable = enforce_stability(m, StabilizeMode::kFlip, &rep);
+  EXPECT_TRUE(stable.is_stable());
+  EXPECT_EQ(rep.unstable_poles, 1);
+  EXPECT_EQ(rep.flipped, 1);
+  EXPECT_EQ(stable.pole_count(), 2);
+  // Flipping preserves |H(jω)| contribution magnitude per pole:
+  // |1/(jω − p)| = |1/(jω + p*)| for real p.
+  const Complex s(0.0, 2.0 * M_PI * 1e9);
+  EXPECT_NEAR(std::abs(stable.eval(s)(0, 0)), std::abs(m.eval(s)(0, 0)),
+              0.5 * std::abs(m.eval(s)(0, 0)));
+}
+
+TEST(Postprocess, DropPreservesDcExactly) {
+  const ModalModel m = unstable_model();
+  StabilizeReport rep;
+  const ModalModel stable = enforce_stability(m, StabilizeMode::kDrop, &rep);
+  EXPECT_TRUE(stable.is_stable());
+  EXPECT_EQ(rep.dropped, 1);
+  EXPECT_EQ(stable.pole_count(), 1);
+  const Complex z0a = m.eval(Complex(0.0, 0.0))(0, 0);
+  const Complex z0b = stable.eval(Complex(0.0, 0.0))(0, 0);
+  EXPECT_NEAR(std::abs(z0a - z0b), 0.0, 1e-9 * std::abs(z0a));
+}
+
+TEST(Postprocess, StableModelPassesThroughUnchanged) {
+  const Netlist nl = random_rc({.nodes = 20, .ports = 2, .seed = 5});
+  const ReducedModel rom = make_rom(nl, 8, MnaForm::kRC);
+  const ModalModel modal = modal_decompose(rom);
+  ASSERT_TRUE(modal.is_stable(1e-6));
+  StabilizeReport rep;
+  const ModalModel out = enforce_stability(modal, StabilizeMode::kFlip, &rep);
+  EXPECT_EQ(rep.unstable_poles, 0);
+  EXPECT_EQ(out.pole_count(), modal.pole_count());
+  const Complex s(0.0, 2.0 * M_PI * 1e9);
+  EXPECT_LT(max_rel_err(out.eval(s), modal.eval(s)), 1e-12);
+}
+
+TEST(Postprocess, ResiduePsdProjectionKeepsRcModelExact) {
+  // RC reductions already have PSD rank-1 residues: projection is a no-op.
+  const Netlist nl = random_rc({.nodes = 25, .ports = 2, .seed = 6});
+  const ReducedModel rom = make_rom(nl, 9, MnaForm::kRC);
+  const ModalModel modal = modal_decompose(rom);
+  const ModalModel psd = enforce_residue_psd(modal);
+  for (double f : {1e7, 1e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    EXPECT_LT(max_rel_err(psd.eval(s), modal.eval(s)), 1e-6) << f;
+  }
+}
+
+TEST(Postprocess, ResiduePsdProjectionRepairsActiveResidue) {
+  // A negative residue (active network) is clipped away, leaving a
+  // passive response.
+  CVec poles{Complex(-1e9, 0.0)};
+  std::vector<CMat> residues;
+  CMat r(1, 1);
+  r(0, 0) = Complex(-5e10, 0.0);  // negative residue -> Re Z < 0 somewhere
+  residues.push_back(r);
+  Mat d(1, 1);
+  d(0, 0) = 1.0;
+  const ModalModel active(std::move(poles), std::move(residues), std::move(d),
+                          SVariable::kS, 0);
+  EXPECT_LT(min_hermitian_part_eig(active.eval(Complex(0.0, 1e8))), 0.0);
+  const ModalModel fixed = enforce_residue_psd(active);
+  EXPECT_GE(min_hermitian_part_eig(fixed.eval(Complex(0.0, 1e8))), 0.0);
+}
+
+TEST(Postprocess, ResiduePsdRejectsComplexPoles) {
+  CVec poles{Complex(-1e9, 3e9)};
+  std::vector<CMat> residues;
+  CMat r(1, 1);
+  r(0, 0) = Complex(1e10, 0.0);
+  residues.push_back(r);
+  const ModalModel m(std::move(poles), std::move(residues), Mat(1, 1),
+                     SVariable::kS, 0);
+  EXPECT_THROW(enforce_residue_psd(m), Error);
+}
+
+TEST(Postprocess, ModalDecompositionLcSquaredVariable) {
+  // The σ = s² machinery must survive the modal form: eval parity with the
+  // reduced model, and physical poles on the imaginary axis.
+  const Netlist nl = random_lc({.nodes = 14, .ports = 1, .seed = 31});
+  const ReducedModel rom = make_rom(nl, 8, MnaForm::kLC);
+  const ModalModel modal = modal_decompose(rom);
+  EXPECT_EQ(modal.variable(), SVariable::kSSquared);
+  for (double f : {2e8, 1e9, 4e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    EXPECT_LT(max_rel_err(modal.eval(s), rom.eval(s)), 1e-6) << f;
+  }
+  for (const Complex& pole : modal.physical_poles())
+    EXPECT_NEAR(pole.real(), 0.0, 1e-6 * (1.0 + std::abs(pole)));
+  EXPECT_TRUE(modal.is_stable(1e-5 * 1e10));
+}
+
+TEST(Postprocess, StabilizeSquaredVariableModel) {
+  // Hand-built s²-domain model with a σ off the negative real axis (an
+  // unstable LC-type mode): kFlip must map it back to −|σ|.
+  CVec poles{Complex(-1e19, 0.0), Complex(4e18, 3e18)};
+  std::vector<CMat> residues;
+  CMat r1(1, 1), r2(1, 1);
+  r1(0, 0) = Complex(1e10, 0.0);
+  r2(0, 0) = Complex(2e9, 0.0);
+  residues.push_back(r1);
+  residues.push_back(r2);
+  const ModalModel m(std::move(poles), std::move(residues), Mat(1, 1),
+                     SVariable::kSSquared, 1);
+  EXPECT_FALSE(m.is_stable());
+  StabilizeReport rep;
+  const ModalModel fixed = enforce_stability(m, StabilizeMode::kFlip, &rep);
+  EXPECT_EQ(rep.flipped, 1);
+  EXPECT_TRUE(fixed.is_stable(1e-3));
+  EXPECT_EQ(fixed.variable(), SVariable::kSSquared);
+}
+
+TEST(Postprocess, ShapeValidation) {
+  CVec poles{Complex(-1.0, 0.0)};
+  std::vector<CMat> residues;  // missing residue
+  EXPECT_THROW(ModalModel(poles, residues, Mat(1, 1), SVariable::kS, 0), Error);
+}
+
+TEST(Postprocess, EndToEndStabilizeUnstableRlcRom) {
+  // Hunt for a seed whose RLC reduction is unstable; post-process it and
+  // confirm stability with bounded accuracy loss near the expansion point.
+  for (unsigned seed = 1; seed < 60; ++seed) {
+    const Netlist nl = random_rlc({.nodes = 20, .ports = 1, .seed = seed});
+    const MnaSystem sys = build_mna(nl, MnaForm::kGeneral);
+    SympvlOptions opt;
+    opt.order = 6;
+    ReducedModel rom;
+    try {
+      rom = sympvl_reduce(sys, opt);
+    } catch (const Error&) {
+      continue;
+    }
+    if (rom.is_stable()) continue;
+    const ModalModel modal = modal_decompose(rom);
+    StabilizeReport rep;
+    const ModalModel stable = enforce_stability(modal, StabilizeMode::kFlip, &rep);
+    EXPECT_TRUE(stable.is_stable());
+    EXPECT_GT(rep.unstable_poles, 0);
+    SUCCEED();
+    return;
+  }
+  GTEST_SKIP() << "no unstable low-order RLC reduction found in seed range";
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,100 @@
+#include "mor/pvl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "mor/moments.hpp"
+#include "mor/sypvl.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+TEST(Pvl, ExactOnSinglePole) {
+  const double r = 150.0, c = 1e-12;
+  Netlist nl;
+  nl.add_resistor(1, 0, r);
+  nl.add_capacitor(1, 0, c);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  PvlOptions opt;
+  opt.order = 1;
+  const PvlModel m = pvl_reduce_entry(sys, 0, 0, opt);
+  const Complex s(0.0, 2.0 * M_PI * 1e9);
+  const Complex expected = r / (1.0 + s * r * c);
+  EXPECT_NEAR(std::abs(m.eval(s) - expected), 0.0, 1e-9 * std::abs(expected));
+}
+
+TEST(Pvl, AgreesWithSypvlOnSymmetricProblem) {
+  const Netlist nl = random_rc({.nodes = 35, .ports = 1, .seed = 1});
+  const MnaSystem sys = build_mna(nl);
+  const Index n = 10;
+  PvlOptions popt;
+  popt.order = n;
+  const PvlModel pvl = pvl_reduce_entry(sys, 0, 0, popt);
+  SympvlOptions sopt;
+  sopt.order = n;
+  const ReducedModel rom = sypvl_reduce(sys, sopt);
+  for (double f : {1e6, 1e8, 1e10}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const Complex za = pvl.eval(s);
+    const Complex zb = rom.eval(s)(0, 0);
+    EXPECT_NEAR(std::abs(za - zb), 0.0, 1e-6 * std::abs(zb)) << f;
+  }
+}
+
+TEST(Pvl, Matches2nMoments) {
+  const Netlist nl = random_rc({.nodes = 30, .ports = 1, .seed = 2});
+  const MnaSystem sys = build_mna(nl);
+  const Index n = 6;
+  PvlOptions opt;
+  opt.order = n;
+  const PvlModel m = pvl_reduce_entry(sys, 0, 0, opt);
+  const Vec exact = exact_moments_scalar(sys, 2 * n);
+  for (Index k = 0; k < 2 * n; ++k)
+    EXPECT_NEAR(m.moment(k), exact[static_cast<size_t>(k)],
+                1e-6 * std::abs(exact[static_cast<size_t>(k)]))
+        << "moment " << k;
+}
+
+TEST(Pvl, OffDiagonalEntryMatchesExactZ) {
+  const Netlist nl = random_rc({.nodes = 30, .ports = 2, .seed = 3});
+  const MnaSystem sys = build_mna(nl);
+  PvlOptions opt;
+  opt.order = 12;
+  const PvlModel m = pvl_reduce_entry(sys, 0, 1, opt);
+  for (double f : {1e6, 1e8}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const Complex exact = ac_z_matrix(sys, s)(0, 1);
+    EXPECT_NEAR(std::abs(m.eval(s) - exact), 0.0, 1e-4 * std::abs(exact)) << f;
+  }
+}
+
+TEST(Pvl, AllEntriesCoverTheMatrix) {
+  const Netlist nl = random_rc({.nodes = 25, .ports = 2, .seed = 4});
+  const MnaSystem sys = build_mna(nl);
+  PvlOptions opt;
+  opt.order = 10;
+  const auto models = pvl_reduce_all(sys, opt);
+  ASSERT_EQ(models.size(), 4u);
+  const Complex s(0.0, 2.0 * M_PI * 1e8);
+  const CMat exact = ac_z_matrix(sys, s);
+  for (Index i = 0; i < 2; ++i)
+    for (Index j = 0; j < 2; ++j) {
+      const Complex z = models[static_cast<size_t>(i * 2 + j)].eval(s);
+      EXPECT_NEAR(std::abs(z - exact(i, j)), 0.0, 1e-4 * std::abs(exact(i, j)))
+          << i << "," << j;
+    }
+}
+
+TEST(Pvl, PortIndexValidation) {
+  const Netlist nl = random_rc({.nodes = 10, .ports = 1, .seed = 5});
+  const MnaSystem sys = build_mna(nl);
+  PvlOptions opt;
+  opt.order = 2;
+  EXPECT_THROW(pvl_reduce_entry(sys, 0, 1, opt), Error);
+  EXPECT_THROW(pvl_reduce_entry(sys, -1, 0, opt), Error);
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,160 @@
+#include "sim/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+// Central finite difference of Z(i, j) with respect to a value reached
+// through `mutate`.
+Complex finite_difference(const Netlist& nl, Complex s, Index i, Index j,
+                          double value, double rel_step,
+                          const std::function<Netlist(double)>& rebuild) {
+  const double h = rel_step * std::abs(value);
+  const CMat zp = ac_z_matrix(build_mna(rebuild(value + h), MnaForm::kGeneral), s);
+  const CMat zm = ac_z_matrix(build_mna(rebuild(value - h), MnaForm::kGeneral), s);
+  (void)nl;
+  return (zp(i, j) - zm(i, j)) / (2.0 * h);
+}
+
+Netlist base_circuit() {
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0, "R1");
+  nl.add_resistor(2, 0, 400.0, "R2");
+  nl.add_capacitor(2, 0, 2e-12, "C1");
+  nl.add_capacitor(1, 0, 1e-12, "C2");
+  const Index l1 = nl.add_inductor(1, 3, 2e-9, "L1");
+  const Index l2 = nl.add_inductor(3, 0, 1e-9, "L2");
+  nl.add_mutual(l1, l2, 0.4, "K1");
+  nl.add_port(1, 0);
+  nl.add_port(2, 0);
+  return nl;
+}
+
+Netlist with_values(double r1, double c1, double l1, double k1) {
+  Netlist nl;
+  nl.add_resistor(1, 2, r1, "R1");
+  nl.add_resistor(2, 0, 400.0, "R2");
+  nl.add_capacitor(2, 0, c1, "C1");
+  nl.add_capacitor(1, 0, 1e-12, "C2");
+  const Index i1 = nl.add_inductor(1, 3, l1, "L1");
+  const Index i2 = nl.add_inductor(3, 0, 1e-9, "L2");
+  nl.add_mutual(i1, i2, k1, "K1");
+  nl.add_port(1, 0);
+  nl.add_port(2, 0);
+  return nl;
+}
+
+TEST(Sensitivity, ResistorMatchesFiniteDifference) {
+  const Netlist nl = base_circuit();
+  const Complex s(0.0, 2.0 * M_PI * 1e9);
+  for (Index i = 0; i < 2; ++i)
+    for (Index j = 0; j < 2; ++j) {
+      const auto sens = z_sensitivities(nl, s, i, j);
+      const Complex fd = finite_difference(
+          nl, s, i, j, 100.0, 1e-6,
+          [](double v) { return with_values(v, 2e-12, 2e-9, 0.4); });
+      EXPECT_NEAR(std::abs(sens.d_resistance[0] - fd), 0.0,
+                  1e-5 * (std::abs(fd) + 1e-12))
+          << "entry " << i << j;
+    }
+}
+
+TEST(Sensitivity, CapacitorMatchesFiniteDifference) {
+  const Netlist nl = base_circuit();
+  const Complex s(0.0, 2.0 * M_PI * 2e9);
+  const auto sens = z_sensitivities(nl, s, 0, 1);
+  const Complex fd = finite_difference(
+      nl, s, 0, 1, 2e-12, 1e-6,
+      [](double v) { return with_values(100.0, v, 2e-9, 0.4); });
+  EXPECT_NEAR(std::abs(sens.d_capacitance[0] - fd), 0.0,
+              1e-5 * (std::abs(fd) + 1e-12));
+}
+
+TEST(Sensitivity, InductorMatchesFiniteDifference) {
+  const Netlist nl = base_circuit();
+  const Complex s(0.0, 2.0 * M_PI * 3e9);
+  const auto sens = z_sensitivities(nl, s, 0, 0);
+  const Complex fd = finite_difference(
+      nl, s, 0, 0, 2e-9, 1e-6,
+      [](double v) { return with_values(100.0, 2e-12, v, 0.4); });
+  EXPECT_NEAR(std::abs(sens.d_inductance[0] - fd), 0.0,
+              1e-5 * (std::abs(fd) + 1e-12));
+}
+
+TEST(Sensitivity, CouplingMatchesFiniteDifference) {
+  const Netlist nl = base_circuit();
+  const Complex s(0.0, 2.0 * M_PI * 3e9);
+  const auto sens = z_sensitivities(nl, s, 1, 1);
+  const Complex fd = finite_difference(
+      nl, s, 1, 1, 0.4, 1e-6,
+      [](double v) { return with_values(100.0, 2e-12, 2e-9, v); });
+  EXPECT_NEAR(std::abs(sens.d_coupling[0] - fd), 0.0,
+              1e-5 * (std::abs(fd) + 1e-12));
+}
+
+TEST(Sensitivity, ReciprocityOfCrossEntries) {
+  // dZ12/dv = dZ21/dv for reciprocal networks.
+  const Netlist nl = base_circuit();
+  const Complex s(0.0, 2.0 * M_PI * 1e9);
+  const auto s12 = z_sensitivities(nl, s, 0, 1);
+  const auto s21 = z_sensitivities(nl, s, 1, 0);
+  for (size_t k = 0; k < s12.d_resistance.size(); ++k)
+    EXPECT_NEAR(std::abs(s12.d_resistance[k] - s21.d_resistance[k]), 0.0,
+                1e-12 * (1.0 + std::abs(s12.d_resistance[k])));
+}
+
+TEST(Sensitivity, DcResistorChainIsExact) {
+  // Series chain at DC: Z11 = R1 + R2, so dZ/dR = 1 exactly.
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 0, 300.0);
+  nl.add_capacitor(2, 0, 1e-12);
+  nl.add_port(1, 0);
+  const auto sens = z_sensitivities(nl, Complex(0.0, 0.0), 0, 0);
+  EXPECT_NEAR(sens.d_resistance[0].real(), 1.0, 1e-10);
+  EXPECT_NEAR(sens.d_resistance[1].real(), 1.0, 1e-10);
+  // And the grounded capacitor is invisible at DC.
+  EXPECT_NEAR(std::abs(sens.d_capacitance[0]), 0.0, 1e-12);
+}
+
+TEST(Sensitivity, RandomCircuitsAllElementTypes) {
+  const Netlist nl = random_rlc({.nodes = 15, .ports = 2, .seed = 91});
+  const Complex s(0.0, 2.0 * M_PI * 5e8);
+  const auto sens = z_sensitivities(nl, s, 0, 1);
+  EXPECT_EQ(sens.d_resistance.size(), nl.resistors().size());
+  EXPECT_EQ(sens.d_capacitance.size(), nl.capacitors().size());
+  EXPECT_EQ(sens.d_inductance.size(), nl.inductors().size());
+  EXPECT_EQ(sens.d_coupling.size(), nl.mutuals().size());
+  // Spot-check one resistor against finite differences by rebuilding the
+  // netlist with a perturbed first-resistor value.
+  const double r0 = nl.resistors()[0].resistance;
+  auto rebuild = [&](double v) {
+    Netlist c;
+    c.ensure_nodes(nl.node_count());
+    for (size_t k = 0; k < nl.resistors().size(); ++k)
+      c.add_resistor(nl.resistors()[k].n1, nl.resistors()[k].n2,
+                     k == 0 ? v : nl.resistors()[k].resistance);
+    for (const auto& cap : nl.capacitors())
+      c.add_capacitor(cap.n1, cap.n2, cap.capacitance);
+    for (const auto& l : nl.inductors()) c.add_inductor(l.n1, l.n2, l.inductance);
+    for (const auto& m : nl.mutuals()) c.add_mutual(m.l1, m.l2, m.coupling);
+    for (const auto& port : nl.ports()) c.add_port(port.n1, port.n2);
+    return c;
+  };
+  const Complex fd = finite_difference(nl, s, 0, 1, r0, 1e-6, rebuild);
+  EXPECT_NEAR(std::abs(sens.d_resistance[0] - fd), 0.0,
+              1e-4 * (std::abs(fd) + 1e-12));
+}
+
+TEST(Sensitivity, PortValidation) {
+  const Netlist nl = base_circuit();
+  EXPECT_THROW(z_sensitivities(nl, Complex(0.0, 1.0), 0, 5), Error);
+  EXPECT_THROW(z_sensitivities(nl, Complex(0.0, 1.0), -1, 0), Error);
+}
+
+}  // namespace
+}  // namespace sympvl

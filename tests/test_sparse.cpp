@@ -1,0 +1,158 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sympvl {
+namespace {
+
+SMat small_matrix() {
+  // [[4, 0, 1], [0, 2, 0], [1, 0, 3]]
+  TripletBuilder<double> t(3, 3);
+  t.add(0, 0, 4.0);
+  t.add(1, 1, 2.0);
+  t.add(2, 2, 3.0);
+  t.add(0, 2, 1.0);
+  t.add(2, 0, 1.0);
+  return t.compress();
+}
+
+TEST(Sparse, CompressSumsDuplicates) {
+  TripletBuilder<double> t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.5);
+  t.add(1, 0, -1.0);
+  const SMat m = t.compress();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 0), -1.0);
+}
+
+TEST(Sparse, CompressDropsExactZeroSums) {
+  TripletBuilder<double> t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(0, 1, -1.0);
+  EXPECT_EQ(t.compress().nnz(), 0);
+}
+
+TEST(Sparse, AddSymmetricStampsBoth) {
+  TripletBuilder<double> t(2, 2);
+  t.add_symmetric(0, 1, 2.0);
+  t.add_symmetric(1, 1, 3.0);
+  const SMat m = t.compress();
+  EXPECT_DOUBLE_EQ(m.coeff(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 1), 3.0);
+}
+
+TEST(Sparse, OutOfRangeThrows) {
+  TripletBuilder<double> t(2, 2);
+  EXPECT_THROW(t.add(2, 0, 1.0), Error);
+  EXPECT_THROW(t.add(0, -1, 1.0), Error);
+}
+
+TEST(Sparse, RowIndicesSortedWithinColumns) {
+  TripletBuilder<double> t(4, 2);
+  t.add(3, 0, 1.0);
+  t.add(0, 0, 1.0);
+  t.add(2, 0, 1.0);
+  const SMat m = t.compress();
+  const auto& ri = m.rowind();
+  EXPECT_TRUE(std::is_sorted(ri.begin(), ri.end()));
+}
+
+TEST(Sparse, Multiply) {
+  const SMat m = small_matrix();
+  const Vec y = m.multiply(Vec{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+  EXPECT_DOUBLE_EQ(y[2], 10.0);
+}
+
+TEST(Sparse, MultiplyTransposeMatchesDense) {
+  const SMat m = small_matrix();
+  const Vec x{1.0, -1.0, 2.0};
+  const Vec yt = m.multiply_transpose(x);
+  const Mat d = m.to_dense().transpose();
+  const Vec expect = d * x;
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(yt[i], expect[i]);
+}
+
+TEST(Sparse, MultiplyAdd) {
+  const SMat m = small_matrix();
+  Vec y{1.0, 1.0, 1.0};
+  m.multiply_add(Vec{1.0, 0.0, 0.0}, y, 2.0);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+TEST(Sparse, Transpose) {
+  TripletBuilder<double> t(2, 3);
+  t.add(0, 2, 5.0);
+  t.add(1, 0, -2.0);
+  const SMat m = t.compress().transpose();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m.coeff(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 1), -2.0);
+}
+
+TEST(Sparse, PermuteSymmetric) {
+  const SMat m = small_matrix();
+  const std::vector<Index> perm{2, 0, 1};  // new -> old
+  const SMat p = m.permute_symmetric(perm);
+  // p(i, j) = m(perm[i], perm[j]).
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(p.coeff(i, j),
+                       m.coeff(perm[static_cast<size_t>(i)],
+                               perm[static_cast<size_t>(j)]));
+}
+
+TEST(Sparse, AddCombination) {
+  const SMat a = small_matrix();
+  TripletBuilder<double> t(3, 3);
+  t.add(1, 1, 1.0);
+  t.add(0, 1, 4.0);
+  const SMat b = t.compress();
+  const SMat c = SMat::add(a, 2.0, b, -1.0);
+  EXPECT_DOUBLE_EQ(c.coeff(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(c.coeff(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(c.coeff(0, 1), -4.0);
+}
+
+TEST(Sparse, Asymmetry) {
+  EXPECT_DOUBLE_EQ(small_matrix().asymmetry(), 0.0);
+  TripletBuilder<double> t(2, 2);
+  t.add(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(t.compress().asymmetry(), 1.0);
+}
+
+TEST(Sparse, PencilCombine) {
+  const SMat g = small_matrix();
+  TripletBuilder<double> tc(3, 3);
+  tc.add(0, 0, 2.0);
+  tc.add(1, 2, 1.0);
+  const SMat c = tc.compress();
+  const Complex s(0.5, 2.0);
+  const CSMat pencil = pencil_combine(g, c, s);
+  EXPECT_NEAR(std::abs(pencil.coeff(0, 0) - (Complex(4.0) + s * 2.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(pencil.coeff(1, 2) - s * 1.0), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(pencil.coeff(2, 0) - Complex(1.0)), 0.0, 1e-15);
+}
+
+TEST(Sparse, ToComplexRoundTrip) {
+  const SMat m = small_matrix();
+  const CSMat c = to_complex(m);
+  EXPECT_EQ(c.nnz(), m.nnz());
+  EXPECT_DOUBLE_EQ(c.coeff(0, 2).real(), 1.0);
+  EXPECT_DOUBLE_EQ(c.coeff(0, 2).imag(), 0.0);
+}
+
+TEST(Sparse, CoeffMissingEntryIsZero) {
+  const SMat m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.coeff(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace sympvl

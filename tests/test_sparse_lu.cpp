@@ -1,0 +1,158 @@
+#include "linalg/sparse_lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/dense_factor.hpp"
+
+namespace sympvl {
+namespace {
+
+SMat random_sparse(Index n, Index extra, unsigned seed, bool ensure_diag) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  TripletBuilder<double> t(n, n);
+  if (ensure_diag)
+    for (Index i = 0; i < n; ++i) t.add(i, i, 3.0 + u(rng));
+  for (Index k = 0; k < extra; ++k) t.add(pick(rng), pick(rng), u(rng));
+  return t.compress();
+}
+
+TEST(SparseLU, SolvesRandomSystems) {
+  for (unsigned seed : {1u, 2u, 3u, 4u}) {
+    const SMat a = random_sparse(50, 200, seed, true);
+    const LUSparse lu(a);
+    Vec b(50);
+    for (size_t i = 0; i < 50; ++i) b[i] = std::sin(static_cast<double>(i) + 1.0);
+    const Vec x = lu.solve(b);
+    const Vec r = a.multiply(x);
+    for (size_t i = 0; i < 50; ++i) EXPECT_NEAR(r[i], b[i], 1e-9) << seed;
+  }
+}
+
+TEST(SparseLU, MatchesDenseLU) {
+  const SMat a = random_sparse(30, 120, 7, true);
+  Vec b(30, 1.0);
+  const Vec xs = LUSparse(a).solve(b);
+  const Vec xd = LU(a.to_dense()).solve(b);
+  for (size_t i = 0; i < 30; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+}
+
+TEST(SparseLU, HandlesZeroDiagonal) {
+  // Anti-diagonal permutation-like matrix: unpivoted methods break,
+  // partial pivoting sails through.
+  TripletBuilder<double> t(4, 4);
+  t.add(0, 3, 1.0);
+  t.add(1, 2, 2.0);
+  t.add(2, 1, 3.0);
+  t.add(3, 0, 4.0);
+  const SMat a = t.compress();
+  const LUSparse lu(a);
+  const Vec x = lu.solve(Vec{1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 1.0, 1e-14);
+  EXPECT_NEAR(x[2], 1.0, 1e-14);
+  EXPECT_NEAR(x[3], 1.0, 1e-14);
+}
+
+TEST(SparseLU, HandlesStructuralCancellation) {
+  // The series R-L MNA pattern that defeats unpivoted LDLᵀ:
+  // [[g, -g, 0, 0], [-g, g, 0, 1], [0, 0, c, -1], [0, 1, -1, -l]].
+  TripletBuilder<double> t(4, 4);
+  const double g = 0.2, c = 1e-3, l = 2e-3;
+  t.add(0, 0, g);
+  t.add_symmetric(0, 1, -g);
+  t.add(1, 1, g);
+  t.add_symmetric(1, 3, 1.0);
+  t.add(2, 2, c);
+  t.add_symmetric(2, 3, -1.0);
+  t.add(3, 3, -l);
+  const SMat a = t.compress();
+  const LUSparse lu(a);
+  Vec b{1.0, 0.0, 0.0, 0.0};
+  const Vec x = lu.solve(b);
+  const Vec r = a.multiply(x);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(r[i], b[i], 1e-10);
+}
+
+TEST(SparseLU, ThrowsOnSingular) {
+  TripletBuilder<double> t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 2.0);
+  t.add(1, 0, 2.0);
+  t.add(1, 1, 4.0);  // rows 0,1 dependent and column 2 empty
+  t.add(2, 2, 1.0);
+  EXPECT_THROW(LUSparse{t.compress()}, Error);
+}
+
+TEST(SparseLU, ComplexSolve) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  TripletBuilder<Complex> t(20, 20);
+  for (Index i = 0; i < 20; ++i) t.add(i, i, Complex(2.0 + u(rng), u(rng)));
+  std::uniform_int_distribution<Index> pick(0, 19);
+  for (int k = 0; k < 80; ++k)
+    t.add(pick(rng), pick(rng), Complex(u(rng), u(rng)));
+  const CSMat a = t.compress();
+  const CLUSparse lu(a);
+  CVec b(20, Complex(1.0, -1.0));
+  const CVec x = lu.solve(b);
+  const CVec r = a.multiply(x);
+  for (const auto& v : r) EXPECT_NEAR(std::abs(v - Complex(1.0, -1.0)), 0.0, 1e-10);
+}
+
+TEST(SparseLU, ThresholdPivotingStillAccurate) {
+  const SMat a = random_sparse(40, 160, 5, true);
+  Vec b(40, 0.5);
+  const Vec x1 = LUSparse(a, Ordering::kRCM, 1.0).solve(b);
+  const Vec x2 = LUSparse(a, Ordering::kRCM, 0.1).solve(b);
+  for (size_t i = 0; i < 40; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-7);
+}
+
+TEST(SparseLU, NaturalOrderingWorks) {
+  const SMat a = random_sparse(25, 100, 9, true);
+  Vec b(25, -1.0);
+  const Vec x = LUSparse(a, Ordering::kNatural).solve(b);
+  const Vec r = a.multiply(x);
+  for (size_t i = 0; i < 25; ++i) EXPECT_NEAR(r[i], b[i], 1e-9);
+}
+
+TEST(SparseLU, PivotRatioReported) {
+  const SMat a = random_sparse(15, 60, 13, true);
+  const LUSparse lu(a);
+  EXPECT_GT(lu.pivot_ratio(), 0.0);
+  EXPECT_LE(lu.pivot_ratio(), 1.0);
+  EXPECT_GT(lu.l_nnz() + lu.u_nnz(), 0);
+}
+
+TEST(SparseLU, IdentityIsTrivial) {
+  TripletBuilder<double> t(5, 5);
+  for (Index i = 0; i < 5; ++i) t.add(i, i, 2.0);
+  const LUSparse lu(t.compress());
+  EXPECT_EQ(lu.l_nnz(), 0);
+  EXPECT_EQ(lu.u_nnz(), 5);
+  const Vec x = lu.solve(Vec{2.0, 4.0, 6.0, 8.0, 10.0});
+  for (size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(x[i], static_cast<double>(i + 1));
+}
+
+TEST(SparseLU, FuzzAgainstDense) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Index n = 4 + static_cast<Index>(rng() % 12);
+    const SMat a = random_sparse(n, 4 * n, static_cast<unsigned>(rng()), true);
+    Vec b(static_cast<size_t>(n));
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (auto& v : b) v = u(rng);
+    LU dense(a.to_dense());
+    if (dense.singular()) continue;
+    const Vec xd = dense.solve(b);
+    const Vec xs = LUSparse(a).solve(b);
+    for (size_t i = 0; i < b.size(); ++i)
+      EXPECT_NEAR(xs[i], xd[i], 1e-8 * (1.0 + std::abs(xd[i]))) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,133 @@
+#include "mor/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "mor/sympvl.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+ReducedModel rc_rom(Index nodes, Index ports, Index order, unsigned seed) {
+  const Netlist nl = random_rc({.nodes = nodes, .ports = ports, .seed = seed});
+  SympvlOptions opt;
+  opt.order = order;
+  return sympvl_reduce(build_mna(nl), opt);
+}
+
+// Max relative deviation between the synthesized netlist's Z and the ROM's
+// Zₙ across a frequency sweep.
+double synth_error(const SynthesizedCircuit& syn, const ReducedModel& rom,
+                   const Vec& freqs) {
+  const MnaSystem sys = build_mna(syn.netlist, MnaForm::kRC);
+  double err = 0.0;
+  for (double f : freqs) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const CMat za = ac_z_matrix(sys, s);
+    const CMat zb = rom.eval(s);
+    for (Index i = 0; i < za.rows(); ++i)
+      for (Index j = 0; j < za.cols(); ++j)
+        err = std::max(err, std::abs(za(i, j) - zb(i, j)) /
+                                (std::abs(zb(i, j)) + 1e-300));
+  }
+  return err;
+}
+
+TEST(Synthesis, CongruenceRoundTripSiso) {
+  const ReducedModel rom = rc_rom(30, 1, 8, 1);
+  const SynthesizedCircuit syn = synthesize_congruence_rc(rom);
+  EXPECT_EQ(syn.netlist.node_count(), rom.order() + 1);
+  EXPECT_LT(synth_error(syn, rom, {1e6, 1e8, 1e9, 1e10}), 1e-8);
+}
+
+TEST(Synthesis, CongruenceRoundTripMultiport) {
+  const ReducedModel rom = rc_rom(40, 3, 12, 2);
+  const SynthesizedCircuit syn = synthesize_congruence_rc(rom);
+  ASSERT_EQ(syn.port_nodes.size(), 3u);
+  EXPECT_LT(synth_error(syn, rom, {1e6, 1e8, 1e9, 1e10}), 1e-8);
+}
+
+TEST(Synthesis, NodeCountEqualsOrder) {
+  // The paper's Fig 5 experiment: n = 34 states -> 34-node circuit.
+  const ReducedModel rom = rc_rom(50, 2, 20, 3);
+  const SynthesizedCircuit syn = synthesize_congruence_rc(rom);
+  EXPECT_EQ(syn.netlist.node_count() - 1, rom.order());
+}
+
+TEST(Synthesis, DropToleranceSparsifies) {
+  const ReducedModel rom = rc_rom(40, 2, 16, 4);
+  const SynthesizedCircuit dense = synthesize_congruence_rc(rom);
+  SynthesisOptions opt;
+  opt.drop_tolerance = 1e-6;
+  const SynthesizedCircuit sparse = synthesize_congruence_rc(rom, opt);
+  EXPECT_LE(sparse.netlist.element_count(), dense.netlist.element_count());
+  // Still an accurate realization.
+  EXPECT_LT(synth_error(sparse, rom, {1e7, 1e9}), 1e-3);
+}
+
+TEST(Synthesis, SynthesizedCircuitMayContainNegativeElements) {
+  const ReducedModel rom = rc_rom(40, 2, 14, 5);
+  const SynthesizedCircuit syn = synthesize_congruence_rc(rom);
+  EXPECT_TRUE(syn.netlist.allow_negative());
+  // (Negative values typically appear; we only assert the netlist accepts
+  // them and still validates.)
+  EXPECT_NO_THROW(syn.netlist.validate());
+}
+
+TEST(Synthesis, FosterSisoAllElementsNonNegative) {
+  // The Section 5/6 corollary: single-port RC reductions admit a Foster
+  // realization with non-negative elements.
+  for (unsigned seed : {1u, 2u, 3u, 4u}) {
+    const ReducedModel rom = rc_rom(25, 1, 7, seed);
+    const SynthesizedCircuit syn = synthesize_foster_siso(rom);
+    for (const auto& r : syn.netlist.resistors())
+      EXPECT_GT(r.resistance, 0.0) << "seed " << seed;
+    for (const auto& c : syn.netlist.capacitors())
+      EXPECT_GT(c.capacitance, 0.0) << "seed " << seed;
+  }
+}
+
+TEST(Synthesis, FosterSisoRoundTrip) {
+  const ReducedModel rom = rc_rom(30, 1, 9, 6);
+  const SynthesizedCircuit syn = synthesize_foster_siso(rom);
+  EXPECT_LT(synth_error(syn, rom, {1e6, 1e8, 1e9, 1e10}), 1e-7);
+}
+
+TEST(Synthesis, FosterRejectsMultiport) {
+  const ReducedModel rom = rc_rom(20, 2, 6, 7);
+  EXPECT_THROW(synthesize_foster_siso(rom), Error);
+}
+
+TEST(Synthesis, RejectsShiftedModels) {
+  const Netlist nl = random_lc({.nodes = 12, .ports = 1, .seed = 8,
+                                .grounded = false});
+  SympvlOptions opt;
+  opt.order = 4;
+  const ReducedModel rom = sympvl_reduce(build_mna(nl), opt);
+  EXPECT_THROW(synthesize_congruence_rc(rom), Error);
+  EXPECT_THROW(synthesize_foster_siso(rom), Error);
+}
+
+TEST(Synthesis, SynthesizedTransientMatchesRom) {
+  const ReducedModel rom = rc_rom(30, 2, 10, 9);
+  const SynthesizedCircuit syn = synthesize_congruence_rc(rom);
+  const MnaSystem sys = build_mna(syn.netlist, MnaForm::kRC);
+  TransientOptions topt;
+  topt.dt = 5e-12;
+  topt.t_end = 3e-9;
+  std::vector<Waveform> drives{ramp_waveform(1e-3, 0.2e-9, 0.3e-9),
+                               [](double) { return 0.0; }};
+  const auto a = simulate_ports_transient(sys, drives, topt);
+  const auto b = rom.simulate_transient(drives, topt);
+  double vmax = 0.0;
+  for (size_t k = 0; k < a.time.size(); ++k)
+    vmax = std::max(vmax, std::abs(a.outputs(static_cast<Index>(k), 0)));
+  for (size_t k = 0; k < a.time.size(); ++k)
+    for (Index j = 0; j < 2; ++j)
+      EXPECT_NEAR(a.outputs(static_cast<Index>(k), j),
+                  b.outputs(static_cast<Index>(k), j), 1e-6 * vmax);
+}
+
+}  // namespace
+}  // namespace sympvl

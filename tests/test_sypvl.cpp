@@ -1,0 +1,124 @@
+#include "mor/sypvl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "mor/moments.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+TEST(Sypvl, RequiresSinglePort) {
+  const Netlist nl = random_rc({.nodes = 10, .ports = 2, .seed = 1});
+  SympvlOptions opt;
+  opt.order = 4;
+  EXPECT_THROW(sypvl_reduce(build_mna(nl), opt), Error);
+}
+
+TEST(Sypvl, TridiagonalStructure) {
+  const Netlist nl = random_rc({.nodes = 30, .ports = 1, .seed = 2});
+  SympvlOptions opt;
+  opt.order = 10;
+  const ReducedModel rom = sypvl_reduce(build_mna(nl), opt);
+  for (Index i = 0; i < rom.order(); ++i)
+    for (Index j = 0; j < rom.order(); ++j)
+      if (std::abs(i - j) > 1) {
+        EXPECT_DOUBLE_EQ(rom.t()(i, j), 0.0) << i << "," << j;
+      }
+  // ρ is ρ₁·e₁.
+  EXPECT_GT(rom.rho()(0, 0), 0.0);
+  for (Index i = 1; i < rom.order(); ++i) EXPECT_DOUBLE_EQ(rom.rho()(i, 0), 0.0);
+}
+
+TEST(Sypvl, AgreesWithSympvlOnRc) {
+  const Netlist nl = random_rc({.nodes = 40, .ports = 1, .seed = 3});
+  const MnaSystem sys = build_mna(nl);
+  SympvlOptions opt;
+  opt.order = 12;
+  const ReducedModel a = sypvl_reduce(sys, opt);
+  const ReducedModel b = sympvl_reduce(sys, opt);
+  for (double f : {1e6, 1e8, 1e10}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const Complex za = a.eval(s)(0, 0);
+    const Complex zb = b.eval(s)(0, 0);
+    EXPECT_NEAR(std::abs(za - zb), 0.0, 1e-8 * std::abs(zb)) << f;
+  }
+}
+
+TEST(Sypvl, MomentMatching2n) {
+  const Netlist nl = random_rc({.nodes = 35, .ports = 1, .seed = 4});
+  const MnaSystem sys = build_mna(nl);
+  const Index n = 7;
+  SympvlOptions opt;
+  opt.order = n;
+  const ReducedModel rom = sypvl_reduce(sys, opt);
+  const Vec exact = exact_moments_scalar(sys, 2 * n);
+  for (Index k = 0; k < 2 * n; ++k)
+    EXPECT_NEAR(rom.moment(k)(0, 0), exact[static_cast<size_t>(k)],
+                1e-7 * std::abs(exact[static_cast<size_t>(k)]))
+        << "moment " << k;
+}
+
+TEST(Sypvl, WorksOnGeneralRlc) {
+  const Netlist nl = random_rlc({.nodes = 20, .ports = 1, .seed = 5});
+  const MnaSystem sys = build_mna(nl, MnaForm::kGeneral);
+  SympvlOptions opt;
+  opt.order = 8;
+  SympvlReport report;
+  const ReducedModel rom = sypvl_reduce(sys, opt, &report);
+  // Indefinite case: δₙ = ±1-ish values recorded in Δ.
+  const auto coeff = sypvl_coefficients(rom);
+  EXPECT_EQ(static_cast<Index>(coeff.deltas.size()), rom.order());
+  // Accuracy near the expansion point.
+  const Complex s(0.0, 2.0 * M_PI * 1e7);
+  const Complex z_exact = ac_z_matrix(sys, s)(0, 0);
+  const Complex z_rom = rom.eval(s)(0, 0);
+  EXPECT_NEAR(std::abs(z_rom - z_exact), 0.0, 1e-3 * std::abs(z_exact));
+}
+
+TEST(Sypvl, ExhaustsWhenKrylovSpaceIsTrivial) {
+  // C = α·G (each node has C_i = α/R_i): the Lanczos operator is α·I, so
+  // the Krylov space is one-dimensional and the order-1 model is exact.
+  Netlist nl;
+  for (Index i = 1; i <= 3; ++i) {
+    const double r = std::pow(2.0, static_cast<double>(i));
+    nl.add_resistor(i, 0, r);
+    nl.add_capacitor(i, 0, 1e-12 / r);
+  }
+  nl.add_resistor(1, 2, 8.0);
+  nl.add_capacitor(1, 2, 1e-12 / 8.0);
+  nl.add_port(1, 0);
+  SympvlOptions opt;
+  opt.order = 3;
+  SympvlReport report;
+  const ReducedModel rom = sypvl_reduce(build_mna(nl), opt, &report);
+  EXPECT_EQ(rom.order(), 1);
+  EXPECT_TRUE(report.exhausted);
+  // And the order-1 model is exact: Z(s) matches everywhere.
+  const MnaSystem sys = build_mna(nl);
+  for (double f : {1e7, 1e9}) {
+    const Complex s(0.0, 2.0 * M_PI * f);
+    const Complex z_exact = ac_z_matrix(sys, s)(0, 0);
+    EXPECT_NEAR(std::abs(rom.eval(s)(0, 0) - z_exact), 0.0,
+                1e-9 * std::abs(z_exact));
+  }
+}
+
+TEST(Sypvl, CoefficientsRoundTrip) {
+  const Netlist nl = random_rc({.nodes = 25, .ports = 1, .seed = 8});
+  SympvlOptions opt;
+  opt.order = 6;
+  const ReducedModel rom = sypvl_reduce(build_mna(nl), opt);
+  const auto c = sypvl_coefficients(rom);
+  ASSERT_EQ(static_cast<Index>(c.diag.size()), rom.order());
+  ASSERT_EQ(static_cast<Index>(c.sub.size()), rom.order() - 1);
+  for (Index i = 0; i < rom.order(); ++i)
+    EXPECT_DOUBLE_EQ(c.diag[static_cast<size_t>(i)], rom.t()(i, i));
+  for (Index i = 0; i + 1 < rom.order(); ++i)
+    EXPECT_DOUBLE_EQ(c.sub[static_cast<size_t>(i)], rom.t()(i + 1, i));
+  EXPECT_DOUBLE_EQ(c.rho1, rom.rho()(0, 0));
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,105 @@
+#include "circuit/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/peec.hpp"
+#include "gen/random_circuit.hpp"
+
+namespace sympvl {
+namespace {
+
+TEST(Topology, SingleComponentCircuit) {
+  Netlist nl;
+  nl.add_resistor(1, 2, 10.0);
+  nl.add_resistor(2, 0, 10.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  const auto rep = analyze_connectivity(nl);
+  EXPECT_TRUE(rep.fully_connected);
+  EXPECT_EQ(rep.component_count, 1);
+}
+
+TEST(Topology, DetectsDisconnectedIsland) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 10.0);
+  nl.add_resistor(2, 3, 10.0);  // island {2, 3}
+  const auto rep = analyze_connectivity(nl);
+  EXPECT_FALSE(rep.fully_connected);
+  EXPECT_EQ(rep.component_count, 2);
+  EXPECT_EQ(rep.component_of[2], rep.component_of[3]);
+  EXPECT_NE(rep.component_of[0], rep.component_of[2]);
+}
+
+TEST(Topology, DcPathRcForm) {
+  // Capacitors do not conduct at DC: node 2 is floating for the RC form.
+  Netlist nl;
+  nl.add_resistor(1, 0, 10.0);
+  nl.add_capacitor(1, 2, 1e-12);
+  nl.add_capacitor(2, 0, 1e-12);
+  EXPECT_FALSE(has_dc_path_to_ground(nl, MnaForm::kRC));
+  const auto floating = floating_nodes(nl, MnaForm::kRC);
+  ASSERT_EQ(floating.size(), 1u);
+  EXPECT_EQ(floating[0], 2);
+}
+
+TEST(Topology, DcPathThroughInductorCountsInGeneralForm) {
+  Netlist nl;
+  nl.add_inductor(1, 0, 1e-9);
+  nl.add_capacitor(1, 0, 1e-12);
+  EXPECT_TRUE(has_dc_path_to_ground(nl, MnaForm::kGeneral));
+}
+
+TEST(Topology, PeecHasNoDcPathMatchingThePaper) {
+  // The LC PEEC circuit's inductors never touch the reference plane:
+  // structurally singular G, the reason for eq. 26.
+  const PeecCircuit peec = make_peec_circuit({.grid = 5});
+  EXPECT_FALSE(has_dc_path_to_ground(peec.netlist, MnaForm::kLC));
+  EXPECT_FALSE(netlist_stats(peec.netlist).g_structurally_singular_general ==
+               false);  // general form is singular too (no R at all)
+}
+
+TEST(Topology, GroundedRandomCircuitsHaveDcPaths) {
+  EXPECT_TRUE(has_dc_path_to_ground(
+      random_rc({.nodes = 20, .ports = 1, .seed = 1}), MnaForm::kRC));
+  EXPECT_TRUE(has_dc_path_to_ground(
+      random_lc({.nodes = 20, .ports = 1, .seed = 2, .grounded = true}),
+      MnaForm::kLC));
+  EXPECT_FALSE(has_dc_path_to_ground(
+      random_lc({.nodes = 20, .ports = 1, .seed = 3, .grounded = false}),
+      MnaForm::kLC));
+}
+
+TEST(Topology, StatsAndDescribe) {
+  Netlist nl;
+  nl.add_resistor(1, 2, 10.0);
+  nl.add_resistor(2, 0, 20.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_port(1, 0);
+  const NetlistStats s = netlist_stats(nl);
+  EXPECT_EQ(s.nodes, 2);
+  EXPECT_EQ(s.resistors, 2);
+  EXPECT_EQ(s.capacitors, 1);
+  EXPECT_EQ(s.ports, 1);
+  EXPECT_FALSE(s.g_structurally_singular_special);
+  const std::string text = describe(nl);
+  EXPECT_NE(text.find("2 nodes"), std::string::npos);
+  EXPECT_NE(text.find("RC circuit"), std::string::npos);
+}
+
+TEST(Topology, DescribeFlagsSingularG) {
+  const Netlist nl = random_lc({.nodes = 10, .ports = 1, .seed = 5,
+                                .grounded = false});
+  const std::string text = describe(nl);
+  EXPECT_NE(text.find("eq. 26"), std::string::npos);
+}
+
+TEST(Topology, AutoFormMirrorsBuildMna) {
+  // RC circuit: kAuto should use the resistor-only DC rule.
+  Netlist nl;
+  nl.add_resistor(1, 0, 10.0);
+  nl.add_capacitor(1, 2, 1e-12);
+  nl.add_capacitor(2, 0, 1e-12);
+  EXPECT_FALSE(has_dc_path_to_ground(nl, MnaForm::kAuto));
+}
+
+}  // namespace
+}  // namespace sympvl
