@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arnoldi_ablation.dir/bench_arnoldi_ablation.cpp.o"
+  "CMakeFiles/bench_arnoldi_ablation.dir/bench_arnoldi_ablation.cpp.o.d"
+  "bench_arnoldi_ablation"
+  "bench_arnoldi_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arnoldi_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

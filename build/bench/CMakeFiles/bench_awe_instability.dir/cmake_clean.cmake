@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_awe_instability.dir/bench_awe_instability.cpp.o"
+  "CMakeFiles/bench_awe_instability.dir/bench_awe_instability.cpp.o.d"
+  "bench_awe_instability"
+  "bench_awe_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_awe_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

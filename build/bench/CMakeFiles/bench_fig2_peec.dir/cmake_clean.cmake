@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_peec.dir/bench_fig2_peec.cpp.o"
+  "CMakeFiles/bench_fig2_peec.dir/bench_fig2_peec.cpp.o.d"
+  "bench_fig2_peec"
+  "bench_fig2_peec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_peec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_package.dir/bench_fig4_package.cpp.o"
+  "CMakeFiles/bench_fig4_package.dir/bench_fig4_package.cpp.o.d"
+  "bench_fig4_package"
+  "bench_fig4_package.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonlinear_cosim.dir/bench_nonlinear_cosim.cpp.o"
+  "CMakeFiles/bench_nonlinear_cosim.dir/bench_nonlinear_cosim.cpp.o.d"
+  "bench_nonlinear_cosim"
+  "bench_nonlinear_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonlinear_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

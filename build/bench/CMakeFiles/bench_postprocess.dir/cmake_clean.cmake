@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_postprocess.dir/bench_postprocess.cpp.o"
+  "CMakeFiles/bench_postprocess.dir/bench_postprocess.cpp.o.d"
+  "bench_postprocess"
+  "bench_postprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pvl_vs_sympvl.dir/bench_pvl_vs_sympvl.cpp.o"
+  "CMakeFiles/bench_pvl_vs_sympvl.dir/bench_pvl_vs_sympvl.cpp.o.d"
+  "bench_pvl_vs_sympvl"
+  "bench_pvl_vs_sympvl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pvl_vs_sympvl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pvl_vs_sympvl.
+# This may be replaced when dependencies are built.

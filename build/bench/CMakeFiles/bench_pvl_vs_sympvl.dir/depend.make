@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pvl_vs_sympvl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stability_passivity.dir/bench_stability_passivity.cpp.o"
+  "CMakeFiles/bench_stability_passivity.dir/bench_stability_passivity.cpp.o.d"
+  "bench_stability_passivity"
+  "bench_stability_passivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stability_passivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wideband.dir/bench_wideband.cpp.o"
+  "CMakeFiles/bench_wideband.dir/bench_wideband.cpp.o.d"
+  "bench_wideband"
+  "bench_wideband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wideband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstalk_synthesis.dir/crosstalk_synthesis.cpp.o"
+  "CMakeFiles/crosstalk_synthesis.dir/crosstalk_synthesis.cpp.o.d"
+  "crosstalk_synthesis"
+  "crosstalk_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstalk_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

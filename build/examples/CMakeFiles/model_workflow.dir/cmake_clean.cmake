@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_workflow.dir/model_workflow.cpp.o"
+  "CMakeFiles/model_workflow.dir/model_workflow.cpp.o.d"
+  "model_workflow"
+  "model_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

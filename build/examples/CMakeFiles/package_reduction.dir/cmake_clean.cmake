@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/package_reduction.dir/package_reduction.cpp.o"
+  "CMakeFiles/package_reduction.dir/package_reduction.cpp.o.d"
+  "package_reduction"
+  "package_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/package_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

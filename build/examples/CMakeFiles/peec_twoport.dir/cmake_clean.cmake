@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peec_twoport.dir/peec_twoport.cpp.o"
+  "CMakeFiles/peec_twoport.dir/peec_twoport.cpp.o.d"
+  "peec_twoport"
+  "peec_twoport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peec_twoport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for peec_twoport.
+# This may be replaced when dependencies are built.

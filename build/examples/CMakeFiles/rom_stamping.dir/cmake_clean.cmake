@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rom_stamping.dir/rom_stamping.cpp.o"
+  "CMakeFiles/rom_stamping.dir/rom_stamping.cpp.o.d"
+  "rom_stamping"
+  "rom_stamping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rom_stamping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/mna.cpp" "src/CMakeFiles/sympvl.dir/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/circuit/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/sympvl.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/network_params.cpp" "src/CMakeFiles/sympvl.dir/circuit/network_params.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/circuit/network_params.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/CMakeFiles/sympvl.dir/circuit/parser.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/circuit/parser.cpp.o.d"
+  "/root/repo/src/circuit/topology.cpp" "src/CMakeFiles/sympvl.dir/circuit/topology.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/circuit/topology.cpp.o.d"
+  "/root/repo/src/gen/package.cpp" "src/CMakeFiles/sympvl.dir/gen/package.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/gen/package.cpp.o.d"
+  "/root/repo/src/gen/peec.cpp" "src/CMakeFiles/sympvl.dir/gen/peec.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/gen/peec.cpp.o.d"
+  "/root/repo/src/gen/random_circuit.cpp" "src/CMakeFiles/sympvl.dir/gen/random_circuit.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/gen/random_circuit.cpp.o.d"
+  "/root/repo/src/gen/rc_interconnect.cpp" "src/CMakeFiles/sympvl.dir/gen/rc_interconnect.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/gen/rc_interconnect.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/sympvl.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/touchstone.cpp" "src/CMakeFiles/sympvl.dir/io/touchstone.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/io/touchstone.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/sympvl.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/dense_factor.cpp" "src/CMakeFiles/sympvl.dir/linalg/dense_factor.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/linalg/dense_factor.cpp.o.d"
+  "/root/repo/src/linalg/eig.cpp" "src/CMakeFiles/sympvl.dir/linalg/eig.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/linalg/eig.cpp.o.d"
+  "/root/repo/src/linalg/ordering.cpp" "src/CMakeFiles/sympvl.dir/linalg/ordering.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/linalg/ordering.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/CMakeFiles/sympvl.dir/linalg/sparse.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/linalg/sparse.cpp.o.d"
+  "/root/repo/src/linalg/sparse_ldlt.cpp" "src/CMakeFiles/sympvl.dir/linalg/sparse_ldlt.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/linalg/sparse_ldlt.cpp.o.d"
+  "/root/repo/src/linalg/sparse_lu.cpp" "src/CMakeFiles/sympvl.dir/linalg/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/linalg/sparse_lu.cpp.o.d"
+  "/root/repo/src/mor/arnoldi.cpp" "src/CMakeFiles/sympvl.dir/mor/arnoldi.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/arnoldi.cpp.o.d"
+  "/root/repo/src/mor/awe.cpp" "src/CMakeFiles/sympvl.dir/mor/awe.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/awe.cpp.o.d"
+  "/root/repo/src/mor/balanced.cpp" "src/CMakeFiles/sympvl.dir/mor/balanced.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/balanced.cpp.o.d"
+  "/root/repo/src/mor/lanczos.cpp" "src/CMakeFiles/sympvl.dir/mor/lanczos.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/lanczos.cpp.o.d"
+  "/root/repo/src/mor/moments.cpp" "src/CMakeFiles/sympvl.dir/mor/moments.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/moments.cpp.o.d"
+  "/root/repo/src/mor/passivity.cpp" "src/CMakeFiles/sympvl.dir/mor/passivity.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/passivity.cpp.o.d"
+  "/root/repo/src/mor/postprocess.cpp" "src/CMakeFiles/sympvl.dir/mor/postprocess.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/postprocess.cpp.o.d"
+  "/root/repo/src/mor/pvl.cpp" "src/CMakeFiles/sympvl.dir/mor/pvl.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/pvl.cpp.o.d"
+  "/root/repo/src/mor/rational.cpp" "src/CMakeFiles/sympvl.dir/mor/rational.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/rational.cpp.o.d"
+  "/root/repo/src/mor/reduced_model.cpp" "src/CMakeFiles/sympvl.dir/mor/reduced_model.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/reduced_model.cpp.o.d"
+  "/root/repo/src/mor/sympvl.cpp" "src/CMakeFiles/sympvl.dir/mor/sympvl.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/sympvl.cpp.o.d"
+  "/root/repo/src/mor/synthesis.cpp" "src/CMakeFiles/sympvl.dir/mor/synthesis.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/synthesis.cpp.o.d"
+  "/root/repo/src/mor/sypvl.cpp" "src/CMakeFiles/sympvl.dir/mor/sypvl.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/sypvl.cpp.o.d"
+  "/root/repo/src/mor/vectorfit.cpp" "src/CMakeFiles/sympvl.dir/mor/vectorfit.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/mor/vectorfit.cpp.o.d"
+  "/root/repo/src/sim/ac.cpp" "src/CMakeFiles/sympvl.dir/sim/ac.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/sim/ac.cpp.o.d"
+  "/root/repo/src/sim/nonlinear.cpp" "src/CMakeFiles/sympvl.dir/sim/nonlinear.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/sim/nonlinear.cpp.o.d"
+  "/root/repo/src/sim/sensitivity.cpp" "src/CMakeFiles/sympvl.dir/sim/sensitivity.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/sim/sensitivity.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/CMakeFiles/sympvl.dir/sim/transient.cpp.o" "gcc" "src/CMakeFiles/sympvl.dir/sim/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for sympvl.
+# This may be replaced when dependencies are built.

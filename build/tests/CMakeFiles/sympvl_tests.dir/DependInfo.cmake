@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ac.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_ac.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_ac.cpp.o.d"
+  "/root/repo/tests/test_arnoldi.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_arnoldi.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_arnoldi.cpp.o.d"
+  "/root/repo/tests/test_awe.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_awe.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_awe.cpp.o.d"
+  "/root/repo/tests/test_balanced.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_balanced.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_balanced.cpp.o.d"
+  "/root/repo/tests/test_crosscheck.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_crosscheck.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_crosscheck.cpp.o.d"
+  "/root/repo/tests/test_dense.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_dense.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_dense.cpp.o.d"
+  "/root/repo/tests/test_dense_factor.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_dense_factor.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_dense_factor.cpp.o.d"
+  "/root/repo/tests/test_eig.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_eig.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_eig.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_lanczos.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_lanczos.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_lanczos.cpp.o.d"
+  "/root/repo/tests/test_mna.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_mna.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_mna.cpp.o.d"
+  "/root/repo/tests/test_moments.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_moments.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_moments.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_network_params.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_network_params.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_network_params.cpp.o.d"
+  "/root/repo/tests/test_nonlinear.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_nonlinear.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_nonlinear.cpp.o.d"
+  "/root/repo/tests/test_ordering.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_ordering.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_ordering.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_passivity.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_passivity.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_passivity.cpp.o.d"
+  "/root/repo/tests/test_postprocess.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_postprocess.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_postprocess.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_pvl.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_pvl.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_pvl.cpp.o.d"
+  "/root/repo/tests/test_rational.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_rational.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_rational.cpp.o.d"
+  "/root/repo/tests/test_reduced_model.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_reduced_model.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_reduced_model.cpp.o.d"
+  "/root/repo/tests/test_sensitivity.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_session.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_session.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_session.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_sparse_ldlt.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_sparse_ldlt.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_sparse_ldlt.cpp.o.d"
+  "/root/repo/tests/test_sparse_lu.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_sparse_lu.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_sparse_lu.cpp.o.d"
+  "/root/repo/tests/test_sympvl.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_sympvl.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_sympvl.cpp.o.d"
+  "/root/repo/tests/test_synthesis.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_synthesis.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_synthesis.cpp.o.d"
+  "/root/repo/tests/test_sypvl.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_sypvl.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_sypvl.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_touchstone.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_touchstone.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_touchstone.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_transient.cpp.o.d"
+  "/root/repo/tests/test_vectorfit.cpp" "tests/CMakeFiles/sympvl_tests.dir/test_vectorfit.cpp.o" "gcc" "tests/CMakeFiles/sympvl_tests.dir/test_vectorfit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sympvl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
