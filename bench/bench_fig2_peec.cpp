@@ -87,10 +87,7 @@ void print_tables() {
   const ReducedModel rom56 = session.extend(6);
   const double t_plus6 =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
-  double err56 = 0.0;
-  for (size_t k = 0; k < freqs.size(); ++k)
-    err56 = std::max(err56, max_rel_err(rom56.eval(Complex(0.0, 2.0 * M_PI * freqs[k])),
-                                        exact[k]));
+  const double err56 = max_rel_err_sweep(rom56.sweep(freqs), exact);
   csv_begin("fig2: incremental session — order 50 then +6 iterations",
             {"t_order50_s", "t_plus6_s", "err_after_56"});
   csv_row({t_50, t_plus6, err56});

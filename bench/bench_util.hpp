@@ -6,10 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace sympvl::bench {
 
@@ -37,6 +40,38 @@ inline double max_rel_err(const CMat& a, const CMat& b) {
     for (Index j = 0; j < a.cols(); ++j)
       num = std::max(num, std::abs(a(i, j) - b(i, j)));
   return num / den;
+}
+
+/// Max per-point max_rel_err over two whole sweeps, scanned in parallel
+/// (one partial max per chunk, combined serially — same result as the
+/// serial scan since max is order-independent).
+inline double max_rel_err_sweep(const std::vector<CMat>& a,
+                                const std::vector<CMat>& b) {
+  const Index count = static_cast<Index>(std::min(a.size(), b.size()));
+  std::vector<double> partial(static_cast<size_t>(num_threads()), 0.0);
+  parallel_for_chunks(Index(0), count, [&](Index rank, Index lo, Index hi) {
+    double m = 0.0;
+    for (Index k = lo; k < hi; ++k)
+      m = std::max(m, max_rel_err(a[static_cast<size_t>(k)],
+                                  b[static_cast<size_t>(k)]));
+    partial[static_cast<size_t>(rank)] = m;
+  });
+  double m = 0.0;
+  for (double v : partial) m = std::max(m, v);
+  return m;
+}
+
+/// Writes a flat JSON object of numeric results to `path` — the uniform
+/// machine-readable format for all BENCH_*.json perf-trajectory files.
+inline void json_emit(const std::string& path,
+                      const std::vector<std::pair<std::string, double>>& kv) {
+  std::ofstream out(path);
+  out.precision(17);
+  out << "{\n";
+  for (size_t i = 0; i < kv.size(); ++i)
+    out << "  \"" << kv[i].first << "\": " << kv[i].second
+        << (i + 1 < kv.size() ? "," : "") << "\n";
+  out << "}\n";
 }
 
 /// Standard main body: print the experiment tables, then run benchmarks.

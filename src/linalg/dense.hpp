@@ -139,11 +139,25 @@ class Matrix {
   friend Matrix operator*(const Matrix& a, const Matrix& b) {
     require(a.cols_ == b.rows_, "matmul: inner dimension mismatch");
     Matrix c(a.rows_, b.cols_);
-    for (Index i = 0; i < a.rows_; ++i) {
-      for (Index k = 0; k < a.cols_; ++k) {
-        const T aik = a(i, k);
-        if (aik == T(0)) continue;
-        for (Index j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+    // Cache-blocked i×k panels with a contiguous j inner loop: the B panel
+    // stays resident across the whole i block instead of being streamed
+    // once per output row.
+    constexpr Index kBlock = 64;
+    const Index m = a.rows_, kn = a.cols_, n = b.cols_;
+    for (Index i0 = 0; i0 < m; i0 += kBlock) {
+      const Index i1 = std::min(i0 + kBlock, m);
+      for (Index k0 = 0; k0 < kn; k0 += kBlock) {
+        const Index k1 = std::min(k0 + kBlock, kn);
+        for (Index i = i0; i < i1; ++i) {
+          const T* arow = a.data_.data() + i * kn;
+          T* crow = c.data_.data() + i * n;
+          for (Index k = k0; k < k1; ++k) {
+            const T aik = arow[k];
+            if (aik == T(0)) continue;
+            const T* brow = b.data_.data() + k * n;
+            for (Index j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          }
+        }
       }
     }
     return c;
@@ -151,10 +165,12 @@ class Matrix {
 
   friend std::vector<T> operator*(const Matrix& a, const std::vector<T>& x) {
     require(a.cols_ == static_cast<Index>(x.size()), "matvec: size mismatch");
-    std::vector<T> y(static_cast<size_t>(a.rows_), T(0));
-    for (Index i = 0; i < a.rows_; ++i) {
+    std::vector<T> y(static_cast<size_t>(a.rows_));
+    const T* xp = x.data();
+    const T* row = a.data_.data();
+    for (Index i = 0; i < a.rows_; ++i, row += a.cols_) {
       T acc(0);
-      for (Index j = 0; j < a.cols_; ++j) acc += a(i, j) * x[static_cast<size_t>(j)];
+      for (Index j = 0; j < a.cols_; ++j) acc += row[j] * xp[j];
       y[static_cast<size_t>(i)] = acc;
     }
     return y;
@@ -199,6 +215,52 @@ using Mat = Matrix<double>;
 using CMat = Matrix<Complex>;
 using Vec = std::vector<double>;
 using CVec = std::vector<Complex>;
+
+// ---- transpose-aware matrix products -------------------------------------
+
+/// C = Aᵀ·B (plain transpose, no conjugation) without materializing Aᵀ.
+/// Row-major friendly: the k (shared-dimension) loop is outermost, so both
+/// A and B are streamed by contiguous rows while the small C accumulator
+/// stays in cache — the shape of port projections Bᵀ·X with tall-skinny
+/// operands.
+template <typename T, typename U>
+auto matmul_transA(const Matrix<T>& a, const Matrix<U>& b) {
+  using R = decltype(T() * U());
+  require(a.rows() == b.rows(), "matmul_transA: inner dimension mismatch");
+  const Index n = a.rows(), p = a.cols(), q = b.cols();
+  Matrix<R> c(p, q);
+  for (Index k = 0; k < n; ++k) {
+    const T* arow = a.data() + k * p;
+    const U* brow = b.data() + k * q;
+    for (Index i = 0; i < p; ++i) {
+      const T aki = arow[i];
+      if (aki == T(0)) continue;
+      R* crow = c.data() + i * q;
+      for (Index j = 0; j < q; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+/// C = A·Bᵀ without materializing Bᵀ: every inner product runs over two
+/// contiguous rows.
+template <typename T>
+Matrix<T> matmul_transB(const Matrix<T>& a, const Matrix<T>& b) {
+  require(a.cols() == b.cols(), "matmul_transB: inner dimension mismatch");
+  const Index m = a.rows(), n = a.cols(), q = b.rows();
+  Matrix<T> c(m, q);
+  for (Index i = 0; i < m; ++i) {
+    const T* arow = a.data() + i * n;
+    T* crow = c.data() + i * q;
+    for (Index j = 0; j < q; ++j) {
+      const T* brow = b.data() + j * n;
+      T acc(0);
+      for (Index k = 0; k < n; ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
 
 // ---- free vector helpers -------------------------------------------------
 

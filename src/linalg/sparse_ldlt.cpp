@@ -237,6 +237,54 @@ std::vector<T> SparseLDLT<T>::solve(const std::vector<T>& b) const {
 }
 
 template <typename T>
+Matrix<T> SparseLDLT<T>::solve(const Matrix<T>& b) const {
+  require(b.rows() == n_, "SparseLDLT::solve: row count mismatch");
+  const Index p = b.cols();
+  const auto& perm = symbolic_->perm_;
+  // Row-major X: row i is the length-p block for unknown i, so the inner
+  // update loops below run over contiguous memory.
+  Matrix<T> x(n_, p);
+  for (Index i = 0; i < n_; ++i) {
+    const T* src = b.data() + perm[static_cast<size_t>(i)] * p;
+    T* dst = x.data() + i * p;
+    for (Index r = 0; r < p; ++r) dst[r] = src[r];
+  }
+  // Forward: L X = B (unit lower), one pass over L's columns.
+  for (Index j = 0; j < n_; ++j) {
+    const T* xj = x.data() + j * p;
+    for (Index q = l_colptr_[static_cast<size_t>(j)];
+         q < l_colptr_[static_cast<size_t>(j) + 1]; ++q) {
+      const T lij = l_values_[static_cast<size_t>(q)];
+      T* xi = x.data() + l_rowind_[static_cast<size_t>(q)] * p;
+      for (Index r = 0; r < p; ++r) xi[r] -= lij * xj[r];
+    }
+  }
+  // Diagonal: D X = X.
+  for (Index j = 0; j < n_; ++j) {
+    const T dj = d_[static_cast<size_t>(j)];
+    T* xj = x.data() + j * p;
+    for (Index r = 0; r < p; ++r) xj[r] /= dj;
+  }
+  // Backward: Lᵀ X = X, one pass over L's columns in reverse.
+  for (Index j = n_ - 1; j >= 0; --j) {
+    T* xj = x.data() + j * p;
+    for (Index q = l_colptr_[static_cast<size_t>(j)];
+         q < l_colptr_[static_cast<size_t>(j) + 1]; ++q) {
+      const T lij = l_values_[static_cast<size_t>(q)];
+      const T* xi = x.data() + l_rowind_[static_cast<size_t>(q)] * p;
+      for (Index r = 0; r < p; ++r) xj[r] -= lij * xi[r];
+    }
+  }
+  Matrix<T> out(n_, p);
+  for (Index i = 0; i < n_; ++i) {
+    const T* src = x.data() + i * p;
+    T* dst = out.data() + perm[static_cast<size_t>(i)] * p;
+    for (Index r = 0; r < p; ++r) dst[r] = src[r];
+  }
+  return out;
+}
+
+template <typename T>
 Vec SparseLDLT<T>::j_signs() const {
   if constexpr (std::is_same_v<T, double>) {
     Vec j(static_cast<size_t>(n_));

@@ -89,6 +89,13 @@ class SparseLDLT {
   /// Solves A x = b.
   std::vector<T> solve(const std::vector<T>& b) const;
 
+  /// Blocked multi-right-hand-side solve: A X = B for an n×p B. The
+  /// forward, diagonal, and backward phases each make ONE pass over L's
+  /// pattern with the p right-hand sides as the contiguous inner
+  /// dimension, instead of p independent passes — the natural shape for
+  /// solving against all port columns of an MNA system at once.
+  Matrix<T> solve(const Matrix<T>& b) const;
+
   /// Diagonal D entries (in permuted order).
   const std::vector<T>& d() const { return d_; }
 

@@ -4,6 +4,7 @@
 
 #include "linalg/dense_factor.hpp"
 #include "linalg/eig.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace sympvl {
 
@@ -41,6 +42,16 @@ CMat ModalModel::eval(Complex s) const {
   return z;
 }
 
+std::vector<CMat> ModalModel::sweep(const Vec& frequencies_hz) const {
+  const Index count = static_cast<Index>(frequencies_hz.size());
+  std::vector<CMat> out(static_cast<size_t>(count));
+  parallel_for(Index(0), count, [&](Index k) {
+    out[static_cast<size_t>(k)] =
+        eval(Complex(0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]));
+  });
+  return out;
+}
+
 CVec ModalModel::physical_poles() const {
   CVec out;
   for (const Complex& sigma : poles_) {
@@ -71,7 +82,7 @@ ModalModel modal_decompose(const ReducedModel& model) {
   // Rₖ = aₖbₖᵀ/λₖ at poles σₖ = s₀ − 1/λₖ.
   const CMat xinv = dense_solve(eig.vectors, CMat::identity(n));
   // a = (ρᵀΔ)·X  (p×n), b = X⁻¹·ρ (n×p).
-  const Mat rho_delta = model.rho().transpose() * model.delta();
+  const Mat rho_delta = matmul_transA(model.rho(), model.delta());
   CMat a(p, n);
   for (Index i = 0; i < p; ++i)
     for (Index k = 0; k < n; ++k) {

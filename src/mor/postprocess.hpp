@@ -37,6 +37,10 @@ class ModalModel {
   /// Physical Z(s).
   CMat eval(Complex s) const;
 
+  /// Sweep along the jω axis (one p×p matrix per frequency in Hz),
+  /// evaluated in parallel across frequency points.
+  std::vector<CMat> sweep(const Vec& frequencies_hz) const;
+
   /// Poles mapped to the physical s-plane (σ for kS; ±√σ for kSSquared).
   CVec physical_poles() const;
   bool is_stable(double tol = 1e-9) const;

@@ -6,6 +6,7 @@
 
 #include "linalg/dense_factor.hpp"
 #include "linalg/eig.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace sympvl {
 
@@ -152,9 +153,12 @@ CMat ReducedModel::eval(Complex s) const {
 }
 
 std::vector<CMat> ReducedModel::sweep(const Vec& frequencies_hz) const {
-  std::vector<CMat> out;
-  out.reserve(frequencies_hz.size());
-  for (double f : frequencies_hz) out.push_back(eval(Complex(0.0, 2.0 * M_PI * f)));
+  const Index count = static_cast<Index>(frequencies_hz.size());
+  std::vector<CMat> out(static_cast<size_t>(count));
+  parallel_for(Index(0), count, [&](Index k) {
+    out[static_cast<size_t>(k)] =
+        eval(Complex(0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]));
+  });
   return out;
 }
 

@@ -1,0 +1,157 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace sympvl {
+
+namespace {
+
+thread_local bool t_in_parallel = false;
+
+Index default_thread_count() {
+  if (const char* env = std::getenv("SYMPVL_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<Index>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<Index>(hw) : 1;
+}
+
+}  // namespace
+
+bool in_parallel_region() { return t_in_parallel; }
+
+namespace detail {
+
+RegionGuard::RegionGuard() : prev_(t_in_parallel) { t_in_parallel = true; }
+RegionGuard::~RegionGuard() { t_in_parallel = prev_; }
+
+struct ThreadPool::State {
+  // run() calls from distinct user threads serialize here; everything
+  // below is owned by the single active run (plus the workers).
+  std::mutex run_mutex;
+
+  std::mutex m;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::vector<std::thread> workers;
+  const std::vector<Task>* tasks = nullptr;  // valid while an epoch is live
+  std::atomic<Index> next{0};                // next unclaimed task index
+  Index remaining = 0;                       // tasks not yet finished
+  Index active = 0;                          // workers inside the claim loop
+  unsigned long long epoch = 0;
+  bool stop = false;
+  Index requested = 1;  // logical parallelism (workers + caller)
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(m);
+    // Start one epoch behind so a worker spawned mid-batch joins the
+    // batch already in flight instead of sleeping through it.
+    unsigned long long seen = epoch - 1;
+    for (;;) {
+      work_ready.wait(lock, [&] { return stop || epoch != seen; });
+      if (stop) return;
+      seen = epoch;
+      if (tasks == nullptr) continue;
+      const std::vector<Task>* batch = tasks;
+      const Index count = static_cast<Index>(batch->size());
+      ++active;
+      lock.unlock();
+      claim_and_run(batch, count);
+      lock.lock();
+      --active;
+      if (active == 0 && remaining == 0) work_done.notify_all();
+    }
+  }
+
+  void claim_and_run(const std::vector<Task>* batch, Index count) {
+    for (;;) {
+      const Index i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      (*batch)[static_cast<size_t>(i)]();
+      std::lock_guard<std::mutex> g(m);
+      if (--remaining == 0 && active == 0) work_done.notify_all();
+    }
+  }
+
+  void spawn_workers_locked(Index n) {
+    while (static_cast<Index>(workers.size()) < n)
+      workers.emplace_back([this] { worker_loop(); });
+  }
+
+  void shutdown_workers() {
+    {
+      std::lock_guard<std::mutex> g(m);
+      stop = true;
+    }
+    work_ready.notify_all();
+    for (auto& w : workers) w.join();
+    workers.clear();
+    std::lock_guard<std::mutex> g(m);
+    stop = false;
+  }
+};
+
+ThreadPool::ThreadPool() : state_(new State) {
+  state_->requested = default_thread_count();
+}
+
+ThreadPool::~ThreadPool() {
+  state_->shutdown_workers();
+  delete state_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+Index ThreadPool::threads() const {
+  std::lock_guard<std::mutex> g(state_->m);
+  return state_->requested;
+}
+
+void ThreadPool::set_threads(Index n) {
+  // Taking run_mutex keeps a resize from racing an active parallel region.
+  std::lock_guard<std::mutex> serial(state_->run_mutex);
+  const Index target = n >= 1 ? n : default_thread_count();
+  if (target < static_cast<Index>(state_->workers.size()) + 1)
+    state_->shutdown_workers();  // shrink: recycle the whole pool
+  std::lock_guard<std::mutex> g(state_->m);
+  state_->requested = target;
+}
+
+void ThreadPool::run(const std::vector<Task>& tasks) {
+  if (tasks.empty()) return;
+  State& s = *state_;
+  std::lock_guard<std::mutex> serial(s.run_mutex);
+  const Index count = static_cast<Index>(tasks.size());
+  {
+    std::lock_guard<std::mutex> g(s.m);
+    // Workers are spawned lazily so a serial program never pays for them.
+    // count-1 workers suffice: the caller claims tasks too.
+    s.spawn_workers_locked(std::min(s.requested, count) - 1);
+    s.tasks = &tasks;
+    s.next.store(0, std::memory_order_relaxed);
+    s.remaining = count;
+    ++s.epoch;
+  }
+  s.work_ready.notify_all();
+  s.claim_and_run(&tasks, count);
+  std::unique_lock<std::mutex> lock(s.m);
+  s.work_done.wait(lock, [&] { return s.remaining == 0 && s.active == 0; });
+  s.tasks = nullptr;
+}
+
+}  // namespace detail
+
+Index num_threads() { return detail::ThreadPool::instance().threads(); }
+
+void set_num_threads(Index n) { detail::ThreadPool::instance().set_threads(n); }
+
+}  // namespace sympvl

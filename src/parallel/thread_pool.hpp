@@ -1,0 +1,138 @@
+// Shared-memory parallel runtime: a persistent thread pool plus a
+// static-partition `parallel_for` (deliberately work-stealing-free so runs
+// are reproducible: iteration i is always processed inside the same chunk
+// regardless of timing).
+//
+// The hot loops this serves — AC frequency sweeps, reduced-model
+// evaluation sweeps, per-frequency error scans — are embarrassingly
+// parallel with near-uniform per-iteration cost, so a static partition
+// into one contiguous chunk per thread is both the fastest schedule and
+// the only one whose floating-point reduction order is deterministic.
+//
+// Thread count resolution (first use wins, then the runtime API):
+//   1. sympvl::set_num_threads(n) — explicit runtime override;
+//   2. SYMPVL_NUM_THREADS environment variable;
+//   3. std::thread::hardware_concurrency().
+//
+// Concurrency contract:
+//   * parallel_for / parallel_for_chunks block until every iteration ran;
+//     the first exception thrown by any chunk is rethrown in the caller.
+//   * Nested calls are safe: a parallel_for issued from inside a parallel
+//     region runs serially in the calling worker (no pool re-entry, no
+//     deadlock).
+//   * The pool itself may only be driven from one external thread at a
+//     time; concurrent top-level parallel_for calls from distinct user
+//     threads serialize on an internal mutex.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "common.hpp"
+
+namespace sympvl {
+
+/// Number of threads a top-level parallel_for will use (>= 1).
+Index num_threads();
+
+/// Overrides the thread count. `n >= 1` sets it exactly; `n == 0` resets
+/// to the environment/hardware default. Existing workers are recycled.
+void set_num_threads(Index n);
+
+/// True while the calling thread is executing inside a parallel region
+/// (used to make nested parallel_for calls run serially).
+bool in_parallel_region();
+
+namespace detail {
+
+/// Persistent worker pool. Users never touch this directly; go through
+/// parallel_for / parallel_for_chunks.
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  Index threads() const;
+  void set_threads(Index n);
+
+  /// Runs every task, the caller participating alongside the workers;
+  /// returns when all tasks finished. Tasks must not throw (parallel_for
+  /// wraps user code and captures exceptions itself).
+  void run(const std::vector<Task>& tasks);
+
+ private:
+  ThreadPool();
+  struct State;
+  State* state_;
+};
+
+/// RAII marker for "this thread is inside a parallel region". Saves and
+/// restores the previous flag so nested regions (which run serially) do
+/// not clear the outer region's marker on exit.
+class RegionGuard {
+ public:
+  RegionGuard();
+  ~RegionGuard();
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace detail
+
+/// Splits [begin, end) into one contiguous chunk per thread and invokes
+/// `fn(rank, chunk_begin, chunk_end)` for each. `rank` is the chunk index
+/// in [0, chunks_used) — use it to select per-thread workspaces. Blocks
+/// until all chunks completed; rethrows the first chunk exception.
+template <typename Fn>
+void parallel_for_chunks(Index begin, Index end, Fn&& fn) {
+  const Index total = end - begin;
+  if (total <= 0) return;
+  const Index nt = std::min<Index>(num_threads(), total);
+  if (nt <= 1 || in_parallel_region()) {
+    detail::RegionGuard guard;
+    fn(Index(0), begin, end);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(nt));
+  std::vector<detail::ThreadPool::Task> tasks;
+  tasks.reserve(static_cast<size_t>(nt));
+  const Index chunk = total / nt;
+  const Index rem = total % nt;
+  Index b = begin;
+  for (Index rank = 0; rank < nt; ++rank) {
+    const Index e = b + chunk + (rank < rem ? 1 : 0);
+    tasks.push_back([&fn, &errors, rank, b, e] {
+      detail::RegionGuard guard;
+      try {
+        fn(rank, b, e);
+      } catch (...) {
+        errors[static_cast<size_t>(rank)] = std::current_exception();
+      }
+    });
+    b = e;
+  }
+  detail::ThreadPool::instance().run(tasks);
+  for (auto& err : errors)
+    if (err) std::rethrow_exception(err);
+}
+
+/// Element-wise form: invokes `fn(i)` for every i in [begin, end), with the
+/// same static partition, blocking, and exception semantics as
+/// parallel_for_chunks.
+template <typename Fn>
+void parallel_for(Index begin, Index end, Fn&& fn) {
+  parallel_for_chunks(begin, end, [&fn](Index /*rank*/, Index b, Index e) {
+    for (Index i = b; i < e; ++i) fn(i);
+  });
+}
+
+}  // namespace sympvl

@@ -6,6 +6,7 @@
 
 #include "linalg/sparse_ldlt.hpp"
 #include "linalg/sparse_lu.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace sympvl {
 
@@ -24,8 +25,24 @@ class PencilSolver {
       lu_.emplace(pencil);  // throws if the pencil is truly singular
     }
   }
+  PencilSolver(const CSMat& pencil,
+               const std::shared_ptr<const LdltSymbolic>& symbolic) {
+    try {
+      ldlt_.emplace(pencil, symbolic);
+    } catch (const Error&) {
+      lu_.emplace(pencil);
+    }
+  }
   CVec solve(const CVec& b) const {
     return ldlt_ ? ldlt_->solve(b) : lu_->solve(b);
+  }
+  // Multi-RHS solve: one blocked pass over the LDLᵀ factor for all
+  // columns; the LU fallback solves column by column.
+  CMat solve(const CMat& b) const {
+    if (ldlt_) return ldlt_->solve(b);
+    CMat x(b.rows(), b.cols());
+    for (Index j = 0; j < b.cols(); ++j) x.set_col(j, lu_->solve(b.col(j)));
+    return x;
   }
 
  private:
@@ -33,26 +50,25 @@ class PencilSolver {
   std::optional<CLUSparse> lu_;
 };
 
+// Complex copy of the real port incidence B (the multi-RHS block).
+CMat port_rhs(const MnaSystem& sys) {
+  const Index n = sys.size();
+  const Index p = sys.port_count();
+  CMat b(n, p);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < p; ++j) b(i, j) = Complex(sys.B(i, j), 0.0);
+  return b;
+}
+
 }  // namespace
 
 CMat ac_z_matrix(const MnaSystem& sys, Complex s) {
-  const Index n = sys.size();
-  const Index p = sys.port_count();
-  require(p > 0, "ac_z_matrix: system has no ports");
+  require(sys.port_count() > 0, "ac_z_matrix: system has no ports");
   const CSMat pencil = pencil_combine(sys.G, sys.C, sys.map_s(s));
   const PencilSolver fact(pencil);
-  CMat z(p, p);
-  const Complex pref = sys.prefactor(s);
-  for (Index j = 0; j < p; ++j) {
-    CVec b(static_cast<size_t>(n), Complex(0.0, 0.0));
-    for (Index i = 0; i < n; ++i) b[static_cast<size_t>(i)] = Complex(sys.B(i, j), 0.0);
-    const CVec x = fact.solve(b);
-    for (Index i = 0; i < p; ++i) {
-      Complex acc(0.0, 0.0);
-      for (Index k = 0; k < n; ++k) acc += sys.B(k, i) * x[static_cast<size_t>(k)];
-      z(i, j) = pref * acc;
-    }
-  }
+  const CMat x = fact.solve(port_rhs(sys));
+  CMat z = matmul_transA(sys.B, x);
+  z *= sys.prefactor(s);
   return z;
 }
 
@@ -91,6 +107,7 @@ struct AcSweepEngine::Impl {
   std::vector<Index> pat_colptr, pat_rowind;
   std::vector<Index> g_slot, c_slot;
   std::shared_ptr<const LdltSymbolic> symbolic;
+  CMat b_complex;  // complex copy of B, the shared multi-RHS block
 
   CSMat assemble(Complex fs) const {
     CVec values(pat_rowind.size(), Complex(0.0, 0.0));
@@ -139,6 +156,7 @@ AcSweepEngine::AcSweepEngine(const MnaSystem& sys) : impl_(std::make_unique<Impl
   build_slots(sys.G, impl_->g_slot);
   build_slots(sys.C, impl_->c_slot);
   impl_->symbolic = std::make_shared<const LdltSymbolic>(pattern);
+  impl_->b_complex = port_rhs(sys);
 }
 
 AcSweepEngine::~AcSweepEngine() = default;
@@ -147,40 +165,28 @@ AcSweepEngine& AcSweepEngine::operator=(AcSweepEngine&&) noexcept = default;
 
 CMat AcSweepEngine::z_at(Complex s) const {
   const MnaSystem& sys = impl_->sys;
-  const Index n = sys.size();
-  const Index p = sys.port_count();
-  const CSMat pencil = impl_->assemble(sys.map_s(s));
-
   // Numeric-only LDLᵀ with the shared symbolic; pivoted LU as fallback.
-  std::optional<CLDLT> ldlt;
-  std::optional<CLUSparse> lu;
-  try {
-    ldlt.emplace(pencil, impl_->symbolic);
-  } catch (const Error&) {
-    lu.emplace(pencil);
-  }
-  auto solve = [&](const CVec& b) { return ldlt ? ldlt->solve(b) : lu->solve(b); };
-
-  CMat z(p, p);
-  const Complex pref = sys.prefactor(s);
-  for (Index j = 0; j < p; ++j) {
-    CVec b(static_cast<size_t>(n), Complex(0.0, 0.0));
-    for (Index i = 0; i < n; ++i) b[static_cast<size_t>(i)] = Complex(sys.B(i, j), 0.0);
-    const CVec x = solve(b);
-    for (Index i = 0; i < p; ++i) {
-      Complex acc(0.0, 0.0);
-      for (Index k = 0; k < n; ++k) acc += sys.B(k, i) * x[static_cast<size_t>(k)];
-      z(i, j) = pref * acc;
-    }
-  }
+  // Everything mutable (pencil values, factor, solution block) is local to
+  // this call, which is what makes the sweep below thread-safe: each
+  // thread refactorizes its own frequency points against the shared
+  // read-only symbolic analysis.
+  const PencilSolver fact(impl_->assemble(sys.map_s(s)), impl_->symbolic);
+  const CMat x = fact.solve(impl_->b_complex);
+  CMat z = matmul_transA(sys.B, x);
+  z *= sys.prefactor(s);
   return z;
 }
 
 std::vector<CMat> AcSweepEngine::sweep(const Vec& frequencies_hz) const {
-  std::vector<CMat> out;
-  out.reserve(frequencies_hz.size());
-  for (double f : frequencies_hz)
-    out.push_back(z_at(Complex(0.0, 2.0 * M_PI * f)));
+  const Index count = static_cast<Index>(frequencies_hz.size());
+  std::vector<CMat> out(static_cast<size_t>(count));
+  // Frequency points are independent; a static partition keeps the result
+  // bit-identical to the serial sweep (each point is computed by exactly
+  // the same sequence of operations regardless of thread count).
+  parallel_for(Index(0), count, [&](Index k) {
+    out[static_cast<size_t>(k)] =
+        z_at(Complex(0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]));
+  });
   return out;
 }
 

@@ -1,0 +1,221 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "gen/package.hpp"
+#include "gen/peec.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+// Restores the default thread count after each test so ordering does not
+// leak configuration between tests.
+class Parallel : public ::testing::Test {
+ protected:
+  ~Parallel() override { set_num_threads(0); }
+};
+
+TEST_F(Parallel, ThreadCountApi) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(0);  // reset to environment/hardware default
+  EXPECT_GE(num_threads(), 1);
+}
+
+TEST_F(Parallel, CoversEveryIndexExactlyOnce) {
+  for (Index nt : {Index(1), Index(2), Index(4), Index(7)}) {
+    set_num_threads(nt);
+    const Index count = 1013;
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(count));
+    for (auto& h : hits) h.store(0);
+    parallel_for(Index(0), count,
+                 [&](Index i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+    for (Index i = 0; i < count; ++i)
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "i=" << i << " nt=" << nt;
+  }
+}
+
+TEST_F(Parallel, ChunksPartitionTheRange) {
+  set_num_threads(4);
+  std::atomic<Index> covered{0};
+  std::atomic<int> chunks{0};
+  parallel_for_chunks(Index(10), Index(110), [&](Index rank, Index b, Index e) {
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, 4);
+    EXPECT_LT(b, e);
+    covered.fetch_add(e - b);
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(covered.load(), 100);
+  EXPECT_EQ(chunks.load(), 4);
+}
+
+TEST_F(Parallel, ExceptionsPropagateToCaller) {
+  set_num_threads(4);
+  EXPECT_THROW(
+      parallel_for(Index(0), Index(100),
+                   [](Index i) {
+                     if (i == 57) throw Error("boom");
+                   }),
+      Error);
+  // The pool must stay usable after a throwing region.
+  std::atomic<Index> sum{0};
+  parallel_for(Index(0), Index(10), [&](Index i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST_F(Parallel, NestedCallsRunSerially) {
+  set_num_threads(4);
+  std::atomic<Index> total{0};
+  parallel_for(Index(0), Index(8), [&](Index) {
+    EXPECT_TRUE(in_parallel_region());
+    // Nested region: must execute inline without deadlocking the pool.
+    parallel_for(Index(0), Index(16), [&](Index) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST_F(Parallel, EmptyAndSingleElementRanges) {
+  set_num_threads(4);
+  int calls = 0;
+  parallel_for(Index(0), Index(0), [&](Index) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(Index(5), Index(3), [&](Index) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(Index(2), Index(3), [&](Index i) {
+    ++calls;
+    EXPECT_EQ(i, 2);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+// One-thread and N-thread sweeps must agree essentially exactly: the
+// static partition evaluates every frequency point with the identical
+// operation sequence, so only the chunk boundaries differ.
+double sweep_divergence(const MnaSystem& sys, const Vec& freqs) {
+  const AcSweepEngine engine(sys);
+  set_num_threads(1);
+  const auto one = engine.sweep(freqs);
+  set_num_threads(4);
+  const auto many = engine.sweep(freqs);
+  double worst = 0.0;
+  for (size_t k = 0; k < freqs.size(); ++k) {
+    const double den = one[k].max_abs() + 1e-300;
+    for (Index i = 0; i < one[k].rows(); ++i)
+      for (Index j = 0; j < one[k].cols(); ++j)
+        worst = std::max(worst,
+                         std::abs(many[k](i, j) - one[k](i, j)) / den);
+  }
+  return worst;
+}
+
+TEST_F(Parallel, AcSweepDeterministicAcrossThreadCountsPackage) {
+  PackageOptions opt;
+  opt.pins = 12;
+  opt.segments = 4;
+  opt.signal_pins = 4;
+  const PackageCircuit pkg = make_package_circuit(opt);
+  const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kGeneral);
+  const Vec freqs = log_frequency_grid(1e7, 5e9, 25);
+  EXPECT_LE(sweep_divergence(sys, freqs), 1e-13);
+}
+
+TEST_F(Parallel, AcSweepDeterministicAcrossThreadCountsPeec) {
+  PeecOptions opt;
+  opt.grid = 6;
+  const PeecCircuit peec = make_peec_circuit(opt);
+  const Vec freqs = log_frequency_grid(1e8, 5e9, 25);
+  EXPECT_LE(sweep_divergence(peec.system, freqs), 1e-13);
+}
+
+TEST_F(Parallel, MultiRhsSolveMatchesSingleRhsColumnByColumn) {
+  PackageOptions opt;
+  opt.pins = 8;
+  opt.segments = 3;
+  opt.signal_pins = 4;
+  const PackageCircuit pkg = make_package_circuit(opt);
+  const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kGeneral);
+  const Index n = sys.size();
+  const Index p = sys.port_count();
+
+  // Complex pencil at a representative frequency.
+  const Complex s(0.0, 2.0 * M_PI * 1e9);
+  const CSMat pencil = pencil_combine(sys.G, sys.C, sys.map_s(s));
+  const CLDLT fact(pencil);
+  CMat rhs(n, p);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < p; ++j)
+      rhs(i, j) = Complex(sys.B(i, j), 0.1 * static_cast<double>(j));
+  const CMat block = fact.solve(rhs);
+  ASSERT_EQ(block.rows(), n);
+  ASSERT_EQ(block.cols(), p);
+  for (Index j = 0; j < p; ++j) {
+    const CVec x = fact.solve(rhs.col(j));
+    for (Index i = 0; i < n; ++i)
+      ASSERT_EQ(block(i, j), x[static_cast<size_t>(i)])
+          << "col " << j << " row " << i;
+  }
+
+  // Real scalar instantiation, same contract (SPD tridiagonal system).
+  const Index nr = 200;
+  TripletBuilder<double> t(nr, nr);
+  for (Index i = 0; i < nr; ++i) {
+    t.add(i, i, 4.0 + 0.01 * static_cast<double>(i));
+    if (i + 1 < nr) {
+      t.add(i, i + 1, -1.0);
+      t.add(i + 1, i, -1.0);
+    }
+  }
+  const LDLT rfact(t.compress());
+  Mat rrhs(nr, 3);
+  for (Index i = 0; i < nr; ++i)
+    for (Index j = 0; j < 3; ++j)
+      rrhs(i, j) = std::sin(static_cast<double>(i + 7 * j) * 0.37);
+  const Mat rblock = rfact.solve(rrhs);
+  for (Index j = 0; j < 3; ++j) {
+    const Vec x = rfact.solve(rrhs.col(j));
+    for (Index i = 0; i < nr; ++i)
+      ASSERT_EQ(rblock(i, j), x[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(Parallel, BlockedMatmulMatchesReference) {
+  const Index m = 37, k = 101, n = 53;
+  Mat a(m, k), b(k, n);
+  for (Index i = 0; i < m; ++i)
+    for (Index j = 0; j < k; ++j)
+      a(i, j) = std::sin(static_cast<double>(i * k + j) * 0.013);
+  for (Index i = 0; i < k; ++i)
+    for (Index j = 0; j < n; ++j)
+      b(i, j) = std::cos(static_cast<double>(i * n + j) * 0.029);
+  const Mat c = a * b;
+  Mat ref(m, n);
+  for (Index i = 0; i < m; ++i)
+    for (Index j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (Index q = 0; q < k; ++q) acc += a(i, q) * b(q, j);
+      ref(i, j) = acc;
+    }
+  for (Index i = 0; i < m; ++i)
+    for (Index j = 0; j < n; ++j)
+      ASSERT_NEAR(c(i, j), ref(i, j), 1e-12 * (1.0 + std::abs(ref(i, j))));
+
+  const Mat at_b = matmul_transA(a.transpose(), b);  // (Aᵀ)ᵀB = AB
+  const Mat a_bt = matmul_transB(a, b.transpose());  // A(Bᵀ)ᵀ = AB
+  for (Index i = 0; i < m; ++i)
+    for (Index j = 0; j < n; ++j) {
+      ASSERT_NEAR(at_b(i, j), ref(i, j), 1e-12 * (1.0 + std::abs(ref(i, j))));
+      ASSERT_NEAR(a_bt(i, j), ref(i, j), 1e-12 * (1.0 + std::abs(ref(i, j))));
+    }
+}
+
+}  // namespace
+}  // namespace sympvl
