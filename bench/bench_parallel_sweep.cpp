@@ -116,5 +116,6 @@ void print_tables() {
 
 int main() {
   print_tables();
+  sympvl::obs::flush();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sympvl::bench {
@@ -63,18 +64,17 @@ inline double max_rel_err_sweep(const std::vector<CMat>& a,
 
 /// Writes a flat JSON object of numeric results to `path` — the uniform
 /// machine-readable format for all BENCH_*.json perf-trajectory files.
+/// Every file carries a "meta" block (host, thread config, compiler,
+/// build type) so perf numbers stay attributable to the machine and
+/// build that produced them; non-finite values are emitted as null.
 inline void json_emit(const std::string& path,
                       const std::vector<std::pair<std::string, double>>& kv) {
-  std::ofstream out(path);
-  out.precision(17);
-  out << "{\n";
-  for (size_t i = 0; i < kv.size(); ++i)
-    out << "  \"" << kv[i].first << "\": " << kv[i].second
-        << (i + 1 < kv.size() ? "," : "") << "\n";
-  out << "}\n";
+  obs::json_emit_with_meta(path, kv);
 }
 
 /// Standard main body: print the experiment tables, then run benchmarks.
+/// Flushes any pending obs sinks (SYMPVL_TRACE / SYMPVL_STATS) before
+/// exit so instrumented benches always produce complete trace files.
 #define SYMPVL_BENCH_MAIN(print_tables_fn)                         \
   int main(int argc, char** argv) {                                \
     print_tables_fn();                                             \
@@ -82,6 +82,7 @@ inline void json_emit(const std::string& path,
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                         \
     ::benchmark::Shutdown();                                       \
+    ::sympvl::obs::flush();                                        \
     return 0;                                                      \
   }
 

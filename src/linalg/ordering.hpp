@@ -18,6 +18,16 @@ enum class Ordering {
   kMinDegree,  ///< quotient-graph minimum-degree ordering
 };
 
+/// Stable display name (used in telemetry and reports).
+inline const char* ordering_name(Ordering o) {
+  switch (o) {
+    case Ordering::kNatural: return "natural";
+    case Ordering::kRCM: return "rcm";
+    case Ordering::kMinDegree: return "mindegree";
+  }
+  return "unknown";
+}
+
 /// Symmetric adjacency structure (pattern of A + Aᵀ without the diagonal).
 struct AdjacencyGraph {
   std::vector<Index> ptr;  // size n+1

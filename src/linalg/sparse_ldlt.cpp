@@ -5,6 +5,8 @@
 #include <limits>
 #include <type_traits>
 
+#include "obs/obs.hpp"
+
 namespace sympvl {
 
 LdltSymbolic::LdltSymbolic(Index n, const std::vector<Index>& colptr,
@@ -94,6 +96,7 @@ LdltSymbolic::LdltSymbolic(Index n, const std::vector<Index>& colptr,
 template <typename T>
 SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a, Ordering ordering,
                           double zero_pivot_tol) {
+  obs::ScopedTimer span("ldlt.factor");
   require(a.rows() == a.cols(), "SparseLDLT: matrix not square");
   n_ = a.rows();
   typename ScalarTraits<T>::Real amax(0);
@@ -102,6 +105,13 @@ SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a, Ordering ordering,
           "SparseLDLT: matrix not symmetric");
   symbolic_ = std::make_shared<const LdltSymbolic>(a, ordering);
   factorize(a, zero_pivot_tol);
+  span.arg("n", n_);
+  span.arg("nnz_a", a.nnz());
+  span.arg("nnz_l", l_nnz());
+  span.arg("fill_ratio", fill_ratio_);
+  span.arg("flops", flops_);
+  span.arg("pivot_ratio", pivot_ratio_);
+  span.arg("ordering", ordering_name(ordering));
 }
 
 template <typename T>
@@ -109,6 +119,7 @@ SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a,
                           std::shared_ptr<const LdltSymbolic> symbolic,
                           double zero_pivot_tol)
     : symbolic_(std::move(symbolic)) {
+  obs::ScopedTimer span("ldlt.refactor");
   require(symbolic_ != nullptr, "SparseLDLT: null symbolic analysis");
   require(a.rows() == a.cols() && a.rows() == symbolic_->n_,
           "SparseLDLT: size does not match the symbolic analysis");
@@ -116,6 +127,11 @@ SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a,
           "SparseLDLT: pattern does not match the symbolic analysis");
   n_ = a.rows();
   factorize(a, zero_pivot_tol);
+  span.arg("n", n_);
+  span.arg("nnz_l", l_nnz());
+  span.arg("fill_ratio", fill_ratio_);
+  span.arg("flops", flops_);
+  span.arg("pivot_ratio", pivot_ratio_);
 }
 
 template <typename T>
@@ -146,6 +162,7 @@ void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
   double amax = 0.0;
   for (const auto& v : values) amax = std::max(amax, ScalarTraits<T>::abs(v));
   const double pivot_floor = zero_pivot_tol * amax;
+  double flops = 0.0;
 
   for (Index k = 0; k < n_; ++k) {
     Index top = n_;
@@ -175,6 +192,7 @@ void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
       for (Index p = l_colptr_[static_cast<size_t>(i)]; p < pend; ++p)
         y[static_cast<size_t>(l_rowind_[static_cast<size_t>(p)])] -=
             l_values_[static_cast<size_t>(p)] * yi;
+      flops += 2.0 * static_cast<double>(pend - l_colptr_[static_cast<size_t>(i)]) + 3.0;
       const T lki = yi / d_[static_cast<size_t>(i)];
       d_[static_cast<size_t>(k)] -= lki * yi;
       l_rowind_[static_cast<size_t>(pend)] = k;
@@ -189,6 +207,12 @@ void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
     dmax = std::max(dmax, dk);
   }
   pivot_ratio_ = (dmax > 0.0) ? dmin / dmax : 0.0;
+  flops_ = flops;
+  // Fill-in relative to the lower triangle of A (A is stored with both
+  // triangles; (nnz + n)/2 is its lower-triangle count incl. diagonal).
+  fill_ratio_ = static_cast<double>(l_nnz() + n_) /
+                std::max(1.0, (static_cast<double>(a.nnz()) +
+                               static_cast<double>(n_)) / 2.0);
 
   sqrt_abs_d_.resize(static_cast<size_t>(n_));
   for (Index k = 0; k < n_; ++k)

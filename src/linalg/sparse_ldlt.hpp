@@ -102,6 +102,14 @@ class SparseLDLT {
   /// Fill-in: number of stored off-diagonal entries of L.
   Index l_nnz() const { return static_cast<Index>(l_rowind_.size()); }
 
+  /// Stored factor entries (nnz(L) + diagonal) per lower-triangle nonzero
+  /// of A — 1.0 means no fill-in at all.
+  double fill_ratio() const { return fill_ratio_; }
+
+  /// Floating-point operations performed by the numeric factorization
+  /// (multiply-add pairs counted as 2).
+  double flops() const { return flops_; }
+
   /// Ratio min|d| / max|d| — a quasi-definiteness health indicator; tiny
   /// values signal that the unpivoted factorization is untrustworthy.
   double pivot_ratio() const { return pivot_ratio_; }
@@ -139,6 +147,8 @@ class SparseLDLT {
   std::vector<T> d_;
   std::vector<typename ScalarTraits<T>::Real> sqrt_abs_d_;
   double pivot_ratio_ = 0.0;
+  double fill_ratio_ = 0.0;
+  double flops_ = 0.0;
 };
 
 using LDLT = SparseLDLT<double>;

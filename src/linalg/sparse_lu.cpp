@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace sympvl {
 
 namespace {
@@ -62,6 +64,7 @@ struct Reach {
 template <typename T>
 SparseLU<T>::SparseLU(const SparseMatrix<T>& a, Ordering ordering,
                       double pivot_threshold, double zero_pivot_tol) {
+  obs::ScopedTimer span("lu.factor");
   require(a.rows() == a.cols(), "SparseLU: matrix not square");
   require(pivot_threshold > 0.0 && pivot_threshold <= 1.0,
           "SparseLU: pivot_threshold must be in (0, 1]");
@@ -88,6 +91,7 @@ SparseLU<T>::SparseLU(const SparseMatrix<T>& a, Ordering ordering,
   double amax = 0.0;
   for (const auto& v : avalues) amax = std::max(amax, ScalarTraits<T>::abs(v));
   const double pivot_floor = zero_pivot_tol * amax;
+  double flops = 0.0;
 
   for (Index k = 0; k < n_; ++k) {
     const Index col = col_perm_[static_cast<size_t>(k)];
@@ -115,6 +119,8 @@ SparseLU<T>::SparseLU(const SparseMatrix<T>& a, Ordering ordering,
            p < l_colptr_[static_cast<size_t>(ci) + 1]; ++p)
         x[static_cast<size_t>(l_rowind_[static_cast<size_t>(p)])] -=
             l_values_[static_cast<size_t>(p)] * xi;
+      flops += 2.0 * static_cast<double>(l_colptr_[static_cast<size_t>(ci) + 1] -
+                                         l_colptr_[static_cast<size_t>(ci)]);
     }
 
     // ---- Pivot selection among not-yet-pivotal rows. ----
@@ -165,10 +171,24 @@ SparseLU<T>::SparseLU(const SparseMatrix<T>& a, Ordering ordering,
     // Diagonal of U stored last in its column.
     u_rowind_.push_back(k);
     u_values_.push_back(pivot);
+    // One division per new L entry of this column.
+    flops += static_cast<double>(static_cast<Index>(l_rowind_.size()) -
+                                 l_colptr_.back());
     l_colptr_.push_back(static_cast<Index>(l_rowind_.size()));
     u_colptr_.push_back(static_cast<Index>(u_rowind_.size()));
   }
   pivot_ratio_ = (piv_max > 0.0) ? piv_min / piv_max : 0.0;
+  flops_ = flops;
+  fill_ratio_ = static_cast<double>(l_nnz() + u_nnz()) /
+                std::max(1.0, static_cast<double>(a.nnz()));
+  span.arg("n", n_);
+  span.arg("nnz_a", a.nnz());
+  span.arg("nnz_l", l_nnz());
+  span.arg("nnz_u", u_nnz());
+  span.arg("fill_ratio", fill_ratio_);
+  span.arg("flops", flops_);
+  span.arg("pivot_ratio", pivot_ratio_);
+  span.arg("ordering", ordering_name(ordering));
 }
 
 template <typename T>

@@ -37,6 +37,13 @@ class SparseLU {
   Index l_nnz() const { return static_cast<Index>(l_values_.size()); }
   Index u_nnz() const { return static_cast<Index>(u_values_.size()); }
 
+  /// Stored factor entries (nnz(L) + nnz(U)) per nonzero of A.
+  double fill_ratio() const { return fill_ratio_; }
+
+  /// Floating-point operations performed by the numeric factorization
+  /// (multiply-add pairs counted as 2).
+  double flops() const { return flops_; }
+
   /// Smallest |pivot| / largest |pivot| — conditioning indicator.
   double pivot_ratio() const { return pivot_ratio_; }
 
@@ -51,6 +58,8 @@ class SparseLU {
   std::vector<Index> row_perm_;  // pivot position -> original row
   std::vector<Index> col_perm_;  // elimination step -> original column
   double pivot_ratio_ = 0.0;
+  double fill_ratio_ = 0.0;
+  double flops_ = 0.0;
 };
 
 using LUSparse = SparseLU<double>;

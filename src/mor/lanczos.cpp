@@ -5,6 +5,7 @@
 
 #include "linalg/dense_factor.hpp"
 #include "linalg/eig.hpp"
+#include "obs/obs.hpp"
 
 namespace sympvl {
 
@@ -112,10 +113,19 @@ bool BandLanczos::step() {
     }
     // 1c-1g: deflate.
     ++deflations_;
+    obs::instant("lanczos.deflation",
+                 {obs::arg("norm", nrm), obs::arg("ref_norm", current.ref_norm),
+                  obs::arg("deflation_tol", options_.deflation_tol),
+                  obs::arg("src", current.src),
+                  obs::arg("iteration", static_cast<Index>(vs_.size()))});
+    static obs::Counter& c_deflations = obs::counter("lanczos.deflations");
+    c_deflations.add();
     if (cand_.empty()) {
       // 1d: the last candidate deflated — Krylov space exhausted, the
       // reduced model is exact.
       exhausted_ = true;
+      obs::instant("lanczos.exhausted",
+                   {obs::arg("order", static_cast<Index>(vs_.size()))});
       break;
     }
     if (current.src >= 0 && nrm > 0.0)
@@ -126,6 +136,10 @@ bool BandLanczos::step() {
   const Index n_new = static_cast<Index>(vs_.size());
   vs_.push_back(std::move(current.v));
   // 1i: cluster bookkeeping.
+  if (open.members.empty())
+    obs::instant("lanczos.cluster_open",
+                 {obs::arg("cluster", static_cast<Index>(clusters_.size()) - 1),
+                  obs::arg("iteration", n_new)});
   if (open.members.empty()) {
     const Index source_idx = std::max<Index>(0, current.src);
     gamma_v_ = vec_cluster_.empty()
@@ -157,17 +171,37 @@ bool BandLanczos::step() {
       }
     const SymmetricEig eig = eig_symmetric(open.delta);
     double min_abs = std::abs(eig.values.front());
-    for (double l : eig.values) min_abs = std::min(min_abs, std::abs(l));
+    double max_abs = min_abs;
+    for (double l : eig.values) {
+      min_abs = std::min(min_abs, std::abs(l));
+      max_abs = std::max(max_abs, std::abs(l));
+    }
     if (min_abs > options_.lookahead_tol) {
       // 2c: close the cluster and J-orthogonalize every queued candidate
       // against it.
       open.delta_inv = dense_solve(open.delta, Mat::identity(m));
       open.closed = true;
       if (m > 1) ++lookahead_clusters_;
+      // δ-pivot conditioning of the cluster Gram matrix: min/max |λ(Δ^(γ))|.
+      obs::instant(
+          "lanczos.cluster_close",
+          {obs::arg("cluster", static_cast<Index>(clusters_.size()) - 1),
+           obs::arg("size", m), obs::arg("min_abs_eig", min_abs),
+           obs::arg("delta_cond", max_abs > 0.0 ? min_abs / max_abs : 0.0),
+           obs::arg("lookahead", static_cast<Index>(m > 1 ? 1 : 0))});
       for (auto& c : cand_) orthogonalize_against(c.v, c.src, open);
       clusters_.emplace_back();  // 2d: start a fresh cluster
+    } else {
+      // The cluster stays open: a look-ahead step (Δ^(γ) still singular
+      // to working precision, the near-breakdown of Algorithm 1).
+      obs::instant(
+          "lanczos.lookahead_step",
+          {obs::arg("cluster", static_cast<Index>(clusters_.size()) - 1),
+           obs::arg("size", m), obs::arg("min_abs_eig", min_abs),
+           obs::arg("lookahead_tol", options_.lookahead_tol)});
+      static obs::Counter& c_lookahead = obs::counter("lanczos.lookahead_steps");
+      c_lookahead.add();
     }
-    // Otherwise the cluster stays open (look-ahead step).
   }
 
   // ---- Step 3: generate the next candidate from v_n. ----
@@ -195,8 +229,12 @@ bool BandLanczos::step() {
 
 Index BandLanczos::run_to(Index target) {
   require(target >= 1, "BandLanczos::run_to: target must be >= 1");
+  static obs::Counter& c_steps = obs::counter("lanczos.steps");
   while (static_cast<Index>(vs_.size()) < target) {
+    obs::ScopedTimer span("lanczos.step");
+    span.arg("iteration", static_cast<Index>(vs_.size()));
     if (!step()) break;
+    c_steps.add();
   }
   return static_cast<Index>(vs_.size());
 }

@@ -6,6 +6,7 @@
 
 #include "linalg/dense_factor.hpp"
 #include "linalg/eig.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sympvl {
@@ -154,6 +155,10 @@ CMat ReducedModel::eval(Complex s) const {
 
 std::vector<CMat> ReducedModel::sweep(const Vec& frequencies_hz) const {
   const Index count = static_cast<Index>(frequencies_hz.size());
+  obs::ScopedTimer span("model.sweep");
+  span.arg("points", count);
+  span.arg("order", order());
+  span.arg("threads", num_threads());
   std::vector<CMat> out(static_cast<size_t>(count));
   parallel_for(Index(0), count, [&](Index k) {
     out[static_cast<size_t>(k)] =

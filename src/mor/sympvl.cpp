@@ -1,14 +1,21 @@
 #include "mor/sympvl.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "circuit/topology.hpp"
 #include "linalg/dense_factor.hpp"
+#include "obs/obs.hpp"
 
 namespace sympvl {
 
 namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 // Abstracts the two factorization back-ends behind the M/J interface the
 // Lanczos operator needs.
@@ -17,6 +24,8 @@ struct SymmetricFactor {
   virtual Vec solve_m(const Vec& b) const = 0;   // M⁻¹ b
   virtual Vec solve_mt(const Vec& b) const = 0;  // M⁻ᵀ b
   virtual const Vec& j_signs() const = 0;
+  /// Copies back-end telemetry (fill, flops) into the report.
+  virtual void fill_stats(SympvlReport& report) const { (void)report; }
 };
 
 struct SparseFactor final : SymmetricFactor {
@@ -25,6 +34,11 @@ struct SparseFactor final : SymmetricFactor {
   Vec solve_m(const Vec& b) const override { return ldlt.solve_m(b); }
   Vec solve_mt(const Vec& b) const override { return ldlt.solve_mt(b); }
   const Vec& j_signs() const override { return j; }
+  void fill_stats(SympvlReport& report) const override {
+    report.factor_nnz_l = ldlt.l_nnz();
+    report.factor_fill_ratio = ldlt.fill_ratio();
+    report.factor_flops = ldlt.flops();
+  }
   LDLT ldlt;
   Vec j;
 };
@@ -72,6 +86,7 @@ struct SympvlSession::Impl {
   double s0 = 0.0;
   std::unique_ptr<SymmetricFactor> factor;
   std::unique_ptr<BandLanczos> lanczos;
+  Mat exact_moment0;  // p×p exact 0th moment Bᵀ(G+s₀C)⁻¹B = startᵀJ·start
   SympvlReport report;
 
   void refresh_report() {
@@ -80,6 +95,20 @@ struct SympvlSession::Impl {
     report.exhausted = snap.exhausted;
     report.achieved_order = snap.n;
     report.lookahead_clusters = snap.lookahead_clusters;
+    report.cluster_sizes = snap.cluster_sizes;
+    // Moment-match diagnostic (eq. 20 with k = 0): the model's 0th moment
+    // ρₙᵀΔₙρₙ against the exact startᵀJ·start captured at construction.
+    // Δₙ is symmetric, so Δₙρₙ = Δₙᵀρₙ and both products reuse the
+    // transpose-aware kernel.
+    if (snap.n > 0 && exact_moment0.rows() > 0) {
+      const Mat model = matmul_transA(snap.rho, matmul_transA(snap.delta, snap.rho));
+      double diff = 0.0;
+      for (Index i = 0; i < model.rows(); ++i)
+        for (Index jc = 0; jc < model.cols(); ++jc)
+          diff = std::max(diff, std::abs(model(i, jc) - exact_moment0(i, jc)));
+      report.moment0_residual =
+          diff / std::max(exact_moment0.max_abs(), 1e-300);
+    }
   }
 };
 
@@ -89,6 +118,7 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
   require(sys.port_count() >= 1, "SympvlSession: system has no ports");
 
   // ---- Factor G + s₀C = M J Mᵀ (eq. 15 / eq. 26). ----
+  const auto t_factor = std::chrono::steady_clock::now();
   double s0 = options.s0;
   bool dense_fallback = false;
   auto try_sparse = [&](double shift) -> std::unique_ptr<SymmetricFactor> {
@@ -97,24 +127,32 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
     return std::make_unique<SparseFactor>(gt, options.ordering);
   };
   std::unique_ptr<SymmetricFactor> factor;
-  try {
-    factor = try_sparse(s0);
-  } catch (const Error&) {
-    if (options.auto_shift && s0 == 0.0) {
-      s0 = automatic_shift(sys);
-      try {
-        factor = try_sparse(s0);
-      } catch (const Error&) {
+  {
+    obs::ScopedTimer span("sympvl.factor");
+    span.arg("n", sys.size());
+    try {
+      factor = try_sparse(s0);
+    } catch (const Error&) {
+      if (options.auto_shift && s0 == 0.0) {
+        s0 = automatic_shift(sys);
+        try {
+          factor = try_sparse(s0);
+        } catch (const Error&) {
+          dense_fallback = true;
+        }
+      } else {
         dense_fallback = true;
       }
-    } else {
-      dense_fallback = true;
     }
+    if (dense_fallback) {
+      obs::instant("sympvl.dense_fallback", {obs::arg("n", sys.size())});
+      const SMat gt = (s0 == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, s0);
+      factor = std::make_unique<DenseFactor>(gt.to_dense());
+    }
+    span.arg("dense_fallback", dense_fallback ? 1.0 : 0.0);
+    span.arg("s0", s0);
   }
-  if (dense_fallback) {
-    const SMat gt = (s0 == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, s0);
-    factor = std::make_unique<DenseFactor>(gt.to_dense());
-  }
+  const double factor_seconds = seconds_since(t_factor);
 
   impl_->c_matrix = sys.C;
   impl_->variable = sys.variable;
@@ -123,20 +161,37 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
   impl_->factor = std::move(factor);
   impl_->report.s0_used = s0;
   impl_->report.used_dense_fallback = dense_fallback;
+  impl_->report.factor_seconds = factor_seconds;
+  impl_->factor->fill_stats(impl_->report);
   const Vec& j = impl_->factor->j_signs();
   impl_->report.negative_j = 0;
   for (double jk : j)
     if (jk < 0.0) ++impl_->report.negative_j;
 
   // ---- Starting block J⁻¹M⁻¹B and operator J⁻¹M⁻¹CM⁻ᵀ (steps 0, 3a). --
+  const auto t_start = std::chrono::steady_clock::now();
   const Index n_full = sys.size();
   Mat start(n_full, sys.port_count());
-  for (Index col = 0; col < sys.port_count(); ++col) {
-    Vec v = impl_->factor->solve_m(sys.B.col(col));
-    for (Index i = 0; i < n_full; ++i)
-      v[static_cast<size_t>(i)] *= j[static_cast<size_t>(i)];
-    start.set_col(col, v);
+  {
+    obs::ScopedTimer span("sympvl.start_block");
+    span.arg("ports", sys.port_count());
+    for (Index col = 0; col < sys.port_count(); ++col) {
+      Vec v = impl_->factor->solve_m(sys.B.col(col));
+      for (Index i = 0; i < n_full; ++i)
+        v[static_cast<size_t>(i)] *= j[static_cast<size_t>(i)];
+      start.set_col(col, v);
+    }
   }
+  // Exact 0th moment about s₀: startᵀJ·start = Bᵀ(G+s₀C)⁻¹B (J² = I), the
+  // reference for the report's moment-match residual.
+  {
+    Mat jstart = start;
+    for (Index i = 0; i < n_full; ++i)
+      for (Index col = 0; col < jstart.cols(); ++col)
+        jstart(i, col) *= j[static_cast<size_t>(i)];
+    impl_->exact_moment0 = matmul_transA(start, jstart);
+  }
+  impl_->report.start_block_seconds = seconds_since(t_start);
   Impl* impl = impl_.get();  // stable address, captured by the operator
   OperatorFn op = [impl](const Vec& v) {
     Vec w = impl->factor->solve_mt(v);
@@ -154,7 +209,16 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
   lopt.full_reorthogonalization = options.full_reorthogonalization;
   impl_->lanczos =
       std::make_unique<BandLanczos>(std::move(op), start, j, lopt);
-  impl_->lanczos->run_to(options.order);
+  {
+    const auto t_lanczos = std::chrono::steady_clock::now();
+    obs::ScopedTimer span("sympvl.lanczos");
+    span.arg("target_order", options.order);
+    impl_->lanczos->run_to(options.order);
+    impl_->report.lanczos_seconds = seconds_since(t_lanczos);
+  }
+  impl_->report.total_seconds = impl_->report.factor_seconds +
+                                impl_->report.start_block_seconds +
+                                impl_->report.lanczos_seconds;
   impl_->refresh_report();
 }
 
@@ -165,7 +229,15 @@ SympvlSession& SympvlSession::operator=(SympvlSession&&) noexcept = default;
 ReducedModel SympvlSession::extend(Index additional) {
   require(additional >= 0, "SympvlSession::extend: negative step");
   const Index target = impl_->lanczos->order() + additional;
-  impl_->lanczos->run_to(std::max<Index>(target, 1));
+  const auto t_lanczos = std::chrono::steady_clock::now();
+  {
+    obs::ScopedTimer span("sympvl.lanczos");
+    span.arg("target_order", target);
+    impl_->lanczos->run_to(std::max<Index>(target, 1));
+  }
+  const double dt = seconds_since(t_lanczos);
+  impl_->report.lanczos_seconds += dt;
+  impl_->report.total_seconds += dt;
   impl_->refresh_report();
   return current();
 }

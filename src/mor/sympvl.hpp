@@ -46,6 +46,25 @@ struct SympvlReport {
   bool exhausted = false;
   Index achieved_order = 0;
   Index lookahead_clusters = 0;
+  std::vector<Index> cluster_sizes;  ///< look-ahead cluster structure
+
+  // -- Per-stage wall times (seconds; always measured, independent of the
+  //    obs trace sink). lanczos/total accumulate across extend() calls. --
+  double factor_seconds = 0.0;       ///< G + s₀C = M J Mᵀ (incl. shift retry)
+  double start_block_seconds = 0.0;  ///< J⁻¹M⁻¹B construction
+  double lanczos_seconds = 0.0;      ///< Algorithm 1 iterations
+  double total_seconds = 0.0;
+
+  // -- Sparse-factorization telemetry (zeros on the dense fallback). --
+  Index factor_nnz_l = 0;          ///< off-diagonal entries of L
+  double factor_fill_ratio = 0.0;  ///< stored factor per lower-tri nnz of A
+  double factor_flops = 0.0;       ///< numeric factorization flop count
+
+  // -- Moment-match diagnostic: the 0th moment of the Padé model,
+  //    ρₙᵀΔₙρₙ, against the exact Bᵀ(G+s₀C)⁻¹B (computed from the
+  //    factorization, so it costs O(N·p²)). Near machine epsilon whenever
+  //    the starting block was captured (matrix-Padé property, eq. 20). --
+  double moment0_residual = 0.0;
 };
 
 /// Runs SyMPVL on an assembled MNA system.

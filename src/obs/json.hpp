@@ -1,0 +1,57 @@
+// Minimal JSON emission helpers shared by the trace exporter and the
+// bench result writers. Deliberately tiny: number/string formatting only,
+// no document model.
+//
+// JSON has no representation for NaN or ±Inf — a naive `out << value`
+// produces `nan`/`inf` tokens that break every downstream parser, so all
+// numeric output in the repo funnels through json_number(), which maps
+// non-finite values to `null`.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+
+namespace sympvl::obs {
+
+/// Formats a double as a JSON value: full round-trip precision for finite
+/// values, `null` for NaN/Inf (JSON has no non-finite literals).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Escapes a string for embedding between JSON double quotes.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Quoted + escaped JSON string literal.
+inline std::string json_string(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+}  // namespace sympvl::obs

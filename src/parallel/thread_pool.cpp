@@ -4,7 +4,10 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "obs/obs.hpp"
 
 namespace sympvl {
 
@@ -80,8 +83,15 @@ struct ThreadPool::State {
   }
 
   void spawn_workers_locked(Index n) {
-    while (static_cast<Index>(workers.size()) < n)
-      workers.emplace_back([this] { worker_loop(); });
+    while (static_cast<Index>(workers.size()) < n) {
+      // Named lanes in the trace: worker K is "pool-worker-K" for the
+      // lifetime of the pool (naming is cheap next to thread creation).
+      const Index idx = static_cast<Index>(workers.size());
+      workers.emplace_back([this, idx] {
+        obs::set_thread_name("pool-worker-" + std::to_string(idx));
+        worker_loop();
+      });
+    }
   }
 
   void shutdown_workers() {

@@ -27,9 +27,11 @@
 
 #include <exception>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "obs/obs.hpp"
 
 namespace sympvl {
 
@@ -88,10 +90,26 @@ class RegionGuard {
 
 }  // namespace detail
 
+namespace detail {
+
+/// Decorates a chunk failure with the chunk's rank and iteration range so
+/// errors surfacing from a parallel sweep are attributable to the work
+/// item that produced them (the rethrown type is always sympvl::Error).
+inline Error annotate_chunk_error(Index rank, Index nt, Index b, Index e,
+                                  const char* what) {
+  return Error("parallel_for chunk " + std::to_string(rank) + "/" +
+               std::to_string(nt) + " [" + std::to_string(b) + "," +
+               std::to_string(e) + "): " + what);
+}
+
+}  // namespace detail
+
 /// Splits [begin, end) into one contiguous chunk per thread and invokes
 /// `fn(rank, chunk_begin, chunk_end)` for each. `rank` is the chunk index
 /// in [0, chunks_used) — use it to select per-thread workspaces. Blocks
-/// until all chunks completed; rethrows the first chunk exception.
+/// until all chunks completed; rethrows the first chunk exception as a
+/// sympvl::Error carrying the failing chunk's rank and iteration range
+/// (non-std exceptions propagate unwrapped).
 template <typename Fn>
 void parallel_for_chunks(Index begin, Index end, Fn&& fn) {
   const Index total = end - begin;
@@ -110,10 +128,17 @@ void parallel_for_chunks(Index begin, Index end, Fn&& fn) {
   Index b = begin;
   for (Index rank = 0; rank < nt; ++rank) {
     const Index e = b + chunk + (rank < rem ? 1 : 0);
-    tasks.push_back([&fn, &errors, rank, b, e] {
+    tasks.push_back([&fn, &errors, rank, nt, b, e] {
       detail::RegionGuard guard;
+      obs::ScopedTimer span("parallel.chunk");
+      span.arg("rank", rank);
+      span.arg("begin", b);
+      span.arg("end", e);
       try {
         fn(rank, b, e);
+      } catch (const std::exception& ex) {
+        errors[static_cast<size_t>(rank)] = std::make_exception_ptr(
+            detail::annotate_chunk_error(rank, nt, b, e, ex.what()));
       } catch (...) {
         errors[static_cast<size_t>(rank)] = std::current_exception();
       }

@@ -6,6 +6,7 @@
 
 #include "linalg/sparse_ldlt.hpp"
 #include "linalg/sparse_lu.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sympvl {
@@ -22,6 +23,7 @@ class PencilSolver {
     try {
       ldlt_.emplace(pencil);
     } catch (const Error&) {
+      obs::instant("ac.lu_fallback", {obs::arg("n", pencil.rows())});
       lu_.emplace(pencil);  // throws if the pencil is truly singular
     }
   }
@@ -30,6 +32,7 @@ class PencilSolver {
     try {
       ldlt_.emplace(pencil, symbolic);
     } catch (const Error&) {
+      obs::instant("ac.lu_fallback", {obs::arg("n", pencil.rows())});
       lu_.emplace(pencil);
     }
   }
@@ -164,6 +167,8 @@ AcSweepEngine::AcSweepEngine(AcSweepEngine&&) noexcept = default;
 AcSweepEngine& AcSweepEngine::operator=(AcSweepEngine&&) noexcept = default;
 
 CMat AcSweepEngine::z_at(Complex s) const {
+  obs::ScopedTimer span("ac.z_at");
+  span.arg("im_s", s.imag());
   const MnaSystem& sys = impl_->sys;
   // Numeric-only LDLᵀ with the shared symbolic; pivoted LU as fallback.
   // Everything mutable (pencil values, factor, solution block) is local to
@@ -179,6 +184,10 @@ CMat AcSweepEngine::z_at(Complex s) const {
 
 std::vector<CMat> AcSweepEngine::sweep(const Vec& frequencies_hz) const {
   const Index count = static_cast<Index>(frequencies_hz.size());
+  obs::ScopedTimer span("ac.sweep");
+  span.arg("points", count);
+  span.arg("threads", num_threads());
+  span.arg("mna_size", impl_->sys.size());
   std::vector<CMat> out(static_cast<size_t>(count));
   // Frequency points are independent; a static partition keeps the result
   // bit-identical to the serial sweep (each point is computed by exactly

@@ -71,6 +71,28 @@ TEST_F(Parallel, ExceptionsPropagateToCaller) {
   EXPECT_EQ(sum.load(), 45);
 }
 
+TEST_F(Parallel, ChunkErrorsCarryRankAndRange) {
+  set_num_threads(4);
+  // 100 iterations over 4 chunks of 25: i == 57 lives in chunk 2, [50,75).
+  try {
+    parallel_for(Index(0), Index(100), [](Index i) {
+      if (i == 57) throw Error("boom");
+    });
+    FAIL() << "expected the chunk exception to propagate";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parallel_for chunk 2/4 [50,75)"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+  // Non-std exceptions propagate unwrapped.
+  EXPECT_THROW(parallel_for(Index(0), Index(100),
+                            [](Index i) {
+                              if (i == 3) throw 42;
+                            }),
+               int);
+}
+
 TEST_F(Parallel, NestedCallsRunSerially) {
   set_num_threads(4);
   std::atomic<Index> total{0};

@@ -1,0 +1,153 @@
+// Trace smoke test (ctest label "Trace"): runs a small SyMPVL reduction
+// and AC sweep with SYMPVL_TRACE set, then validates the emitted Chrome
+// trace-event JSON:
+//   * structurally valid JSON (balanced braces/brackets outside strings,
+//     no bare nan/inf tokens);
+//   * at least one complete ('X') event for every pipeline stage
+//     (factorization, start block, Lanczos, sweep, per-point solve);
+//   * thread-pool workers appear as named lanes ("pool-worker-K").
+// Built standalone (not into the gtest binary) so the env var is set
+// before the process touches any instrumented code; runs under
+// -DSYMPVL_SANITIZE=thread to prove the recording hot path is data-race
+// free while pool workers record concurrently.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/random_circuit.hpp"
+#include "mor/sympvl.hpp"
+#include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/ac.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+// Structural scan: braces/brackets balanced outside string literals.
+bool json_well_formed(const std::string& doc) {
+  int depth = 0;
+  bool in_string = false, escape = false;
+  for (char c : doc) {
+    if (in_string) {
+      if (escape)
+        escape = false;
+      else if (c == '\\')
+        escape = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+int count_occurrences(const std::string& doc, const std::string& needle) {
+  int n = 0;
+  for (size_t pos = doc.find(needle); pos != std::string::npos;
+       pos = doc.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sympvl;
+  const char* trace_path = "trace_smoke_out.json";
+  // Before any instrumented call: the obs layer resolves its sinks from
+  // the environment lazily, so this is the production code path.
+#ifdef _WIN32
+  _putenv_s("SYMPVL_TRACE", trace_path);
+#else
+  setenv("SYMPVL_TRACE", trace_path, 1);
+#endif
+  // Force real pool workers even on 1-core hosts: the pool spawns
+  // count-1 workers (the caller participates), so 3 threads = 2 workers.
+  set_num_threads(3);
+
+  // Small but complete pipeline: reduction plus exact AC sweep.
+  const Netlist nl = random_rc({.nodes = 40, .ports = 2, .seed = 11});
+  const MnaSystem sys = build_mna(nl);
+  SympvlOptions opt;
+  opt.order = 8;
+  SympvlReport report;
+  sympvl_reduce(sys, opt, &report);
+  check(report.achieved_order == 8, "reduction reached order 8");
+
+  const Vec freqs = log_frequency_grid(1e6, 1e9, 16);
+  const AcSweepEngine engine(sys);
+  const std::vector<CMat> sweep = engine.sweep(freqs);
+  check(sweep.size() == freqs.size(), "sweep produced every point");
+
+  obs::flush();
+
+  auto read_trace = [&]() -> std::string {
+    std::ifstream in(trace_path);
+    if (!in.good()) return {};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  std::string doc = read_trace();
+  check(!doc.empty(), "trace file was written");
+  // Workers name their lanes as their first action after spawning; on a
+  // loaded 1-core host the caller can drain every chunk before a fresh
+  // worker is even scheduled, so give naming a bounded grace period.
+  for (int tries = 0;
+       tries < 200 && (doc.find("\"pool-worker-0\"") == std::string::npos ||
+                       doc.find("\"pool-worker-1\"") == std::string::npos);
+       ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    obs::flush();
+    doc = read_trace();
+  }
+  std::remove(trace_path);
+
+  check(json_well_formed(doc), "trace JSON is structurally valid");
+  check(doc.find("\"traceEvents\"") != std::string::npos,
+        "trace has a traceEvents array");
+  check(count_occurrences(doc, ": nan") + count_occurrences(doc, ": inf") == 0,
+        "no bare non-finite tokens");
+
+  // One complete event per pipeline stage.
+  for (const char* stage :
+       {"sympvl.factor", "sympvl.start_block", "sympvl.lanczos",
+        "ldlt.factor", "ac.sweep", "ac.z_at", "parallel.chunk"}) {
+    const std::string needle = "\"name\":\"" + std::string(stage) + "\"";
+    check(count_occurrences(doc, needle) >= 1,
+          std::string("stage event present: ") + stage);
+  }
+
+  // Worker lanes are named; two workers were forced above.
+  check(count_occurrences(doc, "\"pool-worker-0\"") >= 1 &&
+            count_occurrences(doc, "\"pool-worker-1\"") >= 1,
+        "both pool workers have named lanes");
+  check(count_occurrences(doc, "\"thread_name\"") >= 3,
+        "metadata events for main + worker lanes");
+
+  if (g_failures == 0) {
+    std::printf("trace smoke: OK (%d trace bytes)\n",
+                static_cast<int>(doc.size()));
+    return 0;
+  }
+  std::fprintf(stderr, "trace smoke: %d check(s) failed\n", g_failures);
+  return 1;
+}
