@@ -48,12 +48,12 @@ void print_tables() {
 
   set_num_threads(1);
   double t0 = now_ms();
-  const std::vector<CMat> serial = engine.sweep(freqs);
+  const SweepResult serial = engine.sweep(freqs);
   const double serial_ms = now_ms() - t0;
 
   set_num_threads(0);  // restore the environment/hardware default
   t0 = now_ms();
-  const std::vector<CMat> threaded = engine.sweep(freqs);
+  const SweepResult threaded = engine.sweep(freqs);
   const double parallel_ms = now_ms() - t0;
 
   const double sweep_err = max_rel_err_sweep(threaded, serial);

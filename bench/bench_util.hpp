@@ -14,6 +14,7 @@
 #include "linalg/dense.hpp"
 #include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sim/sweep.hpp"
 
 namespace sympvl::bench {
 
@@ -60,6 +61,19 @@ inline double max_rel_err_sweep(const std::vector<CMat>& a,
   double m = 0.0;
   for (double v : partial) m = std::max(m, v);
   return m;
+}
+
+/// SweepResult-aware overloads: scan the contained matrices directly.
+inline double max_rel_err_sweep(const SweepResult& a,
+                                const std::vector<CMat>& b) {
+  return max_rel_err_sweep(a.values, b);
+}
+inline double max_rel_err_sweep(const std::vector<CMat>& a,
+                                const SweepResult& b) {
+  return max_rel_err_sweep(a, b.values);
+}
+inline double max_rel_err_sweep(const SweepResult& a, const SweepResult& b) {
+  return max_rel_err_sweep(a.values, b.values);
 }
 
 /// Writes a flat JSON object of numeric results to `path` — the uniform

@@ -234,7 +234,8 @@ MnaSystem build_mna(const Netlist& netlist, MnaForm form) {
     case MnaForm::kLC:
       return build_lc(netlist);
     default:
-      throw Error("build_mna: unknown form");
+      throw Error(ErrorCode::kInvalidArgument, "build_mna: unknown form",
+                  {.stage = "mna"});
   }
 }
 

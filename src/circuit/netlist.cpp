@@ -11,15 +11,18 @@ std::string auto_name(const char* prefix, size_t k) {
 }  // namespace
 
 void Netlist::check_node(Index n, const std::string& what) const {
-  require(n >= 0, what + ": negative node index");
+  require(n >= 0, ErrorCode::kInvalidArgument, what + ": negative node index",
+          {.stage = "netlist", .value = double(n)});
 }
 
 Index Netlist::add_resistor(Index n1, Index n2, double r, std::string name) {
   check_node(n1, "add_resistor");
   check_node(n2, "add_resistor");
-  require(allow_negative_ ? r != 0.0 : r > 0.0,
-          "add_resistor: resistance must be positive");
-  require(n1 != n2, "add_resistor: element shorted to itself");
+  require(allow_negative_ ? r != 0.0 : r > 0.0, ErrorCode::kInvalidArgument,
+          "add_resistor: resistance must be positive (and nonzero)",
+          {.stage = "netlist", .value = r});
+  require(n1 != n2, ErrorCode::kInvalidArgument,
+          "add_resistor: element shorted to itself", {.stage = "netlist"});
   ensure_nodes(std::max(n1, n2) + 1);
   if (name.empty()) name = auto_name("R", resistors_.size());
   resistors_.push_back({std::move(name), n1, n2, r});
@@ -29,9 +32,11 @@ Index Netlist::add_resistor(Index n1, Index n2, double r, std::string name) {
 Index Netlist::add_capacitor(Index n1, Index n2, double c, std::string name) {
   check_node(n1, "add_capacitor");
   check_node(n2, "add_capacitor");
-  require(allow_negative_ ? c != 0.0 : c > 0.0,
-          "add_capacitor: capacitance must be positive");
-  require(n1 != n2, "add_capacitor: element shorted to itself");
+  require(allow_negative_ ? c != 0.0 : c > 0.0, ErrorCode::kInvalidArgument,
+          "add_capacitor: capacitance must be positive (and nonzero)",
+          {.stage = "netlist", .value = c});
+  require(n1 != n2, ErrorCode::kInvalidArgument,
+          "add_capacitor: element shorted to itself", {.stage = "netlist"});
   ensure_nodes(std::max(n1, n2) + 1);
   if (name.empty()) name = auto_name("C", capacitors_.size());
   capacitors_.push_back({std::move(name), n1, n2, c});
@@ -41,8 +46,11 @@ Index Netlist::add_capacitor(Index n1, Index n2, double c, std::string name) {
 Index Netlist::add_inductor(Index n1, Index n2, double l, std::string name) {
   check_node(n1, "add_inductor");
   check_node(n2, "add_inductor");
-  require(l > 0.0, "add_inductor: inductance must be positive");
-  require(n1 != n2, "add_inductor: element shorted to itself");
+  require(l > 0.0, ErrorCode::kInvalidArgument,
+          "add_inductor: inductance must be positive (and nonzero)",
+          {.stage = "netlist", .value = l});
+  require(n1 != n2, ErrorCode::kInvalidArgument,
+          "add_inductor: element shorted to itself", {.stage = "netlist"});
   ensure_nodes(std::max(n1, n2) + 1);
   if (name.empty()) name = auto_name("L", inductors_.size());
   inductors_.push_back({std::move(name), n1, n2, l});
@@ -55,7 +63,8 @@ Index Netlist::add_mutual(Index l1, Index l2, double k, std::string name) {
               l2 < static_cast<Index>(inductors_.size()),
           "add_mutual: inductor index out of range");
   require(std::abs(k) < 1.0, "add_mutual: |coupling| must be < 1");
-  require(k != 0.0, "add_mutual: zero coupling");
+  require(k != 0.0, ErrorCode::kInvalidArgument, "add_mutual: zero coupling",
+          {.stage = "netlist"});
   if (name.empty()) name = auto_name("K", mutuals_.size());
   mutuals_.push_back({std::move(name), l1, l2, k});
   return static_cast<Index>(mutuals_.size()) - 1;
@@ -75,7 +84,8 @@ Index Netlist::add_current_source(Index n1, Index n2, double value,
 Index Netlist::add_port(Index n1, Index n2, std::string name) {
   check_node(n1, "add_port");
   check_node(n2, "add_port");
-  require(n1 != n2, "add_port: port terminals coincide");
+  require(n1 != n2, ErrorCode::kInvalidArgument,
+          "add_port: port terminals coincide", {.stage = "netlist"});
   ensure_nodes(std::max(n1, n2) + 1);
   if (name.empty()) name = auto_name("P", ports_.size());
   ports_.push_back({std::move(name), n1, n2});

@@ -28,7 +28,9 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 [[noreturn]] void fail(size_t line_no, const std::string& msg) {
-  throw Error("netlist parse error at line " + std::to_string(line_no) + ": " + msg);
+  throw Error(ErrorCode::kIo,
+              "netlist parse error at line " + std::to_string(line_no) + ": " + msg,
+              {.stage = "parser", .index = static_cast<Index>(line_no)});
 }
 
 struct Card {
@@ -181,7 +183,8 @@ double parse_value(const std::string& token) {
   try {
     v = std::stod(t, &pos);
   } catch (const std::exception&) {
-    throw Error("parse_value: malformed number '" + token + "'");
+    throw Error(ErrorCode::kIo, "parse_value: malformed number '" + token + "'",
+                {.stage = "parser"});
   }
   const std::string suffix = t.substr(pos);
   if (suffix.empty()) return v;
@@ -198,7 +201,9 @@ double parse_value(const std::string& token) {
     case 'g': return v * 1e9;
     case 't': return v * 1e12;
     default:
-      throw Error("parse_value: unknown suffix '" + suffix + "' in '" + token + "'");
+      throw Error(ErrorCode::kIo,
+                  "parse_value: unknown suffix '" + suffix + "' in '" + token + "'",
+                  {.stage = "parser"});
   }
 }
 

@@ -1,0 +1,149 @@
+#include "fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace sympvl::fault {
+
+namespace {
+
+struct SiteSpec {
+  bool all = false;          // '*' — fire at every index
+  std::set<Index> indices;   // explicit indices otherwise
+  Index fires = 0;           // hits recorded under the registry mutex
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteSpec> sites;
+  bool env_resolved = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// -1 = environment not yet resolved, 0 = nothing armed, 1 = armed.
+std::atomic<int> g_active{-1};
+
+// Parses "site@i1,i2,...;site2@*" into `sites`. Returns false (leaving
+// `sites` in an unspecified state) on malformed input.
+bool parse_spec(const std::string& spec, std::map<std::string, SiteSpec>* sites) {
+  sites->clear();
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t at = entry.find('@');
+    if (at == 0 || at == std::string::npos) return false;
+    const std::string site = entry.substr(0, at);
+    SiteSpec& s = (*sites)[site];
+    const std::string idx = entry.substr(at + 1);
+    if (idx == "*") {
+      s.all = true;
+      continue;
+    }
+    size_t ipos = 0;
+    while (ipos < idx.size()) {
+      size_t iend = idx.find(',', ipos);
+      if (iend == std::string::npos) iend = idx.size();
+      const std::string tok = idx.substr(ipos, iend - ipos);
+      ipos = iend + 1;
+      if (tok.empty()) return false;
+      char* tail = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &tail, 10);
+      if (tail == nullptr || *tail != '\0' || v < 0) return false;
+      s.indices.insert(static_cast<Index>(v));
+    }
+  }
+  return true;
+}
+
+// Resolves SYMPVL_FAULT once; later arm()/disarm() calls override it.
+void resolve_env_locked(Registry& r) {
+  if (r.env_resolved) return;
+  r.env_resolved = true;
+  const char* env = std::getenv("SYMPVL_FAULT");
+  if (env == nullptr || env[0] == '\0') {
+    g_active.store(r.sites.empty() ? 0 : 1, std::memory_order_release);
+    return;
+  }
+  std::map<std::string, SiteSpec> sites;
+  if (!parse_spec(env, &sites)) {
+    // A malformed environment spec is ignored (a test harness typo must
+    // not change library behavior); programmatic arm() still throws.
+    g_active.store(0, std::memory_order_release);
+    return;
+  }
+  r.sites = std::move(sites);
+  g_active.store(r.sites.empty() ? 0 : 1, std::memory_order_release);
+}
+
+}  // namespace
+
+bool active() {
+  const int a = g_active.load(std::memory_order_acquire);
+  if (a >= 0) return a != 0;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  resolve_env_locked(r);
+  return g_active.load(std::memory_order_acquire) != 0;
+}
+
+bool triggered(const char* site, Index index) {
+  if (!active()) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  SiteSpec& s = it->second;
+  if (!s.all && s.indices.count(index) == 0) return false;
+  ++s.fires;
+  return true;
+}
+
+void check(const char* site, Index index) {
+  if (!triggered(site, index)) return;
+  ErrorContext ctx;
+  ctx.stage = site;
+  ctx.index = index;
+  throw Error(ErrorCode::kFaultInjected,
+              std::string("injected fault at ") + site + " #" +
+                  std::to_string(index),
+              std::move(ctx));
+}
+
+void arm(const std::string& spec) {
+  std::map<std::string, SiteSpec> sites;
+  require(parse_spec(spec, &sites), ErrorCode::kInvalidArgument,
+          "fault::arm: malformed spec '" + spec + "'");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.env_resolved = true;  // an explicit arm() overrides SYMPVL_FAULT
+  r.sites = std::move(sites);
+  g_active.store(r.sites.empty() ? 0 : 1, std::memory_order_release);
+}
+
+void disarm() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.env_resolved = true;
+  r.sites.clear();
+  g_active.store(0, std::memory_order_release);
+}
+
+Index fire_count(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+}  // namespace sympvl::fault

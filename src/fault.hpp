@@ -1,0 +1,48 @@
+// Deterministic fault injection for robustness tests.
+//
+// A fault "site" is a named instrumentation point inside the library
+// (e.g. "ldlt.pivot", "factor.ldlt", "lanczos.delta", "sweep.point",
+// "parallel.chunk"). Each site passes a deterministic index — pivot
+// column, chain attempt number, Lanczos iteration, frequency-point index,
+// chunk rank — so a spec can force a failure at an exact, reproducible
+// place regardless of thread timing.
+//
+// Arming (either source replaces the other):
+//   * environment: SYMPVL_FAULT="site@i1,i2,...;site2@*"  — '*' fires at
+//     every index; resolved once at the first instrumented call;
+//   * programmatic: fault::arm("sweep.point@3,7,9") from tests. Call
+//     arm()/disarm() from a single thread while no parallel work is in
+//     flight; triggered() itself is thread-safe.
+//
+// Cost model: when nothing is armed, every instrumentation point is one
+// relaxed atomic load and a branch — safe to leave in hot loops.
+#pragma once
+
+#include <string>
+
+#include "common.hpp"
+
+namespace sympvl::fault {
+
+/// True when any fault spec is armed (cheap cached check, hot-path gate).
+bool active();
+
+/// True when `site` is armed for deterministic index `index`. Records the
+/// hit (see fire_count) when it returns true.
+bool triggered(const char* site, Index index);
+
+/// Throws Error(ErrorCode::kFaultInjected) when `triggered(site, index)`;
+/// the site name and index land in the error context.
+void check(const char* site, Index index);
+
+/// Programmatic arming. Replaces any SYMPVL_FAULT / previous arm() spec.
+/// Throws kInvalidArgument on a malformed spec.
+void arm(const std::string& spec);
+
+/// Clears every armed site (programmatic and environment-derived).
+void disarm();
+
+/// Number of times `site` actually fired since the last arm()/disarm().
+Index fire_count(const char* site);
+
+}  // namespace sympvl::fault

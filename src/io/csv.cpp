@@ -41,7 +41,8 @@ Vec CsvTable::column(const std::string& name) const {
     for (const auto& r : rows_) out.push_back(r[k]);
     return out;
   }
-  throw Error("CsvTable::column: no column named '" + name + "'");
+  throw Error(ErrorCode::kInvalidArgument,
+              "CsvTable::column: no column named '" + name + "'", {.stage = "csv"});
 }
 
 void CsvTable::write(std::ostream& out) const {
@@ -89,8 +90,10 @@ CsvTable CsvTable::parse(const std::string& text) {
       try {
         values.push_back(std::stod(cell));
       } catch (const std::exception&) {
-        throw Error("CsvTable::parse: bad number '" + cell + "' at line " +
-                    std::to_string(line_no));
+        throw Error(ErrorCode::kIo,
+                    "CsvTable::parse: bad number '" + cell + "' at line " +
+                        std::to_string(line_no),
+                    {.stage = "csv", .index = static_cast<Index>(line_no)});
       }
     }
     table.add_row(values);

@@ -235,7 +235,8 @@ std::vector<Index> make_ordering(const SparseMatrix<T>& a, Ordering ordering) {
     case Ordering::kMinDegree:
       return min_degree_ordering(a);
   }
-  throw Error("make_ordering: unknown ordering");
+  throw Error(ErrorCode::kInvalidArgument, "make_ordering: unknown ordering",
+              {.stage = "ordering"});
 }
 
 template <typename T>

@@ -5,6 +5,7 @@
 #include <limits>
 #include <type_traits>
 
+#include "fault.hpp"
 #include "obs/obs.hpp"
 
 namespace sympvl {
@@ -200,9 +201,12 @@ void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
       ++lnz_used[static_cast<size_t>(i)];
     }
     const double dk = ScalarTraits<T>::abs(d_[static_cast<size_t>(k)]);
-    require(dk != 0.0 && dk > pivot_floor,
-            "SparseLDLT: zero pivot encountered (matrix singular or not "
-            "quasi-definite; consider a frequency shift, eq. 26)");
+    fault::check("ldlt.pivot", k);
+    if (!(dk != 0.0 && dk > pivot_floor))
+      throw Error(ErrorCode::kZeroPivot,
+                  "SparseLDLT: zero pivot encountered (matrix singular or not "
+                  "quasi-definite; consider a frequency shift, eq. 26)",
+                  ErrorContext{.stage = "ldlt.factor", .index = k, .value = dk});
     dmin = std::min(dmin, dk);
     dmax = std::max(dmax, dk);
   }
@@ -316,7 +320,9 @@ Vec SparseLDLT<T>::j_signs() const {
       j[static_cast<size_t>(k)] = d_[static_cast<size_t>(k)] > 0.0 ? 1.0 : -1.0;
     return j;
   } else {
-    throw Error("SparseLDLT::j_signs: only defined for real factorizations");
+    throw Error(ErrorCode::kInvalidArgument,
+                "SparseLDLT::j_signs: only defined for real factorizations",
+                {.stage = "ldlt"});
   }
 }
 
@@ -328,7 +334,9 @@ Index SparseLDLT<T>::negative_pivots() const {
       if (dk < 0.0) ++c;
     return c;
   } else {
-    throw Error("SparseLDLT::negative_pivots: only defined for real factorizations");
+    throw Error(ErrorCode::kInvalidArgument,
+                "SparseLDLT::negative_pivots: only defined for real factorizations",
+                {.stage = "ldlt"});
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault.hpp"
 #include "obs/obs.hpp"
 
 namespace sympvl {
@@ -135,8 +136,12 @@ SparseLU<T>::SparseLU(const SparseMatrix<T>& a, Ordering ordering,
         piv = i;
       }
     }
-    require(piv >= 0 && best > 0.0 && best > pivot_floor,
-            "SparseLU: matrix is structurally or numerically singular");
+    fault::check("lu.pivot", col);
+    if (!(piv >= 0 && best > 0.0 && best > pivot_floor))
+      throw Error(
+          ErrorCode::kSingular,
+          "SparseLU: matrix is structurally or numerically singular",
+          ErrorContext{.stage = "lu.factor", .index = col, .value = best});
     // Threshold pivoting: prefer the natural diagonal if acceptable.
     if (pivot_threshold < 1.0 && pinv[static_cast<size_t>(col)] < 0) {
       const double diag_mag = ScalarTraits<T>::abs(x[static_cast<size_t>(col)]);

@@ -76,20 +76,26 @@ bool ArnoldiModel::is_stable(double tol) const {
 }
 
 ArnoldiModel arnoldi_reduce(const MnaSystem& sys, const ArnoldiOptions& options) {
-  require(options.order >= 1, "arnoldi_reduce: order must be >= 1");
+  require(options.order >= 1, ErrorCode::kInvalidArgument,
+          "arnoldi_reduce: order must be >= 1", {.stage = "arnoldi"});
   const Index p = sys.port_count();
 
   double s0 = options.s0;
   std::unique_ptr<LDLT> fact;
   auto try_factor = [&](double shift) {
     const SMat gt = (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
-    return std::make_unique<LDLT>(gt, Ordering::kRCM, /*zero_pivot_tol=*/1e-12);
+    return std::make_unique<LDLT>(gt, options.ordering,
+                                  /*zero_pivot_tol=*/1e-12);
   };
   try {
     fact = try_factor(s0);
-  } catch (const Error&) {
-    require(options.auto_shift && s0 == 0.0,
-            "arnoldi_reduce: factorization of G failed");
+  } catch (const Error& ex) {
+    if (!(options.auto_shift && s0 == 0.0))
+      throw Error(ErrorCode::kSingular,
+                  std::string("arnoldi_reduce: factorization of G + s0*C "
+                              "failed and auto_shift cannot help: ") +
+                      ex.what(),
+                  {.stage = "arnoldi.factor", .value = s0});
     s0 = automatic_shift(sys);
     fact = try_factor(s0);
   }
@@ -122,7 +128,9 @@ ArnoldiModel arnoldi_reduce(const MnaSystem& sys, const ArnoldiOptions& options)
     for (const auto& q : next_block) block.push_back(fact->solve(sys.C.multiply(q)));
   }
   const Index n = static_cast<Index>(basis.size());
-  require(n >= 1, "arnoldi_reduce: starting block deflated to nothing");
+  require(n >= 1, ErrorCode::kBreakdown,
+          "arnoldi_reduce: starting block deflated to nothing",
+          {.stage = "arnoldi.basis"});
 
   // Congruence projection of G̃ = G + s₀C and C.
   const SMat gt = (s0 == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, s0);

@@ -10,16 +10,19 @@
 
 #include "circuit/mna.hpp"
 #include "linalg/dense.hpp"
+#include "mor/options.hpp"
 
 namespace sympvl {
 
 class ArnoldiModel {
  public:
+  ArnoldiModel() = default;
   ArnoldiModel(Mat gr, Mat cr, Mat br, SVariable variable, int s_prefactor,
                double s0);
 
   Index order() const { return gr_.rows(); }
   Index port_count() const { return br_.cols(); }
+  double shift() const { return s0_; }
 
   /// Physical Z_r(s) = s^prefactor · Brᵀ(Gr + (f(s)−s₀)Cr)⁻¹Br.
   CMat eval(Complex s) const;
@@ -33,16 +36,16 @@ class ArnoldiModel {
 
  private:
   Mat gr_, cr_, br_;
-  SVariable variable_;
-  int s_prefactor_;
-  double s0_;
+  SVariable variable_ = SVariable::kS;
+  int s_prefactor_ = 0;
+  double s0_ = 0.0;
 };
 
-struct ArnoldiOptions {
-  Index order = 0;
-  double s0 = 0.0;
-  bool auto_shift = true;
-  double deflation_tol = 1e-10;
+/// Block-Arnoldi options: the shared base with a tighter deflation
+/// default (orthonormal bases tolerate — and benefit from — a smaller
+/// threshold than the indefinite Lanczos process).
+struct ArnoldiOptions : CommonReductionOptions {
+  ArnoldiOptions() { deflation_tol = 1e-10; }
 };
 
 /// Runs the block Arnoldi reduction.

@@ -19,9 +19,10 @@
 
 namespace sympvl {
 
-struct BalancedOptions {
-  Index order = 0;  ///< retained Hankel directions k
-};
+/// Balanced-truncation options: only the shared base's `order` (retained
+/// Hankel directions k) is consulted — the method is dense and direct, so
+/// shift and tolerance fields do not apply.
+struct BalancedOptions : CommonReductionOptions {};
 
 struct BalancedResult {
   ArnoldiModel model;        ///< reduced (Gr, Cr, Br) model (s-domain)

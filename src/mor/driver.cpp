@@ -1,0 +1,170 @@
+#include "mor/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/obs.hpp"
+
+namespace sympvl {
+namespace {
+
+// Flattens the report's recovery trail into diagnostics: every failed
+// factorization rung becomes an issue, and a Lanczos breakdown post-mortem
+// becomes one kBreakdown issue.
+void harvest_report(const SympvlReport& report,
+                    std::vector<ReductionIssue>* out) {
+  for (const FactorAttemptRecord& rec : report.factor_attempts) {
+    if (rec.success) continue;
+    ReductionIssue issue;
+    issue.code =
+        rec.code == ErrorCode::kUnknown ? ErrorCode::kSingular : rec.code;
+    issue.stage = "factor." + rec.method;
+    issue.message = rec.detail.empty()
+                        ? ("factorization attempt failed (" + rec.method +
+                           ", shift=" + std::to_string(rec.shift) + ")")
+                        : rec.detail;
+    issue.value = rec.shift;
+    issue.condition = rec.condest;
+    out->push_back(std::move(issue));
+  }
+  if (report.breakdown) {
+    ReductionIssue issue;
+    issue.code = ErrorCode::kBreakdown;
+    issue.stage = "lanczos";
+    issue.message = report.lanczos_diagnosis.message;
+    issue.index = report.lanczos_diagnosis.cluster;
+    issue.value = report.lanczos_diagnosis.min_abs_eig;
+    out->push_back(std::move(issue));
+  }
+}
+
+// Uniform status rule: breakdown truncation → kTruncated; stopping short
+// of the request because the Krylov space is exhausted means the model is
+// EXACT, which stays kOk.
+ReductionStatus classify(const SympvlReport& report, Index requested) {
+  if (report.breakdown) return ReductionStatus::kTruncated;
+  if (report.achieved_order < requested && !report.exhausted)
+    return ReductionStatus::kTruncated;
+  return ReductionStatus::kOk;
+}
+
+template <typename Model>
+void finish(const char* driver, int verbosity, ReductionResult<Model>* res) {
+  obs::instant(
+      "driver.result",
+      {obs::arg("driver", driver),
+       obs::arg("status", reduction_status_name(res->status)),
+       obs::arg("achieved_order", res->report.achieved_order),
+       obs::arg("issues", double(res->diagnostics.size())),
+       obs::arg("recovered", res->report.recovered ? 1.0 : 0.0)});
+  if (verbosity > 0 &&
+      (res->status != ReductionStatus::kOk || res->report.recovered ||
+       !res->diagnostics.empty())) {
+    std::fprintf(stderr, "[sympvl] %s: status=%s order=%lld issues=%zu\n",
+                 driver, reduction_status_name(res->status),
+                 static_cast<long long>(res->report.achieved_order),
+                 res->diagnostics.size());
+    for (const ReductionIssue& issue : res->diagnostics)
+      std::fprintf(stderr, "[sympvl]   [%s @ %s] %s\n",
+                   error_code_name(issue.code), issue.stage.c_str(),
+                   issue.message.c_str());
+  }
+}
+
+}  // namespace
+
+ReductionResult<ReducedModel> run_sympvl(const MnaSystem& sys,
+                                         const SympvlOptions& options) {
+  ReductionResult<ReducedModel> res;
+  try {
+    res.model = sympvl_reduce(sys, options, &res.report);
+    harvest_report(res.report, &res.diagnostics);
+    res.status = classify(res.report, std::min(options.order, sys.size()));
+  } catch (const Error& ex) {
+    res.status = ReductionStatus::kFailed;
+    harvest_report(res.report, &res.diagnostics);
+    res.diagnostics.insert(res.diagnostics.begin(),
+                           ReductionIssue::from_error(ex));
+  }
+  finish("sympvl", options.verbosity, &res);
+  return res;
+}
+
+ReductionResult<ReducedModel> run_sympvl(const Netlist& netlist,
+                                         const SympvlOptions& options) {
+  try {
+    return run_sympvl(build_mna(netlist), options);
+  } catch (const Error& ex) {
+    ReductionResult<ReducedModel> res;
+    res.status = ReductionStatus::kFailed;
+    res.diagnostics.push_back(ReductionIssue::from_error(ex));
+    if (res.diagnostics.front().stage.empty())
+      res.diagnostics.front().stage = "mna.assemble";
+    finish("sympvl", options.verbosity, &res);
+    return res;
+  }
+}
+
+ReductionResult<ReducedModel> run_sypvl(const MnaSystem& sys,
+                                        const SympvlOptions& options) {
+  ReductionResult<ReducedModel> res;
+  try {
+    res.model = sypvl_reduce(sys, options, &res.report);
+    harvest_report(res.report, &res.diagnostics);
+    res.status = classify(res.report, std::min(options.order, sys.size()));
+  } catch (const Error& ex) {
+    res.status = ReductionStatus::kFailed;
+    harvest_report(res.report, &res.diagnostics);
+    res.diagnostics.insert(res.diagnostics.begin(),
+                           ReductionIssue::from_error(ex));
+  }
+  finish("sypvl", options.verbosity, &res);
+  return res;
+}
+
+ReductionResult<PvlModel> run_pvl(const MnaSystem& sys, Index row, Index col,
+                                  const PvlOptions& options) {
+  ReductionResult<PvlModel> res;
+  try {
+    LanczosDiagnosis diagnosis;
+    res.model = pvl_reduce_entry(sys, row, col, options, &diagnosis);
+    res.report.s0_used = res.model.shift();
+    res.report.achieved_order = res.model.order();
+    res.report.lanczos_diagnosis = diagnosis;
+    res.report.breakdown = diagnosis.breakdown;
+    // PVL stopping short without a breakdown diagnosis means the Krylov
+    // space for this entry is exhausted (the scalar model is exact).
+    res.report.exhausted =
+        !diagnosis.breakdown &&
+        res.model.order() < std::min(options.order, sys.size());
+    harvest_report(res.report, &res.diagnostics);
+    res.status = classify(res.report, std::min(options.order, sys.size()));
+  } catch (const Error& ex) {
+    res.status = ReductionStatus::kFailed;
+    res.diagnostics.push_back(ReductionIssue::from_error(ex));
+  }
+  finish("pvl", options.verbosity, &res);
+  return res;
+}
+
+ReductionResult<ArnoldiModel> run_arnoldi(const MnaSystem& sys,
+                                          const ArnoldiOptions& options) {
+  ReductionResult<ArnoldiModel> res;
+  try {
+    res.model = arnoldi_reduce(sys, options);
+    res.report.s0_used = res.model.shift();
+    res.report.achieved_order = res.model.order();
+    // Arnoldi stops short only when the block Krylov space deflates to
+    // nothing more — the projection then spans the full space (exact).
+    res.report.exhausted =
+        res.model.order() < std::min(options.order, sys.size());
+    res.status = classify(res.report, std::min(options.order, sys.size()));
+  } catch (const Error& ex) {
+    res.status = ReductionStatus::kFailed;
+    res.diagnostics.push_back(ReductionIssue::from_error(ex));
+  }
+  finish("arnoldi", options.verbosity, &res);
+  return res;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,114 @@
+// Unified driver API: every reduction algorithm behind one calling
+// convention. run_sympvl / run_sypvl / run_pvl / run_arnoldi all return a
+// ReductionResult<Model> carrying the model, the uniform SympvlReport,
+// an explicit ReductionStatus and a list of structured ReductionIssue
+// diagnostics — so callers dispatch on status instead of pattern-matching
+// exception strings, and a recovered-but-degraded run (breakdown
+// truncation, shift retries) is distinguishable from a clean one.
+//
+// The legacy throwing entry points (sympvl_reduce, sypvl_reduce,
+// pvl_reduce_entry, arnoldi_reduce) remain as the thin underlying
+// primitives; new code should prefer the run_* drivers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "mor/arnoldi.hpp"
+#include "mor/pvl.hpp"
+#include "mor/reduced_model.hpp"
+#include "mor/sympvl.hpp"
+#include "mor/sypvl.hpp"
+
+namespace sympvl {
+
+/// Overall outcome of a reduction run.
+enum class ReductionStatus {
+  kOk,         ///< requested order reached (or Krylov space exhausted —
+               ///< the model is then exact, not degraded)
+  kTruncated,  ///< serious breakdown: model valid but stopped at the last
+               ///< healthy order below the request
+  kFailed,     ///< no usable model; see diagnostics
+};
+
+inline const char* reduction_status_name(ReductionStatus s) {
+  switch (s) {
+    case ReductionStatus::kOk: return "ok";
+    case ReductionStatus::kTruncated: return "truncated";
+    case ReductionStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// One structured diagnostic: a flattened Error / recovery-trail entry.
+struct ReductionIssue {
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string stage;    ///< dot-separated site, e.g. "sympvl.factor"
+  std::string message;
+  Index index = -1;     ///< pivot / iteration / point index when known
+  double value = 0.0;   ///< offending magnitude when known
+  double condition = 0.0;
+
+  static ReductionIssue from_error(const Error& ex) {
+    ReductionIssue issue;
+    issue.code = ex.code();
+    issue.stage = ex.context().stage;
+    issue.message = ex.what();
+    issue.index = ex.context().index;
+    issue.value = ex.context().value;
+    issue.condition = ex.context().condition;
+    return issue;
+  }
+};
+
+/// Uniform return type of the run_* drivers. `report` is the library's
+/// common reduction report; drivers without a native report (PVL,
+/// Arnoldi) populate the fields they can (s0_used, achieved_order,
+/// breakdown/lanczos_diagnosis) and leave the rest defaulted.
+template <typename Model>
+struct ReductionResult {
+  Model model{};
+  SympvlReport report{};
+  ReductionStatus status = ReductionStatus::kOk;
+  std::vector<ReductionIssue> diagnostics;
+
+  /// True when a usable model exists (kOk or kTruncated).
+  bool ok() const { return status != ReductionStatus::kFailed; }
+
+  /// The model, re-raising the first recorded failure when there is none.
+  const Model& value() const {
+    if (!ok()) {
+      if (!diagnostics.empty()) {
+        const ReductionIssue& first = diagnostics.front();
+        throw Error(first.code, first.message,
+                    {.stage = first.stage, .index = first.index,
+                     .value = first.value, .condition = first.condition});
+      }
+      throw Error(ErrorCode::kUnknown, "reduction failed (no diagnostics)");
+    }
+    return model;
+  }
+};
+
+/// SyMPVL (Algorithm 1) behind the unified API.
+ReductionResult<ReducedModel> run_sympvl(const MnaSystem& sys,
+                                         const SympvlOptions& options);
+/// Convenience overload: assembles the netlist (kAuto form) first;
+/// assembly failures are reported as kFailed diagnostics, not thrown.
+ReductionResult<ReducedModel> run_sympvl(const Netlist& netlist,
+                                         const SympvlOptions& options);
+
+/// SyPVL (single-port predecessor) behind the unified API.
+ReductionResult<ReducedModel> run_sypvl(const MnaSystem& sys,
+                                        const SympvlOptions& options);
+
+/// PVL on entry (row, col) of Z behind the unified API.
+ReductionResult<PvlModel> run_pvl(const MnaSystem& sys, Index row, Index col,
+                                  const PvlOptions& options);
+
+/// Block Arnoldi / congruence projection behind the unified API.
+ReductionResult<ArnoldiModel> run_arnoldi(const MnaSystem& sys,
+                                          const ArnoldiOptions& options);
+
+}  // namespace sympvl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault.hpp"
 #include "linalg/dense_factor.hpp"
 #include "linalg/eig.hpp"
 #include "obs/obs.hpp"
@@ -85,6 +86,7 @@ void BandLanczos::orthogonalize_against(Vec& w, Index src, const Cluster& cl) {
 }
 
 bool BandLanczos::step() {
+  if (diagnosis_.breakdown) return false;  // sticky until a rebuild/reshift
   if (cand_.empty()) return false;
 
   // ---- Step 1: deflate candidates until one is accepted. ----
@@ -176,6 +178,10 @@ bool BandLanczos::step() {
       min_abs = std::min(min_abs, std::abs(l));
       max_abs = std::max(max_abs, std::abs(l));
     }
+    // Fault site "lanczos.delta": pretend the δ-pivot test failed at this
+    // iteration, forcing the cluster to stay open (breakdown drill).
+    if (fault::active() && fault::triggered("lanczos.delta", n_new))
+      min_abs = 0.0;
     if (min_abs > options_.lookahead_tol) {
       // 2c: close the cluster and J-orthogonalize every queued candidate
       // against it.
@@ -201,6 +207,32 @@ bool BandLanczos::step() {
            obs::arg("lookahead_tol", options_.lookahead_tol)});
       static obs::Counter& c_lookahead = obs::counter("lanczos.lookahead_steps");
       c_lookahead.add();
+      // Serious breakdown guard: Δ^(γ) has stayed singular for an entire
+      // cluster of max_cluster_size vectors — stop at the last healthy
+      // order with a diagnosis instead of look-ahead-looping forever.
+      if (options_.max_cluster_size > 0 && m >= options_.max_cluster_size) {
+        diagnosis_.breakdown = true;
+        diagnosis_.cluster = static_cast<Index>(clusters_.size()) - 1;
+        diagnosis_.cluster_size = m;
+        diagnosis_.min_abs_eig = min_abs;
+        diagnosis_.tol = options_.lookahead_tol;
+        diagnosis_.message =
+            "BandLanczos: serious breakdown — look-ahead cluster " +
+            std::to_string(diagnosis_.cluster) + " reached size " +
+            std::to_string(m) + " with min|lambda(Delta)| = " +
+            std::to_string(min_abs) + " <= lookahead_tol = " +
+            std::to_string(options_.lookahead_tol) +
+            "; truncating at last healthy order " +
+            std::to_string(healthy_order()) +
+            " (retry with a different expansion point s0, eq. 26)";
+        obs::instant("lanczos.breakdown",
+                     {obs::arg("cluster", diagnosis_.cluster),
+                      obs::arg("cluster_size", m),
+                      obs::arg("min_abs_eig", min_abs),
+                      obs::arg("healthy_order", healthy_order()),
+                      obs::arg("iteration", n_new)});
+        return false;
+      }
     }
   }
 
@@ -239,6 +271,15 @@ Index BandLanczos::run_to(Index target) {
   return static_cast<Index>(vs_.size());
 }
 
+Index BandLanczos::healthy_order() const {
+  Index n = 0;
+  for (const auto& cl : clusters_) {
+    if (!cl.closed) break;
+    n += static_cast<Index>(cl.members.size());
+  }
+  return n;
+}
+
 LanczosResult BandLanczos::result() const {
   // ---- Truncate at the last complete cluster boundary. ----
   Index n_final = 0;
@@ -248,10 +289,21 @@ LanczosResult BandLanczos::result() const {
     n_final += static_cast<Index>(cl.members.size());
     sizes.push_back(static_cast<Index>(cl.members.size()));
   }
-  require(n_final > 0,
-          "BandLanczos: no complete cluster produced (look-ahead failed to "
-          "close; increase the order or loosen lookahead_tol)");
+  if (n_final <= 0) {
+    ErrorContext ctx;
+    ctx.stage = "lanczos";
+    ctx.index = diagnosis_.breakdown ? diagnosis_.cluster : Index{0};
+    ctx.value = diagnosis_.min_abs_eig;
+    throw Error(ErrorCode::kBreakdown,
+                diagnosis_.breakdown
+                    ? diagnosis_.message
+                    : "BandLanczos: no complete cluster produced (look-ahead "
+                      "failed to close; increase the order or loosen "
+                      "lookahead_tol)",
+                std::move(ctx));
+  }
   LanczosResult result;
+  result.diagnosis = diagnosis_;
   result.n = n_final;
   result.cluster_sizes = std::move(sizes);
   result.deflations = deflations_;

@@ -25,28 +25,47 @@
 #include <deque>
 #include <functional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "mor/options.hpp"
 
 namespace sympvl {
 
 /// Abstract symmetric operator Op = J⁻¹M⁻¹CM⁻ᵀ applied by the process.
 using OperatorFn = std::function<Vec(const Vec&)>;
 
-struct LanczosOptions {
+/// Options of the raw Lanczos process. `deflation_tol` (step 1c) and
+/// `lookahead_tol` (cluster closes when min|λ(Δ^(γ))| exceeds it, step
+/// 2b) come from the shared base; the driver-facing `order`/`s0` fields
+/// are unused at this level.
+struct LanczosOptions : CommonReductionOptions {
   /// Target number of Lanczos vectors n (the reduced order). Ignored by
   /// the resumable BandLanczos interface (run_to sets the target).
   Index max_order = 0;
-  /// Relative deflation threshold (paper's dtol, step 1c).
-  double deflation_tol = 1e-8;
-  /// A cluster closes when min|λ(Δ^(γ))| exceeds this (step 2b).
-  double lookahead_tol = 1e-8;
   /// When true (default), candidates are J-orthogonalized against every
   /// closed cluster, not only those required by the theoretical band
   /// structure (steps 3b-3d). Costs O(n·N) extra per step and buys
   /// robustness against the gradual loss of J-orthogonality.
   bool full_reorthogonalization = true;
+  /// Breakdown guard: a look-ahead cluster that grows past this size
+  /// without its Δ^(γ) becoming nonsingular is declared a serious
+  /// breakdown — the process stops at the last closed cluster and reports
+  /// a LanczosDiagnosis instead of looping forever. 0 = unlimited.
+  Index max_cluster_size = 8;
+};
+
+/// Structured post-mortem of a stopped process: why the iteration ended
+/// early and at which state, so a driver can decide to accept the
+/// truncated model, retry at a different shift (eq. 26), or give up.
+struct LanczosDiagnosis {
+  bool breakdown = false;    ///< serious breakdown detected
+  Index cluster = -1;        ///< index of the offending look-ahead cluster
+  Index cluster_size = 0;    ///< its size when the guard tripped
+  double min_abs_eig = 0.0;  ///< min|λ(Δ^(γ))| of the stuck Gram matrix
+  double tol = 0.0;          ///< lookahead_tol the eigenvalue failed to clear
+  std::string message;       ///< human-readable summary
 };
 
 /// Output of the process (quantities of eq. 18, truncated at the last
@@ -61,6 +80,9 @@ struct LanczosResult {
   bool exhausted = false;  ///< Krylov space exhausted: Zₙ = Z exactly
   std::vector<Index> cluster_sizes;  ///< look-ahead cluster structure
   Index lookahead_clusters = 0;      ///< number of clusters of size > 1
+  /// Set when the process stopped on a serious breakdown; the matrices
+  /// above are then the last healthy order, not the requested one.
+  LanczosDiagnosis diagnosis;
 };
 
 /// Resumable Algorithm 1. Construct once, then `run_to(n)` repeatedly with
@@ -81,8 +103,16 @@ class BandLanczos {
 
   Index order() const { return static_cast<Index>(vs_.size()); }
   bool exhausted() const { return exhausted_; }
+  bool breakdown() const { return diagnosis_.breakdown; }
+  const LanczosDiagnosis& diagnosis() const { return diagnosis_; }
 
-  /// Snapshot truncated at the last complete look-ahead cluster.
+  /// Number of Lanczos vectors inside closed clusters — the order
+  /// result() will deliver (the "last healthy order" after a breakdown).
+  Index healthy_order() const;
+
+  /// Snapshot truncated at the last complete look-ahead cluster. After a
+  /// breakdown this returns the last healthy order with `diagnosis` set;
+  /// it throws Error(kBreakdown) only when not even one cluster closed.
   LanczosResult result() const;
 
  private:
@@ -120,6 +150,7 @@ class BandLanczos {
   Index deflations_ = 0;
   bool exhausted_ = false;
   Index lookahead_clusters_ = 0;
+  LanczosDiagnosis diagnosis_;
 };
 
 /// One-shot convenience wrapper (runs to options.max_order).

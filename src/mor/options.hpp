@@ -1,0 +1,39 @@
+// Shared option surface for every reduction driver (SyMPVL, SyPVL, PVL,
+// block Arnoldi, rational Krylov, balanced truncation, and the raw
+// Lanczos process): one base struct holding the fields that used to be
+// re-declared — and drift — per driver, with each driver adding only its
+// genuinely specific knobs on top.
+#pragma once
+
+#include "common.hpp"
+#include "linalg/ordering.hpp"
+
+namespace sympvl {
+
+/// Options shared by all reduction drivers. Field names are stable API:
+/// existing call sites assign `opt.order`, `opt.s0`, … unchanged whether
+/// they hold a SympvlOptions, ArnoldiOptions, etc.
+struct CommonReductionOptions {
+  /// Requested reduced order n (basis vectors / retained directions).
+  Index order = 0;
+  /// Expansion shift s₀ in the pencil variable (eq. 26). 0 expands about
+  /// DC; required nonzero when G is singular (e.g. the LC PEEC circuit).
+  double s0 = 0.0;
+  /// Shift policy: when G (or G + s₀C) cannot be factored, pick s₀
+  /// automatically from the matrix scales and retry (the paper's PEEC
+  /// treatment). Drivers that never factor a pencil ignore this.
+  bool auto_shift = true;
+  /// Relative deflation threshold (paper's dtol, Algorithm 1 step 1c).
+  /// Note: Arnoldi/rational default this to 1e-10 in their constructors.
+  double deflation_tol = 1e-8;
+  /// Look-ahead cluster closure tolerance (Algorithm 1 step 2b); also the
+  /// serious-breakdown threshold of the unblocked recurrences.
+  double lookahead_tol = 1e-8;
+  /// Sparse factorization ordering for the pencil factor.
+  Ordering ordering = Ordering::kRCM;
+  /// 0 = silent; >0 makes the run_* drivers print a recovery/diagnosis
+  /// summary to stderr when anything non-nominal happened.
+  int verbosity = 0;
+};
+
+}  // namespace sympvl

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "fault.hpp"
 #include "linalg/dense_factor.hpp"
 #include "linalg/sparse_ldlt.hpp"
 #include "mor/sympvl.hpp"
@@ -41,24 +42,33 @@ double PvlModel::moment(Index k) const {
 }
 
 PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
-                          const PvlOptions& options) {
-  require(options.order >= 1, "pvl_reduce_entry: order must be >= 1");
+                          const PvlOptions& options,
+                          LanczosDiagnosis* diagnosis) {
+  require(options.order >= 1, ErrorCode::kInvalidArgument,
+          "pvl_reduce_entry: order must be >= 1", {.stage = "pvl"});
   require(0 <= row && row < sys.port_count() && 0 <= col &&
               col < sys.port_count(),
-          "pvl_reduce_entry: port index out of range");
+          ErrorCode::kInvalidArgument,
+          "pvl_reduce_entry: port index out of range", {.stage = "pvl"});
   const Index big_n = sys.size();
+  if (diagnosis != nullptr) *diagnosis = LanczosDiagnosis{};
 
   double s0 = options.s0;
   std::unique_ptr<LDLT> fact;
   auto try_factor = [&](double shift) {
     const SMat gt = (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
-    return std::make_unique<LDLT>(gt, Ordering::kRCM, /*zero_pivot_tol=*/1e-12);
+    return std::make_unique<LDLT>(gt, options.ordering,
+                                  /*zero_pivot_tol=*/1e-12);
   };
   try {
     fact = try_factor(s0);
-  } catch (const Error&) {
-    require(options.auto_shift && s0 == 0.0,
-            "pvl_reduce_entry: factorization of G failed");
+  } catch (const Error& ex) {
+    if (!(options.auto_shift && s0 == 0.0))
+      throw Error(ErrorCode::kSingular,
+                  std::string("pvl_reduce_entry: factorization of G + s0*C "
+                              "failed and auto_shift cannot help: ") +
+                      ex.what(),
+                  {.stage = "pvl.factor", .value = s0});
     s0 = automatic_shift(sys);
     fact = try_factor(s0);
   }
@@ -73,7 +83,8 @@ PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
   Vec w = sys.B.col(row);
   const double beta1 = norm2(v);
   const double gamma1 = norm2(w);
-  require(beta1 > 0.0 && gamma1 > 0.0, "pvl_reduce_entry: zero port vector");
+  require(beta1 > 0.0 && gamma1 > 0.0, ErrorCode::kInvalidArgument,
+          "pvl_reduce_entry: zero port vector", {.stage = "pvl.start"});
   scale(v, 1.0 / beta1);
   scale(w, 1.0 / gamma1);
 
@@ -84,9 +95,32 @@ PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
   Index n = 0;
 
   while (n < n_max) {
-    const double dn = dot(w, v);
-    require(std::abs(dn) > options.breakdown_tol,
-            "pvl_reduce_entry: serious Lanczos breakdown (delta ~ 0)");
+    double dn = dot(w, v);
+    if (fault::active() && fault::triggered("pvl.delta", n)) dn = 0.0;
+    if (std::abs(dn) <= options.breakdown_tol) {
+      // Serious breakdown (wᵀv ≈ 0): no look-ahead in the classical
+      // two-sided process, so truncate at the last completed order; the
+      // very first step has no model to truncate to and throws.
+      LanczosDiagnosis diag;
+      diag.breakdown = true;
+      diag.cluster = n;
+      diag.cluster_size = 1;
+      diag.min_abs_eig = std::abs(dn);
+      diag.tol = options.breakdown_tol;
+      diag.message =
+          "pvl_reduce_entry: serious Lanczos breakdown — |delta_" +
+          std::to_string(n + 1) + "| = " + std::to_string(std::abs(dn)) +
+          " <= breakdown_tol = " + std::to_string(options.breakdown_tol) +
+          "; truncated at order " + std::to_string(n) +
+          " (use sympvl_reduce with look-ahead, or retry with a different "
+          "expansion point s0, eq. 26)";
+      if (n == 0)
+        throw Error(ErrorCode::kBreakdown, diag.message,
+                    {.stage = "pvl.lanczos", .index = 0,
+                     .value = std::abs(dn)});
+      if (diagnosis != nullptr) *diagnosis = diag;
+      break;
+    }
     vs.push_back(v);
     ws.push_back(w);
     deltas.push_back(dn);

@@ -8,15 +8,19 @@
 
 #include "circuit/mna.hpp"
 #include "linalg/dense.hpp"
+#include "mor/lanczos.hpp"
+#include "mor/options.hpp"
 
 namespace sympvl {
 
 /// Scalar reduced model H_n(s) ≈ Z(i,j)(s) from one PVL run.
 class PvlModel {
  public:
+  PvlModel() = default;
   PvlModel(Mat t, double eta, SVariable variable, int s_prefactor, double s0);
 
   Index order() const { return t_.rows(); }
+  double shift() const { return s0_; }
 
   /// Evaluates the physical scalar transfer function at s.
   Complex eval(Complex s) const;
@@ -26,22 +30,28 @@ class PvlModel {
 
  private:
   Mat t_;
-  double eta_;
-  SVariable variable_;
-  int s_prefactor_;
-  double s0_;
+  double eta_ = 0.0;
+  SVariable variable_ = SVariable::kS;
+  int s_prefactor_ = 0;
+  double s0_ = 0.0;
 };
 
-struct PvlOptions {
-  Index order = 0;
-  double s0 = 0.0;
-  bool auto_shift = true;
+/// PVL options: shared base plus the two-sided recurrence's breakdown
+/// threshold (the base's deflation_tol/lookahead_tol are block-Lanczos
+/// concepts and unused here).
+struct PvlOptions : CommonReductionOptions {
   double breakdown_tol = 1e-12;
 };
 
 /// Runs PVL on entry (row, col) of the system's Z matrix.
+///
+/// Serious breakdown (δₙ ≈ 0) after at least one completed step truncates
+/// the model at the last healthy order and, when `diagnosis` is non-null,
+/// fills it with the post-mortem; breakdown on the very first step throws
+/// Error(ErrorCode::kBreakdown).
 PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
-                          const PvlOptions& options);
+                          const PvlOptions& options,
+                          LanczosDiagnosis* diagnosis = nullptr);
 
 /// Runs p² PVL reductions, one per Z entry. Returns models in row-major
 /// order; entry (i, j) at index i*p+j.

@@ -19,7 +19,11 @@
 
 namespace sympvl {
 
-struct RationalOptions {
+/// Multi-point options: the shared base (the scalar `s0`/`order` fields
+/// are superseded by `shifts`/`iterations_per_shift` here) with the
+/// Arnoldi deflation default.
+struct RationalOptions : CommonReductionOptions {
+  RationalOptions() { deflation_tol = 1e-10; }
   /// Expansion points in the pencil variable σ (real, ≥ 0; 0 = DC).
   /// At least one required. Points where G + s₀C cannot be factored are
   /// rejected with sympvl::Error.
@@ -27,7 +31,6 @@ struct RationalOptions {
   /// Block Krylov iterations per expansion point (each contributes up to
   /// `iterations_per_shift · p` basis vectors before deflation).
   Index iterations_per_shift = 2;
-  double deflation_tol = 1e-10;
 };
 
 /// Multi-point congruence reduction. The returned model projects the

@@ -153,18 +153,20 @@ CMat ReducedModel::eval(Complex s) const {
   return z;
 }
 
-std::vector<CMat> ReducedModel::sweep(const Vec& frequencies_hz) const {
+SweepResult ReducedModel::sweep(const Vec& frequencies_hz) const {
   const Index count = static_cast<Index>(frequencies_hz.size());
   obs::ScopedTimer span("model.sweep");
   span.arg("points", count);
   span.arg("order", order());
   span.arg("threads", num_threads());
-  std::vector<CMat> out(static_cast<size_t>(count));
-  parallel_for(Index(0), count, [&](Index k) {
-    out[static_cast<size_t>(k)] =
-        eval(Complex(0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]));
-  });
-  return out;
+  const Index p = port_count();
+  SweepResult res = detail::run_contained_sweep(
+      frequencies_hz, p, p, [&](Index k) {
+        return eval(Complex(
+            0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]));
+      });
+  span.arg("failed_points", res.failed_count());
+  return res;
 }
 
 CVec ReducedModel::poles() const {

@@ -9,6 +9,7 @@
 
 #include "circuit/mna.hpp"
 #include "mor/lanczos.hpp"
+#include "sim/sweep.hpp"
 #include "sim/transient.hpp"
 
 namespace sympvl {
@@ -46,8 +47,11 @@ class ReducedModel {
   /// Evaluates the physical Zₙ(s) at a complex frequency point.
   CMat eval(Complex s) const;
 
-  /// Sweep along the jω axis (one p×p matrix per frequency in Hz).
-  std::vector<CMat> sweep(const Vec& frequencies_hz) const;
+  /// Sweep along the jω axis (one p×p matrix per frequency in Hz), with
+  /// the same per-point fault containment as AcSweepEngine::sweep: a
+  /// failed evaluation yields a NaN matrix plus a structured error record
+  /// while the remaining points complete unaffected.
+  SweepResult sweep(const Vec& frequencies_hz) const;
 
   /// Poles of Zₙ in the physical s-plane. In the pencil variable the poles
   /// are σ = s₀ − 1/λ(Tₙ) (Section 5); the LC form maps back through

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "circuit/topology.hpp"
 #include "linalg/dense_factor.hpp"
@@ -48,7 +49,9 @@ struct DenseFactor final : SymmetricFactor {
     Mat m;
     bk.symmetric_factor(m, j);
     lu = std::make_unique<LU>(m);
-    require(!lu->singular(), "sympvl: dense symmetric factor is singular");
+    require(!lu->singular(), ErrorCode::kSingular,
+            "sympvl: dense symmetric factor is singular",
+            ErrorContext{.stage = "sympvl.dense_factor"});
     mt_lu = std::make_unique<LU>(m.transpose());
   }
   Vec solve_m(const Vec& b) const override { return lu->solve(b); }
@@ -58,6 +61,85 @@ struct DenseFactor final : SymmetricFactor {
   std::unique_ptr<LU> lu, mt_lu;
   Vec j;
 };
+
+struct FactorOutcome {
+  std::unique_ptr<SymmetricFactor> factor;
+  double s0 = 0.0;
+  bool dense = false;
+};
+
+// The SyMPVL factorization ladder (the M/J analogue of FactorChain, which
+// cannot serve here because the Lanczos operator needs the split
+// M J Mᵀ form, not a plain solve):
+//   1. sparse LDLᵀ at the requested s₀;
+//   2. sparse LDLᵀ at the automatic shift (when s₀ = 0 and auto enabled);
+//   3. sparse LDLᵀ at jittered shifts around the base (eq. 26 retries);
+//   4. dense Bunch-Kaufman at the last shift.
+// Every attempt is recorded; throws Error(kSingular) with the history
+// when even the dense rung fails.
+FactorOutcome factor_with_recovery(const SMat& g, const SMat& c,
+                                   double s0_request, bool auto_shift,
+                                   double auto_s0, Ordering ordering,
+                                   std::vector<FactorAttemptRecord>* attempts) {
+  auto assemble = [&](double shift) -> SMat {
+    return (shift == 0.0) ? g : SMat::add(g, 1.0, c, shift);
+  };
+
+  std::vector<double> shifts{s0_request};
+  if (auto_shift) {
+    if (s0_request == 0.0 && auto_s0 != 0.0) shifts.push_back(auto_s0);
+    double base = (auto_s0 != 0.0) ? std::abs(auto_s0) : std::abs(s0_request);
+    if (base == 0.0) base = 1.0;
+    for (double s : shift_ladder(base, 4)) shifts.push_back(s);
+  }
+
+  for (double s : shifts) {
+    FactorAttemptRecord rec;
+    rec.method = "ldlt";
+    rec.shift = s;
+    try {
+      auto factor = std::make_unique<SparseFactor>(assemble(s), ordering);
+      rec.success = true;
+      attempts->push_back(std::move(rec));
+      return {std::move(factor), s, false};
+    } catch (const Error& e) {
+      rec.code = e.code();
+      rec.detail = e.what();
+      attempts->push_back(std::move(rec));
+    }
+  }
+
+  // Dense fallback at the shift the sparse path settled on: the requested
+  // one, or the automatic one when the request was 0 and auto is enabled.
+  const double s_dense = (s0_request == 0.0 && auto_shift && auto_s0 != 0.0)
+                             ? auto_s0
+                             : s0_request;
+  obs::instant("sympvl.dense_fallback", {obs::arg("n", g.rows())});
+  FactorAttemptRecord rec;
+  rec.method = "dense_bk";
+  rec.shift = s_dense;
+  try {
+    auto factor = std::make_unique<DenseFactor>(assemble(s_dense).to_dense());
+    rec.success = true;
+    attempts->push_back(std::move(rec));
+    return {std::move(factor), s_dense, true};
+  } catch (const Error& e) {
+    rec.code = e.code();
+    rec.detail = e.what();
+    attempts->push_back(std::move(rec));
+    std::string history;
+    for (const FactorAttemptRecord& a : *attempts) {
+      if (!history.empty()) history += "; ";
+      history += a.method + "(s0=" + std::to_string(a.shift) + "): " + a.detail;
+    }
+    ErrorContext ctx;
+    ctx.stage = "sympvl.factor";
+    ctx.index = static_cast<Index>(attempts->size());
+    throw Error(ErrorCode::kSingular,
+                "sympvl: every factorization attempt failed [" + history + "]",
+                std::move(ctx));
+  }
+}
 
 }  // namespace
 
@@ -70,7 +152,9 @@ double automatic_shift(const MnaSystem& sys) {
     sg += std::abs(sys.G.coeff(i, i));
     sc += std::abs(sys.C.coeff(i, i));
   }
-  require(sc > 0.0, "automatic_shift: C has an empty diagonal");
+  require(sc > 0.0, ErrorCode::kInvalidArgument,
+          "automatic_shift: C has an empty diagonal",
+          ErrorContext{.stage = "sympvl.auto_shift"});
   if (sg == 0.0) return 1.0;
   return sg / sc;
 }
@@ -79,15 +163,85 @@ double automatic_shift(const MnaSystem& sys) {
 
 struct SympvlSession::Impl {
   // The relevant pieces of the system are copied so the session cannot
-  // dangle when the caller's MnaSystem goes out of scope.
+  // dangle when the caller's MnaSystem goes out of scope — and so a
+  // reshift() can re-factor the pencil without the original system.
+  SMat g_matrix;
   SMat c_matrix;
+  Mat b_matrix;
   SVariable variable = SVariable::kS;
   int s_prefactor = 0;
   double s0 = 0.0;
+  SympvlOptions options;
+  Index target_order = 0;  // latest order the caller asked for
   std::unique_ptr<SymmetricFactor> factor;
   std::unique_ptr<BandLanczos> lanczos;
   Mat exact_moment0;  // p×p exact 0th moment Bᵀ(G+s₀C)⁻¹B = startᵀJ·start
   SympvlReport report;
+
+  // Builds the starting block J⁻¹M⁻¹B, the exact 0th moment and a fresh
+  // Lanczos process from the current factorization. Used at construction
+  // and again by reshift().
+  void build_process() {
+    const auto t_start = std::chrono::steady_clock::now();
+    const Vec& j = factor->j_signs();
+    report.negative_j = 0;
+    for (double jk : j)
+      if (jk < 0.0) ++report.negative_j;
+
+    const Index n_full = g_matrix.rows();
+    Mat start(n_full, b_matrix.cols());
+    {
+      obs::ScopedTimer span("sympvl.start_block");
+      span.arg("ports", b_matrix.cols());
+      for (Index col = 0; col < b_matrix.cols(); ++col) {
+        Vec v = factor->solve_m(b_matrix.col(col));
+        for (Index i = 0; i < n_full; ++i)
+          v[static_cast<size_t>(i)] *= j[static_cast<size_t>(i)];
+        start.set_col(col, v);
+      }
+    }
+    // Exact 0th moment about s₀: startᵀJ·start = Bᵀ(G+s₀C)⁻¹B (J² = I),
+    // the reference for the report's moment-match residual.
+    {
+      Mat jstart = start;
+      for (Index i = 0; i < n_full; ++i)
+        for (Index col = 0; col < jstart.cols(); ++col)
+          jstart(i, col) *= j[static_cast<size_t>(i)];
+      exact_moment0 = matmul_transA(start, jstart);
+    }
+    report.start_block_seconds += seconds_since(t_start);
+
+    Impl* impl = this;  // stable address, captured by the operator
+    OperatorFn op = [impl](const Vec& v) {
+      Vec w = impl->factor->solve_mt(v);
+      w = impl->c_matrix.multiply(w);
+      w = impl->factor->solve_m(w);
+      const Vec& jj = impl->factor->j_signs();
+      for (size_t i = 0; i < w.size(); ++i) w[i] *= jj[i];
+      return w;
+    };
+
+    LanczosOptions lopt;
+    lopt.max_order = target_order;
+    lopt.deflation_tol = options.deflation_tol;
+    lopt.lookahead_tol = options.lookahead_tol;
+    lopt.full_reorthogonalization = options.full_reorthogonalization;
+    lopt.max_cluster_size = options.max_cluster_size;
+    lanczos = std::make_unique<BandLanczos>(std::move(op), start, j, lopt);
+  }
+
+  void run_lanczos_to(Index target) {
+    const auto t_lanczos = std::chrono::steady_clock::now();
+    {
+      obs::ScopedTimer span("sympvl.lanczos");
+      span.arg("target_order", target);
+      lanczos->run_to(std::max<Index>(target, 1));
+    }
+    const double dt = seconds_since(t_lanczos);
+    report.lanczos_seconds += dt;
+    report.total_seconds = report.factor_seconds +
+                           report.start_block_seconds + report.lanczos_seconds;
+  }
 
   void refresh_report() {
     const LanczosResult snap = lanczos->result();
@@ -96,6 +250,8 @@ struct SympvlSession::Impl {
     report.achieved_order = snap.n;
     report.lookahead_clusters = snap.lookahead_clusters;
     report.cluster_sizes = snap.cluster_sizes;
+    report.lanczos_diagnosis = snap.diagnosis;
+    report.breakdown = snap.diagnosis.breakdown;
     // Moment-match diagnostic (eq. 20 with k = 0): the model's 0th moment
     // ρₙᵀΔₙρₙ against the exact startᵀJ·start captured at construction.
     // Δₙ is symmetric, so Δₙρₙ = Δₙᵀρₙ and both products reuse the
@@ -114,111 +270,54 @@ struct SympvlSession::Impl {
 
 SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
     : impl_(std::make_unique<Impl>()) {
-  require(options.order >= 1, "SympvlSession: order must be >= 1");
-  require(sys.port_count() >= 1, "SympvlSession: system has no ports");
+  require(options.order >= 1, ErrorCode::kInvalidArgument,
+          "SympvlSession: order must be >= 1");
+  require(sys.port_count() >= 1, ErrorCode::kInvalidArgument,
+          "SympvlSession: system has no ports");
 
-  // ---- Factor G + s₀C = M J Mᵀ (eq. 15 / eq. 26). ----
+  impl_->g_matrix = sys.G;
+  impl_->c_matrix = sys.C;
+  impl_->b_matrix = sys.B;
+  impl_->variable = sys.variable;
+  impl_->s_prefactor = sys.s_prefactor;
+  impl_->options = options;
+  impl_->target_order = options.order;
+
+  // ---- Factor G + s₀C = M J Mᵀ (eq. 15 / eq. 26) through the ladder. ----
   const auto t_factor = std::chrono::steady_clock::now();
-  double s0 = options.s0;
-  bool dense_fallback = false;
-  auto try_sparse = [&](double shift) -> std::unique_ptr<SymmetricFactor> {
-    const SMat gt =
-        (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
-    return std::make_unique<SparseFactor>(gt, options.ordering);
-  };
-  std::unique_ptr<SymmetricFactor> factor;
+  double auto_s0 = 0.0;
+  if (options.auto_shift) {
+    try {
+      auto_s0 = automatic_shift(sys);
+    } catch (const Error&) {
+      // C has an empty diagonal — no automatic shift available; the
+      // ladder degrades to the requested shift plus the dense rung.
+    }
+  }
+  FactorOutcome outcome;
   {
     obs::ScopedTimer span("sympvl.factor");
     span.arg("n", sys.size());
-    try {
-      factor = try_sparse(s0);
-    } catch (const Error&) {
-      if (options.auto_shift && s0 == 0.0) {
-        s0 = automatic_shift(sys);
-        try {
-          factor = try_sparse(s0);
-        } catch (const Error&) {
-          dense_fallback = true;
-        }
-      } else {
-        dense_fallback = true;
-      }
-    }
-    if (dense_fallback) {
-      obs::instant("sympvl.dense_fallback", {obs::arg("n", sys.size())});
-      const SMat gt = (s0 == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, s0);
-      factor = std::make_unique<DenseFactor>(gt.to_dense());
-    }
-    span.arg("dense_fallback", dense_fallback ? 1.0 : 0.0);
-    span.arg("s0", s0);
+    outcome = factor_with_recovery(sys.G, sys.C, options.s0,
+                                   options.auto_shift, auto_s0,
+                                   options.ordering,
+                                   &impl_->report.factor_attempts);
+    span.arg("dense_fallback", outcome.dense ? 1.0 : 0.0);
+    span.arg("s0", outcome.s0);
+    span.arg("attempts",
+             static_cast<Index>(impl_->report.factor_attempts.size()));
   }
-  const double factor_seconds = seconds_since(t_factor);
-
-  impl_->c_matrix = sys.C;
-  impl_->variable = sys.variable;
-  impl_->s_prefactor = sys.s_prefactor;
-  impl_->s0 = s0;
-  impl_->factor = std::move(factor);
-  impl_->report.s0_used = s0;
-  impl_->report.used_dense_fallback = dense_fallback;
-  impl_->report.factor_seconds = factor_seconds;
+  impl_->s0 = outcome.s0;
+  impl_->factor = std::move(outcome.factor);
+  impl_->report.s0_used = outcome.s0;
+  impl_->report.used_dense_fallback = outcome.dense;
+  impl_->report.recovered = impl_->report.factor_attempts.size() > 1;
+  impl_->report.factor_seconds = seconds_since(t_factor);
   impl_->factor->fill_stats(impl_->report);
-  const Vec& j = impl_->factor->j_signs();
-  impl_->report.negative_j = 0;
-  for (double jk : j)
-    if (jk < 0.0) ++impl_->report.negative_j;
 
-  // ---- Starting block J⁻¹M⁻¹B and operator J⁻¹M⁻¹CM⁻ᵀ (steps 0, 3a). --
-  const auto t_start = std::chrono::steady_clock::now();
-  const Index n_full = sys.size();
-  Mat start(n_full, sys.port_count());
-  {
-    obs::ScopedTimer span("sympvl.start_block");
-    span.arg("ports", sys.port_count());
-    for (Index col = 0; col < sys.port_count(); ++col) {
-      Vec v = impl_->factor->solve_m(sys.B.col(col));
-      for (Index i = 0; i < n_full; ++i)
-        v[static_cast<size_t>(i)] *= j[static_cast<size_t>(i)];
-      start.set_col(col, v);
-    }
-  }
-  // Exact 0th moment about s₀: startᵀJ·start = Bᵀ(G+s₀C)⁻¹B (J² = I), the
-  // reference for the report's moment-match residual.
-  {
-    Mat jstart = start;
-    for (Index i = 0; i < n_full; ++i)
-      for (Index col = 0; col < jstart.cols(); ++col)
-        jstart(i, col) *= j[static_cast<size_t>(i)];
-    impl_->exact_moment0 = matmul_transA(start, jstart);
-  }
-  impl_->report.start_block_seconds = seconds_since(t_start);
-  Impl* impl = impl_.get();  // stable address, captured by the operator
-  OperatorFn op = [impl](const Vec& v) {
-    Vec w = impl->factor->solve_mt(v);
-    w = impl->c_matrix.multiply(w);
-    w = impl->factor->solve_m(w);
-    const Vec& jj = impl->factor->j_signs();
-    for (size_t i = 0; i < w.size(); ++i) w[i] *= jj[i];
-    return w;
-  };
-
-  LanczosOptions lopt;
-  lopt.max_order = options.order;
-  lopt.deflation_tol = options.deflation_tol;
-  lopt.lookahead_tol = options.lookahead_tol;
-  lopt.full_reorthogonalization = options.full_reorthogonalization;
-  impl_->lanczos =
-      std::make_unique<BandLanczos>(std::move(op), start, j, lopt);
-  {
-    const auto t_lanczos = std::chrono::steady_clock::now();
-    obs::ScopedTimer span("sympvl.lanczos");
-    span.arg("target_order", options.order);
-    impl_->lanczos->run_to(options.order);
-    impl_->report.lanczos_seconds = seconds_since(t_lanczos);
-  }
-  impl_->report.total_seconds = impl_->report.factor_seconds +
-                                impl_->report.start_block_seconds +
-                                impl_->report.lanczos_seconds;
+  // ---- Starting block, operator and the Lanczos run (steps 0-3). ----
+  impl_->build_process();
+  impl_->run_lanczos_to(options.order);
   impl_->refresh_report();
 }
 
@@ -227,20 +326,51 @@ SympvlSession::SympvlSession(SympvlSession&&) noexcept = default;
 SympvlSession& SympvlSession::operator=(SympvlSession&&) noexcept = default;
 
 ReducedModel SympvlSession::extend(Index additional) {
-  require(additional >= 0, "SympvlSession::extend: negative step");
+  require(additional >= 0, ErrorCode::kInvalidArgument,
+          "SympvlSession::extend: negative step");
   const Index target = impl_->lanczos->order() + additional;
-  const auto t_lanczos = std::chrono::steady_clock::now();
-  {
-    obs::ScopedTimer span("sympvl.lanczos");
-    span.arg("target_order", target);
-    impl_->lanczos->run_to(std::max<Index>(target, 1));
-  }
-  const double dt = seconds_since(t_lanczos);
-  impl_->report.lanczos_seconds += dt;
-  impl_->report.total_seconds += dt;
+  impl_->target_order = std::max<Index>(target, 1);
+  impl_->run_lanczos_to(target);
   impl_->refresh_report();
   return current();
 }
+
+ReducedModel SympvlSession::reshift(double new_s0) {
+  Impl* impl = impl_.get();
+  const auto t_factor = std::chrono::steady_clock::now();
+  std::vector<FactorAttemptRecord> attempts;
+  FactorOutcome outcome;
+  {
+    obs::ScopedTimer span("sympvl.reshift");
+    span.arg("s0", new_s0);
+    span.arg("previous_s0", impl->s0);
+    // The caller chose the shift: no automatic ladder, but the dense rung
+    // still backstops it.
+    outcome = factor_with_recovery(impl->g_matrix, impl->c_matrix, new_s0,
+                                   /*auto_shift=*/false, 0.0,
+                                   impl->options.ordering, &attempts);
+  }
+  impl->factor = std::move(outcome.factor);
+  impl->s0 = outcome.s0;
+  impl->report.s0_used = outcome.s0;
+  impl->report.used_dense_fallback = outcome.dense;
+  impl->report.factor_seconds += seconds_since(t_factor);
+  impl->factor->fill_stats(impl->report);
+  for (FactorAttemptRecord& rec : attempts)
+    impl->report.factor_attempts.push_back(std::move(rec));
+  ++impl->report.shift_retries;
+  impl->report.recovered = true;
+
+  // Restart the process about the new expansion point and run it back to
+  // the last requested order. The Padé model changes (different s₀) but
+  // matches the same transfer function to the same moment count.
+  impl->build_process();
+  impl->run_lanczos_to(impl->target_order);
+  impl->refresh_report();
+  return current();
+}
+
+bool SympvlSession::breakdown() const { return impl_->lanczos->breakdown(); }
 
 ReducedModel SympvlSession::current() const {
   return ReducedModel(impl_->lanczos->result(), impl_->variable,

@@ -13,28 +13,22 @@
 #include <memory>
 
 #include "circuit/mna.hpp"
+#include "linalg/factor_chain.hpp"
 #include "linalg/sparse_ldlt.hpp"
+#include "mor/options.hpp"
 #include "mor/reduced_model.hpp"
 
 namespace sympvl {
 
-struct SympvlOptions {
-  /// Requested reduced order n (number of Lanczos vectors).
-  Index order = 0;
-  /// Frequency shift s₀ in the pencil variable (eq. 26). 0 expands about
-  /// DC; required nonzero when G is singular (e.g. the LC PEEC circuit).
-  double s0 = 0.0;
-  /// When G (or G + s₀C) cannot be factored, pick s₀ automatically from
-  /// the matrix scales and retry (mirrors the paper's PEEC treatment).
-  bool auto_shift = true;
-  /// Deflation tolerance (Algorithm 1, step 1c).
-  double deflation_tol = 1e-8;
-  /// Look-ahead cluster closure tolerance (step 2b).
-  double lookahead_tol = 1e-8;
+/// SyMPVL options: the shared reduction surface (order, s₀, auto_shift,
+/// deflation_tol, lookahead_tol, ordering) plus the block-Lanczos knobs.
+struct SympvlOptions : CommonReductionOptions {
   /// Full reorthogonalization against all closed clusters (robust default).
   bool full_reorthogonalization = true;
-  /// Sparse factorization ordering.
-  Ordering ordering = Ordering::kRCM;
+  /// Serious-breakdown guard forwarded to the Lanczos process: a
+  /// look-ahead cluster growing past this size stops the iteration at the
+  /// last healthy order (0 = unlimited).
+  Index max_cluster_size = 8;
 };
 
 /// Diagnostics describing how the reduction ran.
@@ -47,6 +41,19 @@ struct SympvlReport {
   Index achieved_order = 0;
   Index lookahead_clusters = 0;
   std::vector<Index> cluster_sizes;  ///< look-ahead cluster structure
+
+  // -- Recovery trail (the robustness layer's audit log). --
+  /// Every factorization rung attempted, in order, with its outcome.
+  std::vector<FactorAttemptRecord> factor_attempts;
+  /// Shift changes performed after the initial factorization (eq. 26
+  /// retries and explicit SympvlSession::reshift calls).
+  Index shift_retries = 0;
+  /// True when anything beyond the first-choice factorization was needed.
+  bool recovered = false;
+  /// Breakdown post-mortem from the Lanczos process; `breakdown` mirrors
+  /// lanczos_diagnosis.breakdown for quick checking.
+  LanczosDiagnosis lanczos_diagnosis;
+  bool breakdown = false;
 
   // -- Per-stage wall times (seconds; always measured, independent of the
   //    obs trace sink). lanczos/total accumulate across extend() calls. --
@@ -90,6 +97,17 @@ class SympvlSession {
   /// Runs `additional` more Lanczos steps (stops early on exhaustion) and
   /// returns the model at the new order.
   ReducedModel extend(Index additional);
+
+  /// Breakdown recovery (eq. 26): re-factors the pencil at `new_s0`,
+  /// restarts the Lanczos process about the new expansion point and runs
+  /// it back to the previously requested order. The session keeps its
+  /// system copy, so this costs one factorization plus the iteration —
+  /// no re-assembly. Returns the model at the recovered order.
+  ReducedModel reshift(double new_s0);
+
+  /// True when the last run stopped on a serious breakdown (the model is
+  /// truncated at the last healthy order; consider reshift()).
+  bool breakdown() const;
 
   /// The model at the current order.
   ReducedModel current() const;

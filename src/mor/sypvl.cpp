@@ -3,28 +3,53 @@
 #include <cmath>
 #include <memory>
 
+#include "fault.hpp"
 #include "linalg/sparse_ldlt.hpp"
 
 namespace sympvl {
 
 ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
                           SympvlReport* report) {
-  require(sys.port_count() == 1, "sypvl_reduce: system must have exactly one port");
-  require(options.order >= 1, "sypvl_reduce: order must be >= 1");
+  require(sys.port_count() == 1, ErrorCode::kInvalidArgument,
+          "sypvl_reduce: system must have exactly one port",
+          {.stage = "sypvl", .value = double(sys.port_count())});
+  require(options.order >= 1, ErrorCode::kInvalidArgument,
+          "sypvl_reduce: order must be >= 1", {.stage = "sypvl"});
 
   // Factor G + s₀C = M J Mᵀ (sparse path only; SyPVL predates the dense
-  // fallback and the circuits it targets are always sparse).
+  // fallback and the circuits it targets are always sparse). Attempts are
+  // recorded into the report's recovery trail like the SyMPVL ladder.
   double s0 = options.s0;
+  std::vector<FactorAttemptRecord> attempts;
   std::unique_ptr<LDLT> fact;
   auto try_factor = [&](double shift) {
-    const SMat gt = (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
-    return std::make_unique<LDLT>(gt, options.ordering, /*zero_pivot_tol=*/1e-12);
+    FactorAttemptRecord rec;
+    rec.method = "ldlt";
+    rec.shift = shift;
+    try {
+      const SMat gt =
+          (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
+      auto f = std::make_unique<LDLT>(gt, options.ordering,
+                                      /*zero_pivot_tol=*/1e-12);
+      rec.success = true;
+      attempts.push_back(rec);
+      return f;
+    } catch (const Error& ex) {
+      rec.code = ex.code();
+      rec.detail = ex.what();
+      attempts.push_back(rec);
+      throw;
+    }
   };
   try {
     fact = try_factor(s0);
-  } catch (const Error&) {
-    require(options.auto_shift && s0 == 0.0,
-            "sypvl_reduce: factorization of G failed and auto_shift is off");
+  } catch (const Error& ex) {
+    if (!(options.auto_shift && s0 == 0.0))
+      throw Error(ErrorCode::kSingular,
+                  std::string("sypvl_reduce: factorization of G + s0*C failed "
+                              "and auto_shift cannot help: ") +
+                      ex.what(),
+                  {.stage = "sypvl.factor", .value = s0});
     s0 = automatic_shift(sys);
     fact = try_factor(s0);
   }
@@ -48,13 +73,15 @@ ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
   Vec vh = fact->solve_m(sys.B.col(0));
   for (size_t i = 0; i < vh.size(); ++i) vh[i] *= j[i];
   const double rho1 = norm2(vh);
-  require(rho1 > 0.0, "sypvl_reduce: zero starting vector");
+  require(rho1 > 0.0, ErrorCode::kInvalidArgument,
+          "sypvl_reduce: zero starting vector", {.stage = "sypvl.start"});
 
   std::vector<Vec> vs;
   vs.reserve(static_cast<size_t>(n_max));
   Vec deltas;
   Index n = 0;
   bool exhausted = false;
+  LanczosDiagnosis diagnosis;
 
   scale(vh, 1.0 / rho1);
   rho(0, 0) = rho1;
@@ -64,10 +91,31 @@ ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
     vs.push_back(vh);
     Vec jv(vh);
     for (size_t i = 0; i < jv.size(); ++i) jv[i] *= j[i];
-    const double dn = dot(vh, jv);
-    require(std::abs(dn) > options.lookahead_tol,
-            "sypvl_reduce: serious breakdown (delta_n ~ 0); use sympvl_reduce "
-            "with look-ahead");
+    double dn = dot(vh, jv);
+    if (fault::active() && fault::triggered("sypvl.delta", n)) dn = 0.0;
+    if (std::abs(dn) <= options.lookahead_tol) {
+      // Serious breakdown (δₙ ≈ 0): the unblocked recurrence has no
+      // look-ahead, so truncate at the last healthy order and report —
+      // except on the very first step, where no model exists at all.
+      vs.pop_back();
+      diagnosis.breakdown = true;
+      diagnosis.cluster = n;
+      diagnosis.cluster_size = 1;
+      diagnosis.min_abs_eig = std::abs(dn);
+      diagnosis.tol = options.lookahead_tol;
+      diagnosis.message =
+          "sypvl_reduce: serious breakdown — |delta_" + std::to_string(n + 1) +
+          "| = " + std::to_string(std::abs(dn)) +
+          " <= lookahead_tol = " + std::to_string(options.lookahead_tol) +
+          "; truncated at order " + std::to_string(n) +
+          " (use sympvl_reduce with look-ahead, or retry with a different "
+          "expansion point s0, eq. 26)";
+      if (n == 0)
+        throw Error(ErrorCode::kBreakdown, diagnosis.message,
+                    {.stage = "sypvl.lanczos", .index = 0,
+                     .value = std::abs(dn)});
+      break;
+    }
     deltas.push_back(dn);
     delta(n, n) = dn;
     ++n;
@@ -105,6 +153,7 @@ ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
   res.t = t.block(0, n, 0, n);
   res.delta = delta.block(0, n, 0, n);
   res.rho = rho.block(0, n, 0, 1);
+  res.diagnosis = diagnosis;
 
   if (report != nullptr) {
     report->s0_used = s0;
@@ -116,6 +165,10 @@ ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
     report->exhausted = exhausted;
     report->achieved_order = n;
     report->lookahead_clusters = 0;
+    report->factor_attempts = attempts;
+    report->recovered = attempts.size() > 1;
+    report->lanczos_diagnosis = diagnosis;
+    report->breakdown = diagnosis.breakdown;
   }
   return ReducedModel(res, sys.variable, sys.s_prefactor, s0);
 }

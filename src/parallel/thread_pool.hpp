@@ -28,9 +28,11 @@
 #include <exception>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common.hpp"
+#include "fault.hpp"
 #include "obs/obs.hpp"
 
 namespace sympvl {
@@ -95,11 +97,18 @@ namespace detail {
 /// Decorates a chunk failure with the chunk's rank and iteration range so
 /// errors surfacing from a parallel sweep are attributable to the work
 /// item that produced them (the rethrown type is always sympvl::Error).
+/// The original error code and context survive the re-wrap so callers can
+/// still dispatch on the taxonomy after crossing the parallel boundary.
 inline Error annotate_chunk_error(Index rank, Index nt, Index b, Index e,
-                                  const char* what) {
-  return Error("parallel_for chunk " + std::to_string(rank) + "/" +
-               std::to_string(nt) + " [" + std::to_string(b) + "," +
-               std::to_string(e) + "): " + what);
+                                  const char* what,
+                                  ErrorCode code = ErrorCode::kUnknown,
+                                  ErrorContext ctx = {}) {
+  if (ctx.stage.empty()) ctx.stage = "parallel.chunk";
+  return Error(code,
+               "parallel_for chunk " + std::to_string(rank) + "/" +
+                   std::to_string(nt) + " [" + std::to_string(b) + "," +
+                   std::to_string(e) + "): " + what,
+               std::move(ctx));
 }
 
 }  // namespace detail
@@ -117,6 +126,7 @@ void parallel_for_chunks(Index begin, Index end, Fn&& fn) {
   const Index nt = std::min<Index>(num_threads(), total);
   if (nt <= 1 || in_parallel_region()) {
     detail::RegionGuard guard;
+    fault::check("parallel.chunk", 0);  // same site as the threaded path
     fn(Index(0), begin, end);
     return;
   }
@@ -135,7 +145,14 @@ void parallel_for_chunks(Index begin, Index end, Fn&& fn) {
       span.arg("begin", b);
       span.arg("end", e);
       try {
+        // Deterministic chunk-level fault site: the index is the chunk
+        // rank, which a static partition fixes independent of timing.
+        fault::check("parallel.chunk", rank);
         fn(rank, b, e);
+      } catch (const Error& ex) {
+        errors[static_cast<size_t>(rank)] =
+            std::make_exception_ptr(detail::annotate_chunk_error(
+                rank, nt, b, e, ex.what(), ex.code(), ex.context()));
       } catch (const std::exception& ex) {
         errors[static_cast<size_t>(rank)] = std::make_exception_ptr(
             detail::annotate_chunk_error(rank, nt, b, e, ex.what()));

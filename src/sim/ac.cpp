@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <memory>
-#include <optional>
 
+#include "linalg/factor_chain.hpp"
 #include "linalg/sparse_ldlt.hpp"
 #include "linalg/sparse_lu.hpp"
 #include "obs/obs.hpp"
@@ -13,44 +13,42 @@ namespace sympvl {
 
 namespace {
 
-// Solver for one pencil G + f(s)C. The unpivoted complex-symmetric sparse
-// LDLᵀ is the fast path; MNA pencils can hit exact structural zero pivots
-// (e.g. a series R-L chain cancels the node conductance during
-// elimination), in which case the partial-pivoting sparse LU takes over.
+// Solver for one pencil G + f(s)C, backed by the factorization fallback
+// chain: the unpivoted complex-symmetric sparse LDLᵀ is the fast path;
+// MNA pencils can hit exact structural zero pivots (e.g. a series R-L
+// chain cancels the node conductance during elimination), in which case
+// the partial-pivoting sparse LU rung takes over. The chain's acceptance
+// gates are disabled here — tiny pivots near resonances are legitimate,
+// and a per-point condition estimate would double the sweep cost.
 class PencilSolver {
  public:
-  explicit PencilSolver(const CSMat& pencil) {
-    try {
-      ldlt_.emplace(pencil);
-    } catch (const Error&) {
-      obs::instant("ac.lu_fallback", {obs::arg("n", pencil.rows())});
-      lu_.emplace(pencil);  // throws if the pencil is truly singular
-    }
+  explicit PencilSolver(const CSMat& pencil)
+      : chain_(pencil, hot_path_options()) {
+    note_fallback(pencil.rows());
   }
   PencilSolver(const CSMat& pencil,
-               const std::shared_ptr<const LdltSymbolic>& symbolic) {
-    try {
-      ldlt_.emplace(pencil, symbolic);
-    } catch (const Error&) {
-      obs::instant("ac.lu_fallback", {obs::arg("n", pencil.rows())});
-      lu_.emplace(pencil);
-    }
+               const std::shared_ptr<const LdltSymbolic>& symbolic)
+      : chain_(pencil, symbolic, hot_path_options()) {
+    note_fallback(pencil.rows());
   }
-  CVec solve(const CVec& b) const {
-    return ldlt_ ? ldlt_->solve(b) : lu_->solve(b);
-  }
+  CVec solve(const CVec& b) const { return chain_.solve(b); }
   // Multi-RHS solve: one blocked pass over the LDLᵀ factor for all
   // columns; the LU fallback solves column by column.
-  CMat solve(const CMat& b) const {
-    if (ldlt_) return ldlt_->solve(b);
-    CMat x(b.rows(), b.cols());
-    for (Index j = 0; j < b.cols(); ++j) x.set_col(j, lu_->solve(b.col(j)));
-    return x;
-  }
+  CMat solve(const CMat& b) const { return chain_.solve(b); }
 
  private:
-  std::optional<CLDLT> ldlt_;
-  std::optional<CLUSparse> lu_;
+  static FactorChainOptions hot_path_options() {
+    FactorChainOptions opt;
+    opt.zero_pivot_tol = 0.0;   // accept tiny pivots (resonances)
+    opt.min_pivot_ratio = 0.0;  // no condition estimate per point
+    opt.probe_refine_iters = 0; // no residual probe per point
+    return opt;
+  }
+  void note_fallback(Index n) {
+    if (chain_.used_fallback())
+      obs::instant("ac.lu_fallback", {obs::arg("n", n)});
+  }
+  FactorChainZ chain_;
 };
 
 // Complex copy of the real port incidence B (the multi-RHS block).
@@ -76,8 +74,10 @@ CMat ac_z_matrix(const MnaSystem& sys, Complex s) {
 }
 
 std::vector<CMat> ac_sweep(const MnaSystem& sys, const Vec& frequencies_hz) {
-  // The engine amortizes ordering + symbolic analysis over the sweep.
-  return AcSweepEngine(sys).sweep(frequencies_hz);
+  // The engine amortizes ordering + symbolic analysis over the sweep; the
+  // all-or-nothing contract converts any contained point failure into a
+  // structured kSweepPointFailed.
+  return AcSweepEngine(sys).sweep(frequencies_hz).values_or_throw();
 }
 
 Complex voltage_transfer(const CMat& z, Index drive, Index out) {
@@ -182,21 +182,25 @@ CMat AcSweepEngine::z_at(Complex s) const {
   return z;
 }
 
-std::vector<CMat> AcSweepEngine::sweep(const Vec& frequencies_hz) const {
+SweepResult AcSweepEngine::sweep(const Vec& frequencies_hz) const {
   const Index count = static_cast<Index>(frequencies_hz.size());
   obs::ScopedTimer span("ac.sweep");
   span.arg("points", count);
   span.arg("threads", num_threads());
   span.arg("mna_size", impl_->sys.size());
-  std::vector<CMat> out(static_cast<size_t>(count));
   // Frequency points are independent; a static partition keeps the result
   // bit-identical to the serial sweep (each point is computed by exactly
-  // the same sequence of operations regardless of thread count).
-  parallel_for(Index(0), count, [&](Index k) {
-    out[static_cast<size_t>(k)] =
-        z_at(Complex(0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]));
-  });
-  return out;
+  // the same sequence of operations regardless of thread count), and the
+  // containment harness turns per-point failures into NaN + error records
+  // without disturbing the healthy points.
+  const Index p = impl_->sys.port_count();
+  SweepResult res = detail::run_contained_sweep(
+      frequencies_hz, p, p, [&](Index k) {
+        return z_at(Complex(
+            0.0, 2.0 * M_PI * frequencies_hz[static_cast<size_t>(k)]));
+      });
+  span.arg("failed_points", res.failed_count());
+  return res;
 }
 
 Vec linear_frequency_grid(double f_min, double f_max, Index count) {

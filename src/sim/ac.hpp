@@ -11,6 +11,7 @@
 
 #include "circuit/mna.hpp"
 #include "linalg/dense.hpp"
+#include "sim/sweep.hpp"
 
 namespace sympvl {
 
@@ -19,7 +20,9 @@ namespace sympvl {
 CMat ac_z_matrix(const MnaSystem& sys, Complex s);
 
 /// Exact sweep over `frequencies_hz` along the jω axis (s = j·2πf).
-/// Returns one p×p matrix per frequency.
+/// Returns one p×p matrix per frequency. All-or-nothing contract: throws
+/// Error(kSweepPointFailed) when any point fails; use
+/// AcSweepEngine::sweep for the per-point-contained SweepResult form.
 std::vector<CMat> ac_sweep(const MnaSystem& sys, const Vec& frequencies_hz);
 
 /// Voltage-to-voltage transfer H(s) = V_out / V_in when port `drive` is
@@ -52,9 +55,12 @@ class AcSweepEngine {
   /// Physical Z(s) at one complex frequency point.
   CMat z_at(Complex s) const;
 
-  /// Sweep along the jω axis (equivalent to ac_sweep, but with the
-  /// symbolic analysis amortized).
-  std::vector<CMat> sweep(const Vec& frequencies_hz) const;
+  /// Sweep along the jω axis with the symbolic analysis amortized and
+  /// per-point fault containment: a frequency point whose pencil cannot
+  /// be factored (or that hits an injected fault) yields a NaN matrix and
+  /// a structured error record while every other point completes
+  /// unaffected — and bit-identical to an all-healthy sweep.
+  SweepResult sweep(const Vec& frequencies_hz) const;
 
  private:
   struct Impl;

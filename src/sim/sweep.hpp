@@ -1,0 +1,140 @@
+// Sweep results with per-point fault containment.
+//
+// A frequency sweep is a batch of independent solves; one singular or
+// ill-conditioned point (a resonance landing exactly on the grid, an
+// injected fault, a pencil assembly overflow) must not destroy the other
+// 999 points. SweepResult carries the per-point matrices together with a
+// per-point status vector and the structured error records of the points
+// that failed: failed points hold a NaN-filled p×p matrix, every other
+// point is exactly what an all-healthy sweep would have produced.
+//
+// The container indexes like the std::vector<CMat> it replaced
+// (operator[], size(), begin/end over the matrices), so plotting and
+// error-scan code keeps working unchanged.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "fault.hpp"
+#include "linalg/dense.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sympvl {
+
+enum class PointStatus : unsigned char { kOk = 0, kFailed = 1 };
+
+/// Structured record of one failed sweep point.
+struct SweepPointError {
+  Index index = -1;           ///< position in the frequency grid
+  double frequency_hz = 0.0;  ///< the frequency that failed
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+};
+
+/// A p×p matrix filled with quiet NaNs — the placeholder failed sweep
+/// points carry so downstream consumers cannot mistake them for data.
+inline CMat nan_matrix(Index rows, Index cols) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  CMat m(rows, cols);
+  for (Index i = 0; i < rows; ++i)
+    for (Index j = 0; j < cols; ++j) m(i, j) = Complex(qnan, qnan);
+  return m;
+}
+
+struct SweepResult {
+  Vec frequencies;                       ///< grid, in Hz
+  std::vector<CMat> values;              ///< p×p per point (NaN when failed)
+  std::vector<PointStatus> point_status; ///< one entry per point
+  std::vector<SweepPointError> errors;   ///< failed points, in index order
+
+  size_t size() const { return values.size(); }
+  const CMat& operator[](size_t k) const { return values[k]; }
+  std::vector<CMat>::const_iterator begin() const { return values.begin(); }
+  std::vector<CMat>::const_iterator end() const { return values.end(); }
+
+  bool ok(size_t k) const { return point_status[k] == PointStatus::kOk; }
+  bool all_ok() const { return errors.empty(); }
+  Index failed_count() const { return static_cast<Index>(errors.size()); }
+
+  /// Returns the matrices, throwing Error(kSweepPointFailed) carrying the
+  /// first failed point when the sweep was not fully healthy — the bridge
+  /// for callers that need the old all-or-nothing contract.
+  std::vector<CMat> values_or_throw() && {
+    if (!errors.empty()) {
+      const SweepPointError& first = errors.front();
+      ErrorContext ctx;
+      ctx.stage = "sweep";
+      ctx.index = first.index;
+      ctx.frequency = Complex(first.frequency_hz, 0.0);
+      throw Error(ErrorCode::kSweepPointFailed,
+                  std::to_string(errors.size()) + " of " +
+                      std::to_string(values.size()) +
+                      " sweep points failed; first: " + first.message,
+                  std::move(ctx));
+    }
+    return std::move(values);
+  }
+};
+
+namespace detail {
+
+/// Shared containment harness for frequency sweeps: runs `compute(k)` for
+/// every grid point through parallel_for. A point that throws becomes a
+/// NaN matrix plus a structured error record; a whole-chunk failure
+/// (including an injected "parallel.chunk" fault) marks only the points
+/// that chunk never reached. Healthy points are computed by exactly the
+/// same operation sequence as an all-healthy sweep, so they stay
+/// bit-identical whether or not neighbors fail.
+template <typename Compute>
+SweepResult run_contained_sweep(const Vec& frequencies_hz, Index rows,
+                                Index cols, Compute&& compute) {
+  const Index count = static_cast<Index>(frequencies_hz.size());
+  SweepResult res;
+  res.frequencies = frequencies_hz;
+  res.values.assign(static_cast<size_t>(count), CMat());
+  res.point_status.assign(static_cast<size_t>(count), PointStatus::kFailed);
+  std::vector<ErrorCode> codes(static_cast<size_t>(count), ErrorCode::kUnknown);
+  std::vector<std::string> messages(static_cast<size_t>(count));
+  std::vector<char> done(static_cast<size_t>(count), 0);
+  // Per-point slots only — no shared mutable state, so recording a
+  // failure is race-free under the static partition.
+  auto record = [&](Index k, ErrorCode code, const std::string& message) {
+    codes[static_cast<size_t>(k)] = code;
+    messages[static_cast<size_t>(k)] = message;
+    res.values[static_cast<size_t>(k)] = nan_matrix(rows, cols);
+    done[static_cast<size_t>(k)] = 1;
+  };
+  try {
+    parallel_for(Index(0), count, [&](Index k) {
+      try {
+        fault::check("sweep.point", k);
+        res.values[static_cast<size_t>(k)] = compute(k);
+        res.point_status[static_cast<size_t>(k)] = PointStatus::kOk;
+        done[static_cast<size_t>(k)] = 1;
+      } catch (const Error& err) {
+        record(k, err.code(), err.what());
+      } catch (const std::exception& ex) {
+        record(k, ErrorCode::kUnknown, ex.what());
+      }
+    });
+  } catch (const Error& err) {
+    // A chunk died outside the per-point guard; only the points it never
+    // reached are still pending — flag those with the chunk's error.
+    for (Index k = 0; k < count; ++k)
+      if (!done[static_cast<size_t>(k)]) record(k, err.code(), err.what());
+  }
+  for (Index k = 0; k < count; ++k) {
+    if (res.point_status[static_cast<size_t>(k)] == PointStatus::kOk) continue;
+    res.errors.push_back({k, frequencies_hz[static_cast<size_t>(k)],
+                          codes[static_cast<size_t>(k)],
+                          messages[static_cast<size_t>(k)]});
+  }
+  return res;
+}
+
+}  // namespace detail
+
+}  // namespace sympvl

@@ -1,0 +1,168 @@
+// Unified driver API: run_sympvl / run_sypvl / run_pvl / run_arnoldi all
+// return a ReductionResult with a populated status, a uniform report and
+// structured diagnostics — and agree exactly with the legacy throwing
+// entry points on healthy inputs.
+#include "mor/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mor/balanced.hpp"
+#include "mor/rational.hpp"
+
+namespace sympvl {
+namespace {
+
+Netlist two_port_rc() {
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 3, 150.0);
+  nl.add_resistor(3, 0, 200.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_capacitor(2, 0, 2e-12);
+  nl.add_capacitor(3, 0, 1.5e-12);
+  nl.add_port(1, 0);
+  nl.add_port(3, 0);
+  return nl;
+}
+
+Netlist one_port_rc() {
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 0, 200.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_capacitor(2, 0, 2e-12);
+  nl.add_port(1, 0);
+  return nl;
+}
+
+const Complex kProbe(0.0, 2.0 * M_PI * 1e9);
+
+TEST(Driver, RunSympvlMatchesLegacyAndReportsOk) {
+  const MnaSystem sys = build_mna(two_port_rc());
+  SympvlOptions opt;
+  opt.order = 3;  // system has 3 nodes: the full Krylov space
+  const auto res = run_sympvl(sys, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.status, ReductionStatus::kOk);
+  EXPECT_EQ(res.report.achieved_order, 3);
+  EXPECT_TRUE(res.diagnostics.empty());
+
+  const ReducedModel legacy = sympvl_reduce(sys, opt);
+  const CMat za = res.value().eval(kProbe);
+  const CMat zb = legacy.eval(kProbe);
+  for (Index i = 0; i < za.rows(); ++i)
+    for (Index j = 0; j < za.cols(); ++j)
+      EXPECT_EQ(za(i, j), zb(i, j));  // deterministic: bit-identical
+}
+
+TEST(Driver, RunSympvlNetlistOverloadCapturesAssemblyFailure) {
+  Netlist nl;  // no ports at all: assembly must reject it
+  nl.add_resistor(1, 0, 100.0);
+  SympvlOptions opt;
+  opt.order = 2;
+  const auto res = run_sympvl(nl, opt);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status, ReductionStatus::kFailed);
+  ASSERT_FALSE(res.diagnostics.empty());
+  EXPECT_FALSE(res.diagnostics.front().message.empty());
+  EXPECT_THROW(res.value(), Error);
+}
+
+TEST(Driver, RunSypvlOkOnSinglePort) {
+  const MnaSystem sys = build_mna(one_port_rc());
+  SympvlOptions opt;
+  opt.order = 2;
+  const auto res = run_sypvl(sys, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.status, ReductionStatus::kOk);
+  EXPECT_EQ(res.report.achieved_order, 2);
+  EXPECT_EQ(res.model.order(), 2);
+
+  const auto bad = run_sypvl(build_mna(two_port_rc()), opt);  // p = 2
+  EXPECT_EQ(bad.status, ReductionStatus::kFailed);
+  ASSERT_FALSE(bad.diagnostics.empty());
+  EXPECT_EQ(bad.diagnostics.front().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Driver, RunPvlOkAndStructuredOnBadPort) {
+  const MnaSystem sys = build_mna(two_port_rc());
+  PvlOptions opt;
+  opt.order = 3;
+  const auto res = run_pvl(sys, 0, 0, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.status, ReductionStatus::kOk);
+  EXPECT_EQ(res.report.achieved_order, res.model.order());
+  const PvlModel legacy = pvl_reduce_entry(sys, 0, 0, opt);
+  EXPECT_EQ(res.model.eval(kProbe), legacy.eval(kProbe));
+
+  const auto bad = run_pvl(sys, 5, 0, opt);  // port index out of range
+  EXPECT_EQ(bad.status, ReductionStatus::kFailed);
+  ASSERT_FALSE(bad.diagnostics.empty());
+  EXPECT_EQ(bad.diagnostics.front().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Driver, RunArnoldiOkAndMatchesLegacy) {
+  const MnaSystem sys = build_mna(two_port_rc());
+  ArnoldiOptions opt;
+  opt.order = 4;
+  const auto res = run_arnoldi(sys, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.status, ReductionStatus::kOk);
+  EXPECT_EQ(res.report.achieved_order, res.model.order());
+
+  const ArnoldiModel legacy = arnoldi_reduce(sys, opt);
+  const CMat za = res.model.eval(kProbe);
+  const CMat zb = legacy.eval(kProbe);
+  for (Index i = 0; i < za.rows(); ++i)
+    for (Index j = 0; j < za.cols(); ++j)
+      EXPECT_EQ(za(i, j), zb(i, j));
+}
+
+TEST(Driver, ConsolidatedOptionsShareBaseFields) {
+  // All option structs expose the CommonReductionOptions surface; a
+  // generic helper can configure any of them.
+  const auto configure = [](CommonReductionOptions& opt) {
+    opt.order = 7;
+    opt.s0 = 2.5;
+    opt.auto_shift = false;
+    opt.verbosity = 0;
+  };
+  SympvlOptions so;
+  PvlOptions po;
+  ArnoldiOptions ao;
+  RationalOptions ro;
+  BalancedOptions bo;
+  LanczosOptions lo;
+  for (CommonReductionOptions* opt :
+       {static_cast<CommonReductionOptions*>(&so),
+        static_cast<CommonReductionOptions*>(&po),
+        static_cast<CommonReductionOptions*>(&ao),
+        static_cast<CommonReductionOptions*>(&ro),
+        static_cast<CommonReductionOptions*>(&bo),
+        static_cast<CommonReductionOptions*>(&lo)})
+    configure(*opt);
+  EXPECT_EQ(so.order, 7);
+  EXPECT_EQ(bo.order, 7);
+  EXPECT_EQ(po.s0, 2.5);
+  EXPECT_FALSE(lo.auto_shift);
+  // Driver-specific defaults survive the shared base.
+  EXPECT_EQ(ao.deflation_tol, 1e-10);
+  EXPECT_EQ(ro.deflation_tol, 1e-10);
+  EXPECT_EQ(so.deflation_tol, 1e-8);
+  EXPECT_EQ(po.breakdown_tol, 1e-12);
+}
+
+TEST(Driver, InvalidOrderIsStructuredFailure) {
+  const MnaSystem sys = build_mna(two_port_rc());
+  SympvlOptions opt;
+  opt.order = 0;
+  const auto res = run_sympvl(sys, opt);
+  EXPECT_EQ(res.status, ReductionStatus::kFailed);
+  ASSERT_FALSE(res.diagnostics.empty());
+  EXPECT_EQ(res.diagnostics.front().code, ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,221 @@
+// FactorChain: the factorization fallback ladder (LDLᵀ → pivoted LU →
+// shifted retries) with its acceptance gates (pivot ratio, Hager 1-norm
+// condition estimate, residual probe with iterative refinement).
+#include "linalg/factor_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fault.hpp"
+
+namespace sympvl {
+namespace {
+
+SMat random_spd_sparse(Index n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.1, 2.0);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  TripletBuilder<double> t(n, n);
+  for (Index i = 0; i < n; ++i) t.add(i, i, 1.0 + u(rng));
+  for (Index k = 0; k < 3 * n; ++k) {
+    const Index a = pick(rng), b = pick(rng);
+    if (a == b) continue;
+    const double w = u(rng);
+    t.add(a, a, w);
+    t.add(b, b, w);
+    t.add_symmetric(a, b, -w);
+  }
+  return t.compress();
+}
+
+// Graph Laplacian with NO grounding diagonal: exactly singular (constant
+// vector in the null space) — the shape of a circuit with no DC path.
+SMat singular_laplacian(Index n) {
+  TripletBuilder<double> t(n, n);
+  for (Index i = 0; i + 1 < n; ++i) {
+    t.add(i, i, 1.0);
+    t.add(i + 1, i + 1, 1.0);
+    t.add_symmetric(i, i + 1, -1.0);
+  }
+  return t.compress();
+}
+
+SMat identity_sparse(Index n, double scale = 1.0) {
+  TripletBuilder<double> t(n, n);
+  for (Index i = 0; i < n; ++i) t.add(i, i, scale);
+  return t.compress();
+}
+
+Vec test_rhs(Index n) {
+  Vec b(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i)
+    b[static_cast<size_t>(i)] = std::cos(static_cast<double>(i));
+  return b;
+}
+
+double max_abs_diff(const Vec& a, const Vec& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double vec_inf(const Vec& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+TEST(FactorChain, SpdTakesLdltFirstRung) {
+  const SMat a = random_spd_sparse(40, 3);
+  const FactorChainD chain(a);
+  EXPECT_FALSE(chain.used_fallback());
+  EXPECT_EQ(chain.method(), std::string("ldlt"));
+  ASSERT_EQ(chain.attempts().size(), 1u);
+  EXPECT_TRUE(chain.attempts()[0].success);
+
+  const Vec b = test_rhs(40);
+  const Vec x = chain.solve(b);
+  const Vec r = a.multiply(x);
+  EXPECT_LT(max_abs_diff(r, b), 1e-9);
+}
+
+TEST(FactorChain, ForcedLdltFailureFallsBackToLuAndMatches) {
+  const SMat a = random_spd_sparse(50, 7);
+  const Vec b = test_rhs(50);
+  const FactorChainD clean(a);
+  const Vec x_clean = clean.solve(b);
+
+  fault::arm("factor.ldlt@*");
+  const FactorChainD chain(a);
+  fault::disarm();
+
+  EXPECT_TRUE(chain.used_fallback());
+  EXPECT_EQ(chain.method(), std::string("lu"));
+  ASSERT_EQ(chain.attempts().size(), 2u);
+  EXPECT_FALSE(chain.attempts()[0].success);
+  EXPECT_EQ(chain.attempts()[0].code, ErrorCode::kFaultInjected);
+  EXPECT_TRUE(chain.attempts()[1].success);
+
+  // Same matrix, different factorization: answers agree to solver tol.
+  const Vec x = chain.solve(b);
+  EXPECT_LT(max_abs_diff(x, x_clean), 1e-10 * (1.0 + vec_inf(x_clean)));
+}
+
+TEST(FactorChain, SingularPencilWalksToShiftedRetry) {
+  // G singular at shift 0; the c-pencil rungs at the retry shifts are SPD.
+  const Index n = 30;
+  const SMat g = singular_laplacian(n);
+  const SMat c = identity_sparse(n);
+  const std::vector<double> retries = shift_ladder(1.0, 4);
+
+  const FactorChainD chain(g, c, 0.0, retries);
+  EXPECT_NE(chain.shift_used(), 0.0);
+
+  // The solution solves the SHIFTED pencil the chain settled on.
+  const Vec b = test_rhs(n);
+  const Vec x = chain.solve(b);
+  const SMat shifted = SMat::add(g, 1.0, c, chain.shift_used());
+  const Vec r = shifted.multiply(x);
+  EXPECT_LT(max_abs_diff(r, b), 1e-8);
+
+  // The attempt trail shows the failed unshifted rungs first.
+  ASSERT_GE(chain.attempts().size(), 3u);
+  EXPECT_FALSE(chain.attempts()[0].success);
+  EXPECT_TRUE(chain.attempts().back().success);
+}
+
+TEST(FactorChain, AllRungsExhaustedThrowsStructuredSingular) {
+  const SMat g = singular_laplacian(24);
+  try {
+    FactorChainD chain(g);  // no c-matrix: no shifted rungs possible
+    FAIL() << "expected Error";
+  } catch (const Error& ex) {
+    EXPECT_EQ(ex.code(), ErrorCode::kSingular);
+    EXPECT_EQ(ex.context().stage, "factor_chain");
+    EXPECT_NE(std::string(ex.what()).find("every factorization rung"),
+              std::string::npos);
+  }
+}
+
+TEST(FactorChain, ComplexPencilSolvesAccurately) {
+  const Index n = 32;
+  const SMat g = random_spd_sparse(n, 11);
+  TripletBuilder<Complex> t(n, n);
+  for (Index j = 0; j < g.cols(); ++j)
+    for (Index k = g.colptr()[static_cast<size_t>(j)];
+         k < g.colptr()[static_cast<size_t>(j) + 1]; ++k)
+      t.add(g.rowind()[static_cast<size_t>(k)], j,
+            Complex(g.values()[static_cast<size_t>(k)], 0.0));
+  for (Index i = 0; i < n; ++i) t.add(i, i, Complex(0.0, 0.5));
+  const CSMat a = t.compress();
+
+  const FactorChainZ chain(a);
+  CVec b(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i)
+    b[static_cast<size_t>(i)] =
+        Complex(std::cos(double(i)), std::sin(double(i)));
+  const CVec x = chain.solve(b);
+  const CVec r = a.multiply(x);
+  double m = 0.0;
+  for (size_t i = 0; i < r.size(); ++i) m = std::max(m, std::abs(r[i] - b[i]));
+  EXPECT_LT(m, 1e-9);
+}
+
+TEST(FactorChain, ShiftLadderDeterministicAndValidated) {
+  const std::vector<double> a = shift_ladder(2.5, 6);
+  const std::vector<double> b = shift_ladder(2.5, 6);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a, b);  // bitwise deterministic
+  for (double s : a) EXPECT_GT(s, 0.0);
+  for (size_t i = 0; i + 1 < a.size(); ++i) EXPECT_NE(a[i], a[i + 1]);
+  try {
+    shift_ladder(0.0, 3);
+    FAIL() << "expected Error";
+  } catch (const Error& ex) {
+    EXPECT_EQ(ex.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(FactorChain, OneNormEstimateMatchesDiagonalInverse) {
+  // For A = diag(d), ‖A⁻¹‖₁ = 1/min|d| exactly; Hager should find it.
+  const Index n = 12;
+  std::vector<double> d(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) d[static_cast<size_t>(i)] = 1.0 + double(i);
+  d[7] = 0.01;  // dominant inverse entry
+  const auto solve = [&](const std::vector<double>& b) {
+    std::vector<double> x(b.size());
+    for (size_t i = 0; i < b.size(); ++i) x[i] = b[i] / d[i];
+    return x;
+  };
+  const double est = inverse_onenorm_estimate<double>(
+      n, std::function<std::vector<double>(const std::vector<double>&)>(solve));
+  EXPECT_NEAR(est, 100.0, 1e-9);
+}
+
+TEST(FactorChain, SparseOneNormMatchesDense) {
+  const SMat a = random_spd_sparse(20, 5);
+  double dense = 0.0;
+  for (Index j = 0; j < 20; ++j) {
+    double col = 0.0;
+    for (Index i = 0; i < 20; ++i) col += std::abs(a.coeff(i, j));
+    dense = std::max(dense, col);
+  }
+  EXPECT_NEAR(sparse_onenorm(a), dense, 1e-12 * dense);
+}
+
+TEST(FactorChain, SolveRefinementImprovesResidual) {
+  const SMat a = random_spd_sparse(40, 13);
+  FactorChainOptions opt;
+  opt.solve_refine_iters = 2;
+  opt.refine_tol = 1e-14;
+  const FactorChainD chain(a, opt);
+  const Vec b = test_rhs(40);
+  const Vec x = chain.solve(b);
+  const Vec r = a.multiply(x);
+  EXPECT_LT(max_abs_diff(r, b), 1e-10);
+}
+
+}  // namespace
+}  // namespace sympvl

@@ -1,0 +1,140 @@
+// Pathological-input coverage: every degenerate circuit below must yield
+// a structured sympvl::Error (with an ErrorCode and stage) or a recovered
+// model — never a crash, an opaque string-only throw, or a silent NaN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mor/driver.hpp"
+#include "mor/sympvl.hpp"
+
+namespace sympvl {
+namespace {
+
+bool finite_matrix(const CMat& z) {
+  for (Index i = 0; i < z.rows(); ++i)
+    for (Index j = 0; j < z.cols(); ++j)
+      if (!std::isfinite(z(i, j).real()) || !std::isfinite(z(i, j).imag()))
+        return false;
+  return true;
+}
+
+// Node 1 touches only capacitors: the G row is structurally zero, so G is
+// singular and only the shifted pencil of eq. 26 can be factored.
+Netlist singular_g_netlist() {
+  Netlist nl;
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_capacitor(1, 2, 2e-12);
+  nl.add_resistor(2, 0, 50.0);
+  nl.add_port(1, 0);
+  return nl;
+}
+
+TEST(Robustness, SingularGWithoutShiftThrowsStructured) {
+  const MnaSystem sys = build_mna(singular_g_netlist(), MnaForm::kGeneral);
+  SympvlOptions opt;
+  opt.order = 4;
+  opt.s0 = 0.0;
+  opt.auto_shift = false;  // forbid the eq. 26 recovery
+  try {
+    sympvl_reduce(sys, opt);
+    FAIL() << "expected Error";
+  } catch (const Error& ex) {
+    EXPECT_EQ(ex.code(), ErrorCode::kSingular);
+    EXPECT_FALSE(ex.context().stage.empty());
+    // The message carries the attempt history, not just "failed".
+    EXPECT_NE(std::string(ex.what()).find("attempt"), std::string::npos);
+  }
+}
+
+TEST(Robustness, SingularGRecoversThroughAutoShift) {
+  const MnaSystem sys = build_mna(singular_g_netlist(), MnaForm::kGeneral);
+  SympvlOptions opt;
+  opt.order = 4;
+  SympvlReport report;
+  const ReducedModel rom = sympvl_reduce(sys, opt, &report);
+  EXPECT_NE(report.s0_used, 0.0);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_GE(report.factor_attempts.size(), 2u);
+  EXPECT_FALSE(report.factor_attempts.front().success);
+  EXPECT_TRUE(report.factor_attempts.back().success);
+  EXPECT_TRUE(finite_matrix(rom.eval(Complex(0.0, 2.0 * M_PI * 1e9))));
+}
+
+TEST(Robustness, DisconnectedCircuitFailsWithDiagnostics) {
+  // Nodes 3-4 form an island with no path to the datum: the pencil block
+  // is singular at EVERY shift, so no rung can succeed.
+  Netlist nl;
+  nl.add_resistor(1, 0, 100.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_port(1, 0);
+  nl.add_resistor(3, 4, 10.0);
+  nl.add_capacitor(3, 4, 1e-12);
+  SympvlOptions opt;
+  opt.order = 2;
+  const auto res = run_sympvl(nl, opt);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status, ReductionStatus::kFailed);
+  ASSERT_FALSE(res.diagnostics.empty());
+  for (const ReductionIssue& issue : res.diagnostics) {
+    EXPECT_NE(issue.code, ErrorCode::kUnknown);
+    EXPECT_FALSE(issue.message.empty());
+  }
+  EXPECT_THROW(res.value(), Error);
+}
+
+TEST(Robustness, DuplicatedPortsDeflateNotCrash) {
+  // Two ports on the same node pair: the starting block has two identical
+  // columns, forcing an immediate deflation (Algorithm 1 step 1c).
+  Netlist nl;
+  nl.add_resistor(1, 2, 100.0);
+  nl.add_resistor(2, 0, 200.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_capacitor(2, 0, 2e-12);
+  nl.add_port(1, 0);
+  nl.add_port(1, 0);  // duplicate
+  const MnaSystem sys = build_mna(nl);
+  SympvlOptions opt;
+  opt.order = 2;
+  const auto res = run_sympvl(sys, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GE(res.report.deflations, 1);
+  const CMat z = res.model.eval(Complex(0.0, 2.0 * M_PI * 1e8));
+  EXPECT_TRUE(finite_matrix(z));
+  // The duplicated port must see the same impedance as the original.
+  EXPECT_NEAR(std::abs(z(0, 0) - z(1, 1)), 0.0, 1e-9 * std::abs(z(0, 0)));
+}
+
+TEST(Robustness, ZeroValuedElementsAreStructuredErrors) {
+  Netlist nl;
+  for (auto add : {+[](Netlist& n) { n.add_resistor(1, 0, 0.0); },
+                   +[](Netlist& n) { n.add_capacitor(1, 0, 0.0); },
+                   +[](Netlist& n) { n.add_inductor(1, 0, 0.0); }}) {
+    try {
+      add(nl);
+      FAIL() << "expected Error";
+    } catch (const Error& ex) {
+      EXPECT_EQ(ex.code(), ErrorCode::kInvalidArgument);
+      EXPECT_EQ(ex.context().stage, "netlist");
+    }
+  }
+}
+
+TEST(Robustness, ResistorOnlyCircuitHasNoAutomaticShift) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 100.0);
+  nl.add_resistor(1, 2, 50.0);
+  nl.add_resistor(2, 0, 75.0);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl, MnaForm::kGeneral);
+  try {
+    automatic_shift(sys);
+    FAIL() << "expected Error";
+  } catch (const Error& ex) {
+    EXPECT_EQ(ex.code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(ex.context().stage, "sympvl.auto_shift");
+  }
+}
+
+}  // namespace
+}  // namespace sympvl

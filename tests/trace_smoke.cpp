@@ -94,8 +94,9 @@ int main() {
 
   const Vec freqs = log_frequency_grid(1e6, 1e9, 16);
   const AcSweepEngine engine(sys);
-  const std::vector<CMat> sweep = engine.sweep(freqs);
+  const SweepResult sweep = engine.sweep(freqs);
   check(sweep.size() == freqs.size(), "sweep produced every point");
+  check(sweep.all_ok(), "sweep produced no failed points");
 
   obs::flush();
 
