@@ -1,0 +1,325 @@
+#include "linalg/factor_cache.hpp"
+
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "fault.hpp"
+#include "obs/obs.hpp"
+
+namespace sympvl {
+
+namespace {
+
+// FNV-1a over raw bytes.
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv1a_vec(const std::vector<T>& v, std::uint64_t h) {
+  return v.empty() ? h : fnv1a(v.data(), v.size() * sizeof(T), h);
+}
+
+std::uint64_t fingerprint_matrix(const SMat& m) {
+  std::uint64_t h = 14695981039346656037ull;
+  const Index dims[2] = {m.rows(), m.cols()};
+  h = fnv1a(dims, sizeof(dims), h);
+  h = fnv1a_vec(m.colptr(), h);
+  h = fnv1a_vec(m.rowind(), h);
+  h = fnv1a_vec(m.values(), h);
+  return h;
+}
+
+std::uint64_t double_bits(double v) {
+  // Canonicalize -0.0 so s₀ = 0 and s₀ = -0 hit the same entry.
+  if (v == 0.0) v = 0.0;
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// Canonical factor settings every real-pencil driver uses — the settings
+// acquire_complex probes when adapting a real hit to an AC point.
+constexpr double kCanonicalZeroPivotTol = 1e-12;
+
+struct Key {
+  std::uint64_t g = 0, c = 0;
+  std::uint64_t shift_re = 0, shift_im = 0;
+  std::uint64_t tol = 0;
+  int ordering = 0;
+  bool dense = false;
+  bool complex_pencil = false;
+
+  bool operator==(const Key& o) const {
+    return g == o.g && c == o.c && shift_re == o.shift_re &&
+           shift_im == o.shift_im && tol == o.tol && ordering == o.ordering &&
+           dense == o.dense && complex_pencil == o.complex_pencil;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::uint64_t h = 14695981039346656037ull;
+    h = fnv1a(&k.g, sizeof(k.g), h);
+    h = fnv1a(&k.c, sizeof(k.c), h);
+    h = fnv1a(&k.shift_re, sizeof(k.shift_re), h);
+    h = fnv1a(&k.shift_im, sizeof(k.shift_im), h);
+    h = fnv1a(&k.tol, sizeof(k.tol), h);
+    h = fnv1a(&k.ordering, sizeof(k.ordering), h);
+    const unsigned char flags =
+        static_cast<unsigned char>((k.dense ? 1 : 0) |
+                                   (k.complex_pencil ? 2 : 0));
+    h = fnv1a(&flags, sizeof(flags), h);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+Key real_key(const PencilFingerprint& fp, const PencilFactorOptions& opt) {
+  Key k;
+  k.g = fp.g;
+  k.c = fp.c;
+  k.shift_re = double_bits(opt.shift);
+  k.tol = double_bits(opt.zero_pivot_tol);
+  k.ordering = static_cast<int>(opt.ordering);
+  k.dense = opt.dense;
+  return k;
+}
+
+Key complex_key(const PencilFingerprint& fp, Complex fs) {
+  Key k;
+  k.g = fp.g;
+  k.c = fp.c;
+  k.shift_re = double_bits(fs.real());
+  k.shift_im = double_bits(fs.imag());
+  k.complex_pencil = true;
+  return k;
+}
+
+// Adapts a real M J Mᵀ factorization of G + σC to complex right-hand
+// sides at the purely real pencil value fs = σ: A is real, so
+// A⁻¹(bʳ + i·bⁱ) = A⁻¹bʳ + i·A⁻¹bⁱ — two real solves (blocked for
+// matrices) per complex solve.
+class RealPencilAdapter final : public ComplexPencilSolver {
+ public:
+  explicit RealPencilAdapter(std::shared_ptr<const FactorizedPencil> pencil)
+      : pencil_(std::move(pencil)) {}
+
+  CVec solve(const CVec& b) const override {
+    const size_t n = b.size();
+    Vec br(n), bi(n);
+    for (size_t i = 0; i < n; ++i) {
+      br[i] = b[i].real();
+      bi[i] = b[i].imag();
+    }
+    const Vec xr = pencil_->solve(br);
+    const Vec xi = pencil_->solve(bi);
+    CVec x(n);
+    for (size_t i = 0; i < n; ++i) x[i] = Complex(xr[i], xi[i]);
+    return x;
+  }
+
+  CMat solve(const CMat& b) const override {
+    Mat br(b.rows(), b.cols()), bi(b.rows(), b.cols());
+    for (Index i = 0; i < b.rows(); ++i)
+      for (Index j = 0; j < b.cols(); ++j) {
+        br(i, j) = b(i, j).real();
+        bi(i, j) = b(i, j).imag();
+      }
+    const Mat xr = pencil_->solve(br);
+    const Mat xi = pencil_->solve(bi);
+    CMat x(b.rows(), b.cols());
+    for (Index i = 0; i < b.rows(); ++i)
+      for (Index j = 0; j < b.cols(); ++j) x(i, j) = Complex(xr(i, j), xi(i, j));
+    return x;
+  }
+
+ private:
+  std::shared_ptr<const FactorizedPencil> pencil_;
+};
+
+}  // namespace
+
+PencilFingerprint fingerprint_pencil(const SMat& g, const SMat& c) {
+  return PencilFingerprint{fingerprint_matrix(g), fingerprint_matrix(c)};
+}
+
+struct FactorCache::Impl {
+  struct Entry {
+    Key key;
+    std::shared_ptr<const FactorizedPencil> real;
+    std::shared_ptr<const ComplexPencilSolver> complex_;
+  };
+
+  explicit Impl(std::size_t cap) : capacity(cap == 0 ? 1 : cap) {}
+
+  std::size_t capacity;
+  mutable std::mutex mutex;
+  // Front = most recently used.
+  std::list<Entry> lru;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+
+  std::atomic<std::uint64_t> hits{0}, misses{0}, evictions{0},
+      factorizations{0};
+
+  void note_hit() {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& c = obs::counter("factor_cache.hit");
+    c.add();
+  }
+  void note_miss() {
+    misses.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& c = obs::counter("factor_cache.miss");
+    c.add();
+  }
+  void note_evict() {
+    evictions.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& c = obs::counter("factor_cache.evict");
+    c.add();
+  }
+
+  // Must hold `mutex`. Returns the entry for `key`, touched to the LRU
+  // front, or nullptr.
+  Entry* find_locked(const Key& key) {
+    auto it = map.find(key);
+    if (it == map.end()) return nullptr;
+    lru.splice(lru.begin(), lru, it->second);
+    it->second = lru.begin();
+    return &*lru.begin();
+  }
+
+  // Must hold `mutex`. Inserts (or returns the raced-in) entry and evicts
+  // past capacity.
+  Entry* insert_locked(Entry entry) {
+    if (Entry* existing = find_locked(entry.key)) return existing;
+    lru.push_front(std::move(entry));
+    map.emplace(lru.front().key, lru.begin());
+    while (lru.size() > capacity) {
+      map.erase(lru.back().key);
+      lru.pop_back();
+      note_evict();
+    }
+    return &*lru.begin();
+  }
+};
+
+FactorCache::FactorCache(std::size_t capacity)
+    : impl_(std::make_unique<Impl>(capacity)) {}
+
+FactorCache::~FactorCache() = default;
+
+FactorCache& FactorCache::global() {
+  static FactorCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FactorizedPencil> FactorCache::acquire(
+    const PencilFingerprint& fp, const PencilFactorOptions& options,
+    const RealMaker& make, bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  if (fault::active()) {
+    // Fault drills always exercise the real factorization path.
+    impl_->factorizations.fetch_add(1, std::memory_order_relaxed);
+    return make();
+  }
+  const Key key = real_key(fp, options);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (Impl::Entry* e = impl_->find_locked(key)) {
+      impl_->note_hit();
+      if (was_hit != nullptr) *was_hit = true;
+      return e->real;
+    }
+  }
+  impl_->note_miss();
+  // Factor OUTSIDE the lock: concurrent misses on distinct keys proceed
+  // in parallel; racing duplicates on one key are harmless (identical
+  // values, loser's work discarded on insert).
+  std::shared_ptr<const FactorizedPencil> pencil = make();
+  impl_->factorizations.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Impl::Entry entry;
+  entry.key = key;
+  entry.real = std::move(pencil);
+  return impl_->insert_locked(std::move(entry))->real;
+}
+
+std::shared_ptr<const ComplexPencilSolver> FactorCache::acquire_complex(
+    const PencilFingerprint& fp, Complex fs, const ComplexMaker& make,
+    bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  if (fault::active()) {
+    impl_->factorizations.fetch_add(1, std::memory_order_relaxed);
+    return make();
+  }
+  const Key ckey = complex_key(fp, fs);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (Impl::Entry* e = impl_->find_locked(ckey)) {
+      impl_->note_hit();
+      if (was_hit != nullptr) *was_hit = true;
+      return e->complex_;
+    }
+    if (fs.imag() == 0.0) {
+      // A purely real pencil value: adapt a cached real factorization at
+      // the canonical driver settings instead of refactoring.
+      for (const bool dense : {false, true}) {
+        PencilFactorOptions probe;
+        probe.shift = fs.real();
+        probe.ordering = Ordering::kRCM;
+        probe.zero_pivot_tol = kCanonicalZeroPivotTol;
+        probe.dense = dense;
+        if (Impl::Entry* e = impl_->find_locked(real_key(fp, probe))) {
+          impl_->note_hit();
+          if (was_hit != nullptr) *was_hit = true;
+          return std::make_shared<RealPencilAdapter>(e->real);
+        }
+      }
+    }
+  }
+  impl_->note_miss();
+  std::shared_ptr<const ComplexPencilSolver> solver = make();
+  impl_->factorizations.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Impl::Entry entry;
+  entry.key = ckey;
+  entry.complex_ = std::move(solver);
+  return impl_->insert_locked(std::move(entry))->complex_;
+}
+
+void FactorCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->lru.clear();
+  impl_->map.clear();
+}
+
+std::size_t FactorCache::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->lru.size();
+}
+
+std::size_t FactorCache::capacity() const { return impl_->capacity; }
+
+FactorCacheStats FactorCache::stats() const {
+  FactorCacheStats s;
+  s.hits = impl_->hits.load(std::memory_order_relaxed);
+  s.misses = impl_->misses.load(std::memory_order_relaxed);
+  s.evictions = impl_->evictions.load(std::memory_order_relaxed);
+  s.factorizations = impl_->factorizations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FactorCache::reset_stats() {
+  impl_->hits.store(0, std::memory_order_relaxed);
+  impl_->misses.store(0, std::memory_order_relaxed);
+  impl_->evictions.store(0, std::memory_order_relaxed);
+  impl_->factorizations.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sympvl

@@ -1,0 +1,124 @@
+// Bounded, thread-safe LRU cache of factorized pencils, shared by every
+// reduction driver, both sweep engines and the multipoint session.
+//
+// Motivation: a SyMPVL reduction, a follow-up exact AC validation, a
+// PVL p×p entry scan and a multipoint refinement loop all factor the
+// SAME pencil G + s₀C over and over. Factorization is the dominant cost
+// for large circuits; the cache turns the repeats into lookups.
+//
+// Keys: a value fingerprint of (G, C) — FNV-1a over dimensions, sparsity
+// pattern and values — plus the expansion point, ordering, zero-pivot
+// tolerance and backend (sparse/dense/complex). Two calls with equal
+// keys would factor bit-identical pencils, so a hit returns numerically
+// identical solves and determinism (1-thread vs N-thread bit-equality)
+// is preserved.
+//
+// Entries: real pencils cache the shared FactorizedPencil; complex AC
+// per-point pencils cache an opaque ComplexPencilSolver. A complex
+// request whose frequency point is purely real first probes the real
+// side and, on a hit, adapts the real M J Mᵀ factorization to complex
+// right-hand sides (two real blocked solves) — this is what makes
+// "SyMPVL at s₀ followed by an exact sweep at s₀" cost exactly one
+// factorization.
+//
+// Concurrency: lookups and insertions take one mutex; the factorization
+// itself (the maker callback) always runs OUTSIDE the lock, so
+// concurrent sweep threads never serialize on each other's numeric
+// work. Two threads racing on the same missing key both factor; one
+// result is inserted, and both receive a valid (identical-valued)
+// factorization.
+//
+// Fault injection: when any fault spec is armed (fault::active()), the
+// cache is bypassed entirely — never read, never written — so
+// fault-injection drills always exercise the real factorization path
+// and armed state cannot leak cached-clean results into a drill (or
+// poisoned results out of one).
+//
+// Observability: obs counters "factor_cache.hit" / "factor_cache.miss" /
+// "factor_cache.evict" (env-gated like all obs), plus an always-on
+// FactorCacheStats snapshot for benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "linalg/factorized_pencil.hpp"
+
+namespace sympvl {
+
+/// Value fingerprint of a (G, C) pencil pair: 64-bit FNV-1a over rows,
+/// colptr, rowind and values of each matrix. Compute once per system and
+/// reuse across acquisitions (an AC sweep fingerprints once, not per
+/// point).
+struct PencilFingerprint {
+  std::uint64_t g = 0;
+  std::uint64_t c = 0;
+};
+
+PencilFingerprint fingerprint_pencil(const SMat& g, const SMat& c);
+
+/// Always-on cache telemetry (monotonic since construction or the last
+/// reset_stats()).
+struct FactorCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Factorizations actually performed (misses plus fault-mode bypasses).
+  std::uint64_t factorizations = 0;
+};
+
+/// Opaque complex pencil solver cached for AC sweep points (backed by the
+/// FactorChainZ hot path, or by a real-factorization adapter).
+class ComplexPencilSolver {
+ public:
+  virtual ~ComplexPencilSolver() = default;
+  virtual CVec solve(const CVec& b) const = 0;
+  virtual CMat solve(const CMat& b) const = 0;
+};
+
+class FactorCache {
+ public:
+  explicit FactorCache(std::size_t capacity = 32);
+  ~FactorCache();
+  FactorCache(const FactorCache&) = delete;
+  FactorCache& operator=(const FactorCache&) = delete;
+
+  /// The process-wide default instance every driver and engine uses when
+  /// no explicit cache is supplied.
+  static FactorCache& global();
+
+  using RealMaker = std::function<std::shared_ptr<const FactorizedPencil>()>;
+  using ComplexMaker =
+      std::function<std::shared_ptr<const ComplexPencilSolver>()>;
+
+  /// Returns the cached factorization of the pencil identified by
+  /// (fingerprint, options), invoking `make` outside the lock on a miss.
+  /// Exceptions from `make` propagate; nothing is cached for failed
+  /// factorizations (a retry re-attempts). `was_hit`, when non-null,
+  /// reports whether the result came from the cache.
+  std::shared_ptr<const FactorizedPencil> acquire(
+      const PencilFingerprint& fp, const PencilFactorOptions& options,
+      const RealMaker& make, bool* was_hit = nullptr);
+
+  /// Complex acquisition for one AC sweep point at pencil value `fs`.
+  /// When fs is purely real, a cached REAL factorization at shift
+  /// fs.real() (canonical driver settings: RCM ordering, 1e-12 zero-pivot
+  /// tolerance, sparse or dense) is adapted instead of refactoring.
+  std::shared_ptr<const ComplexPencilSolver> acquire_complex(
+      const PencilFingerprint& fp, Complex fs, const ComplexMaker& make,
+      bool* was_hit = nullptr);
+
+  /// Drops every entry (stats are kept).
+  void clear();
+  std::size_t size() const;
+  std::size_t capacity() const;
+  FactorCacheStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sympvl

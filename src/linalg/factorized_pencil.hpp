@@ -1,0 +1,154 @@
+// First-class factorized shifted pencils.
+//
+// Every reduction driver and sweep engine in this library ultimately
+// works with the same object: the symmetric pencil A = G + s₀C factored
+// as A = M J Mᵀ with J = diag(±1) (eq. 15 / eq. 26 of the paper). This
+// header makes that object concrete:
+//
+//   * SymmetricOperator — the abstract operator interface the Lanczos
+//     process iterates with (replacing the former per-vector
+//     std::function closure), with a blocked multi-column apply;
+//   * FactorizedPencil — a factorization of G + s₀C that owns its
+//     backend (sparse unpivoted LDLᵀ, or the dense Bunch-Kaufman
+//     fallback), exposes the split M/J interface, plain and blocked
+//     A-solves (the blocked path routes through SparseLDLT's one-pass
+//     multi-RHS solve), the Krylov operator J⁻¹M⁻¹CM⁻ᵀ, and carries the
+//     FactorAttemptRecord recovery trail of how it was obtained.
+//
+// FactorizedPencil instances are immutable after construction and safe
+// to share across threads — the property FactorCache relies on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/dense_factor.hpp"
+#include "linalg/factor_chain.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_ldlt.hpp"
+
+namespace sympvl {
+
+/// Abstract symmetric operator applied by the Lanczos process
+/// (Op = J⁻¹M⁻¹CM⁻ᵀ for the paper's drivers; tests may supply anything
+/// symmetric w.r.t. the J-inner-product).
+class SymmetricOperator {
+ public:
+  virtual ~SymmetricOperator() = default;
+
+  /// y = Op·v.
+  virtual Vec apply(const Vec& v) const = 0;
+
+  /// Blocked form: applies Op to every column. The default loops over
+  /// columns (bit-identical to repeated apply()); concrete operators may
+  /// override with a genuinely blocked path.
+  virtual Mat apply_block(const Mat& v) const;
+};
+
+/// Adapts an arbitrary callable Vec(const Vec&) to the operator
+/// interface — for tests and ad-hoc operators; the library's own hot
+/// paths pass a FactorizedPencil directly.
+template <typename F>
+class CallableOperator final : public SymmetricOperator {
+ public:
+  explicit CallableOperator(F fn) : fn_(std::move(fn)) {}
+  Vec apply(const Vec& v) const override { return fn_(v); }
+
+ private:
+  F fn_;
+};
+
+template <typename F>
+CallableOperator(F) -> CallableOperator<F>;
+
+/// Assembles the shifted pencil G + shift·C (returns G itself for
+/// shift = 0 — no-copy semantics matter for fingerprint stability, so a
+/// copy is made regardless, but the sparsity pattern of G is preserved).
+SMat assemble_pencil(const SMat& g, const SMat& c, double shift);
+
+/// How to factor a pencil.
+struct PencilFactorOptions {
+  double shift = 0.0;                  ///< s₀ of the pencil G + s₀C
+  Ordering ordering = Ordering::kRCM;  ///< sparse pre-ordering
+  /// Relative zero-pivot threshold of the sparse LDLᵀ rung (the canonical
+  /// driver setting; AC per-point pencils use 0 through FactorChain
+  /// instead of this type).
+  double zero_pivot_tol = 1e-12;
+  /// Use the dense Bunch-Kaufman backend instead of the sparse LDLᵀ
+  /// (the last rung of the SyMPVL recovery ladder).
+  bool dense = false;
+};
+
+/// A factored symmetric pencil A = G + s₀C = M J Mᵀ.
+///
+/// Backends:
+///   * sparse (default): unpivoted SparseLDLT with M = PᵀL√|D| and
+///     J = sign(D);
+///   * dense: Bunch-Kaufman, M from its symmetric_factor() split, with
+///     two dense LU factorizations serving M⁻¹ and M⁻ᵀ.
+///
+/// As a SymmetricOperator it applies the paper's Krylov operator
+/// J⁻¹M⁻¹CM⁻ᵀ (step 3a of Algorithm 1).
+class FactorizedPencil final : public SymmetricOperator {
+ public:
+  /// Factors G + shift·C. Throws Error(kSingular) when the backend hits a
+  /// zero pivot (sparse) or a singular M (dense).
+  FactorizedPencil(const SMat& g, const SMat& c,
+                   const PencilFactorOptions& options);
+
+  Index size() const { return n_; }
+  double shift() const { return options_.shift; }
+  bool dense() const { return options_.dense; }
+  const PencilFactorOptions& options() const { return options_; }
+  const SMat& c_matrix() const { return c_; }
+
+  // ---- The split M/J interface (Lanczos starting block, eq. 16). ----
+  /// Diagonal of J as ±1 entries.
+  const Vec& j_signs() const { return j_; }
+  /// x = M⁻¹ b.
+  Vec solve_m(const Vec& b) const;
+  /// x = M⁻ᵀ b.
+  Vec solve_mt(const Vec& b) const;
+
+  // ---- Plain A-solves (PVL / Arnoldi / moment drivers). ----
+  /// x = A⁻¹ b. On the sparse backend this is the LDLᵀ solve verbatim
+  /// (same rounding as the pre-refactor drivers).
+  Vec solve(const Vec& b) const;
+  /// Blocked multi-RHS solve A X = B: one pass over the factor for all
+  /// columns on the sparse backend (SparseLDLT::solve(Matrix)).
+  Mat solve(const Mat& b) const;
+
+  // ---- The Krylov operator Op = J⁻¹M⁻¹CM⁻ᵀ. ----
+  Vec apply(const Vec& v) const override;
+
+  // ---- Recovery trail & telemetry. ----
+  /// The rungs attempted to obtain this factorization (filled by the
+  /// creating ladder; empty when constructed directly).
+  const std::vector<FactorAttemptRecord>& attempts() const {
+    return attempts_;
+  }
+  void set_attempts(std::vector<FactorAttemptRecord> attempts) {
+    attempts_ = std::move(attempts);
+  }
+
+  /// Sparse-factor telemetry (zeros on the dense backend).
+  Index l_nnz() const { return ldlt_ ? ldlt_->l_nnz() : 0; }
+  double fill_ratio() const { return ldlt_ ? ldlt_->fill_ratio() : 0.0; }
+  double flops() const { return ldlt_ ? ldlt_->flops() : 0.0; }
+  Index negative_j() const;
+
+ private:
+  Index n_ = 0;
+  PencilFactorOptions options_;
+  SMat c_;  // the C term, needed by the operator (and kept so the pencil
+            // cannot dangle when the caller's system dies)
+  // Sparse backend.
+  std::unique_ptr<LDLT> ldlt_;
+  // Dense backend: M from Bunch-Kaufman, LU factors of M and Mᵀ.
+  std::unique_ptr<LU> m_lu_, mt_lu_;
+  Vec j_;
+  std::vector<FactorAttemptRecord> attempts_;
+};
+
+}  // namespace sympvl

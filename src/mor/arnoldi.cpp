@@ -5,7 +5,7 @@
 
 #include "linalg/dense_factor.hpp"
 #include "linalg/eig.hpp"
-#include "linalg/sparse_ldlt.hpp"
+#include "mor/pencil.hpp"
 #include "mor/sympvl.hpp"
 
 namespace sympvl {
@@ -80,25 +80,16 @@ ArnoldiModel arnoldi_reduce(const MnaSystem& sys, const ArnoldiOptions& options)
           "arnoldi_reduce: order must be >= 1", {.stage = "arnoldi"});
   const Index p = sys.port_count();
 
-  double s0 = options.s0;
-  std::unique_ptr<LDLT> fact;
-  auto try_factor = [&](double shift) {
-    const SMat gt = (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
-    return std::make_unique<LDLT>(gt, options.ordering,
-                                  /*zero_pivot_tol=*/1e-12);
-  };
-  try {
-    fact = try_factor(s0);
-  } catch (const Error& ex) {
-    if (!(options.auto_shift && s0 == 0.0))
-      throw Error(ErrorCode::kSingular,
-                  std::string("arnoldi_reduce: factorization of G + s0*C "
-                              "failed and auto_shift cannot help: ") +
-                      ex.what(),
-                  {.stage = "arnoldi.factor", .value = s0});
-    s0 = automatic_shift(sys);
-    fact = try_factor(s0);
-  }
+  PencilFactorRequest req;
+  req.s0 = options.s0;
+  req.auto_shift = options.auto_shift;
+  req.ordering = options.ordering;
+  req.driver = "arnoldi_reduce";
+  req.stage = "arnoldi.factor";
+  req.cache = options.factor_cache;
+  PencilFactorResult outcome = factor_pencil(sys, req);
+  const std::shared_ptr<const FactorizedPencil> fact = outcome.pencil;
+  const double s0 = outcome.s0_used;
 
   // Block Arnoldi with modified Gram-Schmidt (applied twice) and deflation.
   std::vector<Vec> basis;
@@ -133,7 +124,7 @@ ArnoldiModel arnoldi_reduce(const MnaSystem& sys, const ArnoldiOptions& options)
           {.stage = "arnoldi.basis"});
 
   // Congruence projection of G̃ = G + s₀C and C.
-  const SMat gt = (s0 == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, s0);
+  const SMat gt = assemble_pencil(sys.G, sys.C, s0);
   Mat gr(n, n), cr(n, n), br(n, p);
   std::vector<Vec> gv(static_cast<size_t>(n)), cv(static_cast<size_t>(n));
   for (Index j = 0; j < n; ++j) {

@@ -20,9 +20,9 @@ Vec apply_j(const Vec& j, const Vec& x) {
 
 }  // namespace
 
-BandLanczos::BandLanczos(OperatorFn op, const Mat& start, Vec j_signs,
-                         const LanczosOptions& options)
-    : op_(std::move(op)),
+BandLanczos::BandLanczos(const SymmetricOperator& op, const Mat& start,
+                         Vec j_signs, const LanczosOptions& options)
+    : op_(&op),
       j_signs_(std::move(j_signs)),
       options_(options),
       big_n_(start.rows()),
@@ -240,7 +240,7 @@ bool BandLanczos::step() {
   if (static_cast<Index>(vs_.size()) + static_cast<Index>(cand_.size()) <=
       big_n_ + p_) {  // cheap guard; candidates beyond N always deflate
     Candidate next;
-    next.v = op_(vs_.back());
+    next.v = op_->apply(vs_.back());
     next.src = n_new;
     next.ref_norm = norm2(next.v);
     // 3b-3d: J-orthogonalize against closed clusters. With full
@@ -335,7 +335,7 @@ LanczosResult BandLanczos::result() const {
   return result;
 }
 
-LanczosResult band_lanczos(const OperatorFn& op, const Mat& start,
+LanczosResult band_lanczos(const SymmetricOperator& op, const Mat& start,
                            const Vec& j_signs, const LanczosOptions& options) {
   require(options.max_order >= 1, "band_lanczos: max_order must be >= 1");
   BandLanczos process(op, start, j_signs, options);

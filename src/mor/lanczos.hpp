@@ -23,18 +23,15 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "linalg/factorized_pencil.hpp"
 #include "mor/options.hpp"
 
 namespace sympvl {
-
-/// Abstract symmetric operator Op = J⁻¹M⁻¹CM⁻ᵀ applied by the process.
-using OperatorFn = std::function<Vec(const Vec&)>;
 
 /// Options of the raw Lanczos process. `deflation_tol` (step 1c) and
 /// `lookahead_tol` (cluster closes when min|λ(Δ^(γ))| exceeds it, step
@@ -91,10 +88,14 @@ struct LanczosResult {
 /// the matrices a fresh run_to(56) would.
 class BandLanczos {
  public:
-  /// `op` applies J⁻¹M⁻¹CM⁻ᵀ; `start` holds the p columns of J⁻¹M⁻¹B;
-  /// `j_signs` is the diagonal of J (entries ±1; all ones for the
-  /// positive-semi-definite RC/RL/LC cases of Section 5).
-  BandLanczos(OperatorFn op, const Mat& start, Vec j_signs,
+  /// `op` applies J⁻¹M⁻¹CM⁻ᵀ — a concrete SymmetricOperator (typically a
+  /// FactorizedPencil; wrap ad-hoc callables in CallableOperator), held by
+  /// reference: the caller keeps it alive for the process lifetime. No
+  /// per-vector std::function indirection remains on the step hot path.
+  /// `start` holds the p columns of J⁻¹M⁻¹B; `j_signs` is the diagonal of
+  /// J (entries ±1; all ones for the positive-semi-definite RC/RL/LC
+  /// cases of Section 5).
+  BandLanczos(const SymmetricOperator& op, const Mat& start, Vec j_signs,
               const LanczosOptions& options);
 
   /// Runs until `target` Lanczos vectors have been accepted (or the
@@ -133,7 +134,7 @@ class BandLanczos {
   void orthogonalize_against(Vec& w, Index src, const Cluster& cl);
   bool step();  // one accepted vector; false when exhausted
 
-  OperatorFn op_;
+  const SymmetricOperator* op_;  // non-owning; caller keeps it alive
   Vec j_signs_;
   LanczosOptions options_;
   Index big_n_ = 0;
@@ -154,7 +155,7 @@ class BandLanczos {
 };
 
 /// One-shot convenience wrapper (runs to options.max_order).
-LanczosResult band_lanczos(const OperatorFn& op, const Mat& start,
+LanczosResult band_lanczos(const SymmetricOperator& op, const Mat& start,
                            const Vec& j_signs, const LanczosOptions& options);
 
 }  // namespace sympvl

@@ -1,6 +1,6 @@
 #include "mor/moments.hpp"
 
-#include "linalg/sparse_ldlt.hpp"
+#include "mor/pencil.hpp"
 
 namespace sympvl {
 
@@ -8,12 +8,18 @@ std::vector<Mat> exact_moments(const MnaSystem& sys, Index count, double s0) {
   require(count >= 1, "exact_moments: count must be >= 1");
   const Index n = sys.size();
   const Index p = sys.port_count();
-  const SMat gt = (s0 == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, s0);
-  const LDLT fact(gt, Ordering::kRCM, /*zero_pivot_tol=*/1e-12);
+  PencilFactorRequest req;
+  req.s0 = s0;
+  req.auto_shift = false;
+  req.driver = "exact_moments";
+  req.stage = "moments.factor";
+  const std::shared_ptr<const FactorizedPencil> fact =
+      factor_pencil(sys.G, sys.C, req).pencil;
 
   // xcols starts as G̃⁻¹B and is advanced by G̃⁻¹C each step.
   std::vector<Vec> xcols(static_cast<size_t>(p));
-  for (Index j = 0; j < p; ++j) xcols[static_cast<size_t>(j)] = fact.solve(sys.B.col(j));
+  for (Index j = 0; j < p; ++j)
+    xcols[static_cast<size_t>(j)] = fact->solve(sys.B.col(j));
 
   std::vector<Mat> moments;
   moments.reserve(static_cast<size_t>(count));
@@ -30,7 +36,7 @@ std::vector<Mat> exact_moments(const MnaSystem& sys, Index count, double s0) {
     if (k + 1 < count)
       for (Index j = 0; j < p; ++j)
         xcols[static_cast<size_t>(j)] =
-            fact.solve(sys.C.multiply(xcols[static_cast<size_t>(j)]));
+            fact->solve(sys.C.multiply(xcols[static_cast<size_t>(j)]));
   }
   return moments;
 }

@@ -10,6 +10,8 @@
 
 namespace sympvl {
 
+class FactorCache;
+
 /// Options shared by all reduction drivers. Field names are stable API:
 /// existing call sites assign `opt.order`, `opt.s0`, … unchanged whether
 /// they hold a SympvlOptions, ArnoldiOptions, etc.
@@ -34,6 +36,9 @@ struct CommonReductionOptions {
   /// 0 = silent; >0 makes the run_* drivers print a recovery/diagnosis
   /// summary to stderr when anything non-nominal happened.
   int verbosity = 0;
+  /// Factorization cache the driver acquires its pencil factors through
+  /// (nullptr = the process-global FactorCache).
+  FactorCache* factor_cache = nullptr;
 };
 
 }  // namespace sympvl

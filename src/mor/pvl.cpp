@@ -1,12 +1,15 @@
 #include "mor/pvl.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "fault.hpp"
 #include "linalg/dense_factor.hpp"
-#include "linalg/sparse_ldlt.hpp"
+#include "mor/pencil.hpp"
 #include "mor/sympvl.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace sympvl {
 
@@ -53,25 +56,16 @@ PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
   const Index big_n = sys.size();
   if (diagnosis != nullptr) *diagnosis = LanczosDiagnosis{};
 
-  double s0 = options.s0;
-  std::unique_ptr<LDLT> fact;
-  auto try_factor = [&](double shift) {
-    const SMat gt = (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
-    return std::make_unique<LDLT>(gt, options.ordering,
-                                  /*zero_pivot_tol=*/1e-12);
-  };
-  try {
-    fact = try_factor(s0);
-  } catch (const Error& ex) {
-    if (!(options.auto_shift && s0 == 0.0))
-      throw Error(ErrorCode::kSingular,
-                  std::string("pvl_reduce_entry: factorization of G + s0*C "
-                              "failed and auto_shift cannot help: ") +
-                      ex.what(),
-                  {.stage = "pvl.factor", .value = s0});
-    s0 = automatic_shift(sys);
-    fact = try_factor(s0);
-  }
+  PencilFactorRequest req;
+  req.s0 = options.s0;
+  req.auto_shift = options.auto_shift;
+  req.ordering = options.ordering;
+  req.driver = "pvl_reduce_entry";
+  req.stage = "pvl.factor";
+  req.cache = options.factor_cache;
+  PencilFactorResult outcome = factor_pencil(sys, req);
+  const std::shared_ptr<const FactorizedPencil> fact = outcome.pencil;
+  const double s0 = outcome.s0_used;
 
   // A = G̃⁻¹C applied on the right; Aᵀ = CG̃⁻ᵀ = CG̃⁻¹ (G̃ symmetric) on the
   // left Krylov space.
@@ -165,11 +159,34 @@ PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
 std::vector<PvlModel> pvl_reduce_all(const MnaSystem& sys,
                                      const PvlOptions& options) {
   const Index p = sys.port_count();
+
+  // Z(s) = Zᵀ(s) for the symmetric pencils of Section 2 (G, C symmetric):
+  // the (i,j) and (j,i) Padé approximants match the same moments, so only
+  // the p(p+1)/2 upper-triangle entries are reduced — fanned over the
+  // thread pool — and the strict lower triangle mirrors them.
+  std::vector<std::pair<Index, Index>> pairs;
+  pairs.reserve(static_cast<size_t>(p * (p + 1) / 2));
+  for (Index i = 0; i < p; ++i)
+    for (Index j = i; j < p; ++j) pairs.emplace_back(i, j);
+
+  std::vector<PvlModel> slots(static_cast<size_t>(p * p));
+  // Warm the shared factorization cache serially: the first entry pays the
+  // one factorization, the parallel fan-out then hits the cache instead of
+  // racing p(p+1)/2 duplicate factorizations.
+  slots[0] = pvl_reduce_entry(sys, pairs[0].first, pairs[0].second, options);
+  parallel_for(Index{1}, static_cast<Index>(pairs.size()), [&](Index k) {
+    const auto [i, j] = pairs[static_cast<size_t>(k)];
+    slots[static_cast<size_t>(i * p + j)] = pvl_reduce_entry(sys, i, j, options);
+  });
+
   std::vector<PvlModel> models;
   models.reserve(static_cast<size_t>(p * p));
   for (Index i = 0; i < p; ++i)
-    for (Index j = 0; j < p; ++j)
-      models.push_back(pvl_reduce_entry(sys, i, j, options));
+    for (Index j = 0; j < p; ++j) {
+      const size_t upper =
+          static_cast<size_t>(std::min(i, j) * p + std::max(i, j));
+      models.push_back(slots[upper]);
+    }
   return models;
 }
 

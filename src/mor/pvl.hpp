@@ -53,8 +53,11 @@ PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
                           const PvlOptions& options,
                           LanczosDiagnosis* diagnosis = nullptr);
 
-/// Runs p² PVL reductions, one per Z entry. Returns models in row-major
-/// order; entry (i, j) at index i*p+j.
+/// Reduces every Z entry. Z = Zᵀ for the symmetric pencils of Section 2,
+/// so only the p(p+1)/2 upper-triangle entries run (fanned over the
+/// thread pool, sharing one cached pencil factorization); the lower
+/// triangle mirrors them. Returns p² models in row-major order; entry
+/// (i, j) at index i*p+j.
 std::vector<PvlModel> pvl_reduce_all(const MnaSystem& sys,
                                      const PvlOptions& options);
 

@@ -3,32 +3,42 @@
 #include <cmath>
 #include <memory>
 
-#include "linalg/sparse_ldlt.hpp"
+#include "linalg/factor_cache.hpp"
 #include "linalg/sparse_lu.hpp"
+#include "mor/pencil.hpp"
 
 namespace sympvl {
 
 namespace {
 
-// Shifted solver: (G + s₀C)⁻¹ via LDLᵀ with a pivoted-LU fallback.
+// Shifted solver: (G + s₀C)⁻¹ — symmetric LDLᵀ acquired through the
+// shared FactorCache (a multipoint run revisiting a shift, or a SyMPVL
+// run at the same point, reuses the factorization), with an uncached
+// pivoted-LU fallback for pencils the unpivoted LDLᵀ cannot handle.
 class ShiftedSolver {
  public:
-  ShiftedSolver(const MnaSystem& sys, double shift) {
-    const SMat gt =
-        (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
+  ShiftedSolver(const MnaSystem& sys, double shift, FactorCache* cache) {
+    PencilFactorOptions opt;
+    opt.shift = shift;
     try {
-      ldlt_ = std::make_unique<LDLT>(gt, Ordering::kRCM,
-                                     /*zero_pivot_tol=*/1e-12);
+      FactorCache& c = cache != nullptr ? *cache : FactorCache::global();
+      const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+      pencil_ = c.acquire(fp, opt, [&] {
+        return std::make_shared<const FactorizedPencil>(sys.G, sys.C, opt);
+      });
     } catch (const Error&) {
+      const SMat gt = assemble_pencil(sys.G, sys.C, shift);
       lu_ = std::make_unique<LUSparse>(gt, Ordering::kRCM,
                                        /*pivot_threshold=*/1.0,
                                        /*zero_pivot_tol=*/1e-12);
     }
   }
-  Vec solve(const Vec& b) const { return ldlt_ ? ldlt_->solve(b) : lu_->solve(b); }
+  Vec solve(const Vec& b) const {
+    return pencil_ ? pencil_->solve(b) : lu_->solve(b);
+  }
 
  private:
-  std::unique_ptr<LDLT> ldlt_;
+  std::shared_ptr<const FactorizedPencil> pencil_;
   std::unique_ptr<LUSparse> lu_;
 };
 
@@ -47,7 +57,7 @@ ArnoldiModel rational_reduce(const MnaSystem& sys,
   std::vector<Vec> basis;
   for (double shift : options.shifts) {
     require(shift >= 0.0, "rational_reduce: shifts must be real and >= 0");
-    const ShiftedSolver solver(sys, shift);
+    const ShiftedSolver solver(sys, shift, options.factor_cache);
     std::vector<Vec> block;
     for (Index j = 0; j < p; ++j) block.push_back(solver.solve(sys.B.col(j)));
     for (Index it = 0; it < options.iterations_per_shift; ++it) {

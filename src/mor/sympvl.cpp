@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "circuit/topology.hpp"
-#include "linalg/dense_factor.hpp"
+#include "mor/pencil.hpp"
 #include "obs/obs.hpp"
 
 namespace sympvl {
@@ -18,146 +18,7 @@ double seconds_since(const std::chrono::steady_clock::time_point& t0) {
       .count();
 }
 
-// Abstracts the two factorization back-ends behind the M/J interface the
-// Lanczos operator needs.
-struct SymmetricFactor {
-  virtual ~SymmetricFactor() = default;
-  virtual Vec solve_m(const Vec& b) const = 0;   // M⁻¹ b
-  virtual Vec solve_mt(const Vec& b) const = 0;  // M⁻ᵀ b
-  virtual const Vec& j_signs() const = 0;
-  /// Copies back-end telemetry (fill, flops) into the report.
-  virtual void fill_stats(SympvlReport& report) const { (void)report; }
-};
-
-struct SparseFactor final : SymmetricFactor {
-  explicit SparseFactor(const SMat& g, Ordering ordering)
-      : ldlt(g, ordering, /*zero_pivot_tol=*/1e-12), j(ldlt.j_signs()) {}
-  Vec solve_m(const Vec& b) const override { return ldlt.solve_m(b); }
-  Vec solve_mt(const Vec& b) const override { return ldlt.solve_mt(b); }
-  const Vec& j_signs() const override { return j; }
-  void fill_stats(SympvlReport& report) const override {
-    report.factor_nnz_l = ldlt.l_nnz();
-    report.factor_fill_ratio = ldlt.fill_ratio();
-    report.factor_flops = ldlt.flops();
-  }
-  LDLT ldlt;
-  Vec j;
-};
-
-struct DenseFactor final : SymmetricFactor {
-  explicit DenseFactor(const Mat& g) : bk(g) {
-    Mat m;
-    bk.symmetric_factor(m, j);
-    lu = std::make_unique<LU>(m);
-    require(!lu->singular(), ErrorCode::kSingular,
-            "sympvl: dense symmetric factor is singular",
-            ErrorContext{.stage = "sympvl.dense_factor"});
-    mt_lu = std::make_unique<LU>(m.transpose());
-  }
-  Vec solve_m(const Vec& b) const override { return lu->solve(b); }
-  Vec solve_mt(const Vec& b) const override { return mt_lu->solve(b); }
-  const Vec& j_signs() const override { return j; }
-  BunchKaufman bk;
-  std::unique_ptr<LU> lu, mt_lu;
-  Vec j;
-};
-
-struct FactorOutcome {
-  std::unique_ptr<SymmetricFactor> factor;
-  double s0 = 0.0;
-  bool dense = false;
-};
-
-// The SyMPVL factorization ladder (the M/J analogue of FactorChain, which
-// cannot serve here because the Lanczos operator needs the split
-// M J Mᵀ form, not a plain solve):
-//   1. sparse LDLᵀ at the requested s₀;
-//   2. sparse LDLᵀ at the automatic shift (when s₀ = 0 and auto enabled);
-//   3. sparse LDLᵀ at jittered shifts around the base (eq. 26 retries);
-//   4. dense Bunch-Kaufman at the last shift.
-// Every attempt is recorded; throws Error(kSingular) with the history
-// when even the dense rung fails.
-FactorOutcome factor_with_recovery(const SMat& g, const SMat& c,
-                                   double s0_request, bool auto_shift,
-                                   double auto_s0, Ordering ordering,
-                                   std::vector<FactorAttemptRecord>* attempts) {
-  auto assemble = [&](double shift) -> SMat {
-    return (shift == 0.0) ? g : SMat::add(g, 1.0, c, shift);
-  };
-
-  std::vector<double> shifts{s0_request};
-  if (auto_shift) {
-    if (s0_request == 0.0 && auto_s0 != 0.0) shifts.push_back(auto_s0);
-    double base = (auto_s0 != 0.0) ? std::abs(auto_s0) : std::abs(s0_request);
-    if (base == 0.0) base = 1.0;
-    for (double s : shift_ladder(base, 4)) shifts.push_back(s);
-  }
-
-  for (double s : shifts) {
-    FactorAttemptRecord rec;
-    rec.method = "ldlt";
-    rec.shift = s;
-    try {
-      auto factor = std::make_unique<SparseFactor>(assemble(s), ordering);
-      rec.success = true;
-      attempts->push_back(std::move(rec));
-      return {std::move(factor), s, false};
-    } catch (const Error& e) {
-      rec.code = e.code();
-      rec.detail = e.what();
-      attempts->push_back(std::move(rec));
-    }
-  }
-
-  // Dense fallback at the shift the sparse path settled on: the requested
-  // one, or the automatic one when the request was 0 and auto is enabled.
-  const double s_dense = (s0_request == 0.0 && auto_shift && auto_s0 != 0.0)
-                             ? auto_s0
-                             : s0_request;
-  obs::instant("sympvl.dense_fallback", {obs::arg("n", g.rows())});
-  FactorAttemptRecord rec;
-  rec.method = "dense_bk";
-  rec.shift = s_dense;
-  try {
-    auto factor = std::make_unique<DenseFactor>(assemble(s_dense).to_dense());
-    rec.success = true;
-    attempts->push_back(std::move(rec));
-    return {std::move(factor), s_dense, true};
-  } catch (const Error& e) {
-    rec.code = e.code();
-    rec.detail = e.what();
-    attempts->push_back(std::move(rec));
-    std::string history;
-    for (const FactorAttemptRecord& a : *attempts) {
-      if (!history.empty()) history += "; ";
-      history += a.method + "(s0=" + std::to_string(a.shift) + "): " + a.detail;
-    }
-    ErrorContext ctx;
-    ctx.stage = "sympvl.factor";
-    ctx.index = static_cast<Index>(attempts->size());
-    throw Error(ErrorCode::kSingular,
-                "sympvl: every factorization attempt failed [" + history + "]",
-                std::move(ctx));
-  }
-}
-
 }  // namespace
-
-double automatic_shift(const MnaSystem& sys) {
-  // Scale ratio of the pencil terms: s₀ ≈ Σ|diag G| / Σ|diag C| lands in
-  // the frequency range where G + s₀C is balanced (and, for PSD G and C
-  // with s₀ > 0, nonsingular whenever the pencil is regular).
-  double sg = 0.0, sc = 0.0;
-  for (Index i = 0; i < sys.size(); ++i) {
-    sg += std::abs(sys.G.coeff(i, i));
-    sc += std::abs(sys.C.coeff(i, i));
-  }
-  require(sc > 0.0, ErrorCode::kInvalidArgument,
-          "automatic_shift: C has an empty diagonal",
-          ErrorContext{.stage = "sympvl.auto_shift"});
-  if (sg == 0.0) return 1.0;
-  return sg / sc;
-}
 
 // ---- SympvlSession ---------------------------------------------------------
 
@@ -173,32 +34,37 @@ struct SympvlSession::Impl {
   double s0 = 0.0;
   SympvlOptions options;
   Index target_order = 0;  // latest order the caller asked for
-  std::unique_ptr<SymmetricFactor> factor;
+  std::shared_ptr<const FactorizedPencil> pencil;  // cache-shared, immutable
   std::unique_ptr<BandLanczos> lanczos;
   Mat exact_moment0;  // p×p exact 0th moment Bᵀ(G+s₀C)⁻¹B = startᵀJ·start
   SympvlReport report;
+
+  void absorb_factor_result(PencilFactorResult outcome) {
+    pencil = std::move(outcome.pencil);
+    s0 = outcome.s0_used;
+    report.s0_used = outcome.s0_used;
+    report.used_dense_fallback = outcome.dense;
+    for (FactorAttemptRecord& rec : outcome.attempts)
+      report.factor_attempts.push_back(std::move(rec));
+    report.factor_nnz_l = pencil->l_nnz();
+    report.factor_fill_ratio = pencil->fill_ratio();
+    report.factor_flops = pencil->flops();
+  }
 
   // Builds the starting block J⁻¹M⁻¹B, the exact 0th moment and a fresh
   // Lanczos process from the current factorization. Used at construction
   // and again by reshift().
   void build_process() {
     const auto t_start = std::chrono::steady_clock::now();
-    const Vec& j = factor->j_signs();
-    report.negative_j = 0;
-    for (double jk : j)
-      if (jk < 0.0) ++report.negative_j;
+    const Vec& j = pencil->j_signs();
+    report.negative_j = pencil->negative_j();
 
     const Index n_full = g_matrix.rows();
-    Mat start(n_full, b_matrix.cols());
+    Mat start;
     {
       obs::ScopedTimer span("sympvl.start_block");
       span.arg("ports", b_matrix.cols());
-      for (Index col = 0; col < b_matrix.cols(); ++col) {
-        Vec v = factor->solve_m(b_matrix.col(col));
-        for (Index i = 0; i < n_full; ++i)
-          v[static_cast<size_t>(i)] *= j[static_cast<size_t>(i)];
-        start.set_col(col, v);
-      }
+      start = starting_block(*pencil, b_matrix);
     }
     // Exact 0th moment about s₀: startᵀJ·start = Bᵀ(G+s₀C)⁻¹B (J² = I),
     // the reference for the report's moment-match residual.
@@ -211,23 +77,14 @@ struct SympvlSession::Impl {
     }
     report.start_block_seconds += seconds_since(t_start);
 
-    Impl* impl = this;  // stable address, captured by the operator
-    OperatorFn op = [impl](const Vec& v) {
-      Vec w = impl->factor->solve_mt(v);
-      w = impl->c_matrix.multiply(w);
-      w = impl->factor->solve_m(w);
-      const Vec& jj = impl->factor->j_signs();
-      for (size_t i = 0; i < w.size(); ++i) w[i] *= jj[i];
-      return w;
-    };
-
     LanczosOptions lopt;
     lopt.max_order = target_order;
     lopt.deflation_tol = options.deflation_tol;
     lopt.lookahead_tol = options.lookahead_tol;
     lopt.full_reorthogonalization = options.full_reorthogonalization;
     lopt.max_cluster_size = options.max_cluster_size;
-    lanczos = std::make_unique<BandLanczos>(std::move(op), start, j, lopt);
+    // The pencil IS the operator J⁻¹M⁻¹CM⁻ᵀ — no per-vector closure.
+    lanczos = std::make_unique<BandLanczos>(*pencil, start, j, lopt);
   }
 
   void run_lanczos_to(Index target) {
@@ -283,37 +140,30 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
   impl_->options = options;
   impl_->target_order = options.order;
 
-  // ---- Factor G + s₀C = M J Mᵀ (eq. 15 / eq. 26) through the ladder. ----
+  // ---- Factor G + s₀C = M J Mᵀ (eq. 15 / eq. 26) through the shared
+  //      ladder and cache. ----
   const auto t_factor = std::chrono::steady_clock::now();
-  double auto_s0 = 0.0;
-  if (options.auto_shift) {
-    try {
-      auto_s0 = automatic_shift(sys);
-    } catch (const Error&) {
-      // C has an empty diagonal — no automatic shift available; the
-      // ladder degrades to the requested shift plus the dense rung.
-    }
-  }
-  FactorOutcome outcome;
+  PencilFactorRequest req;
+  req.s0 = options.s0;
+  req.auto_shift = options.auto_shift;
+  req.ordering = options.ordering;
+  req.full_ladder = true;
+  req.allow_dense = true;
+  req.driver = "sympvl";
+  req.stage = "sympvl.factor";
+  req.cache = options.factor_cache;
+  PencilFactorResult outcome;
   {
     obs::ScopedTimer span("sympvl.factor");
     span.arg("n", sys.size());
-    outcome = factor_with_recovery(sys.G, sys.C, options.s0,
-                                   options.auto_shift, auto_s0,
-                                   options.ordering,
-                                   &impl_->report.factor_attempts);
+    outcome = factor_pencil(sys, req);
     span.arg("dense_fallback", outcome.dense ? 1.0 : 0.0);
-    span.arg("s0", outcome.s0);
-    span.arg("attempts",
-             static_cast<Index>(impl_->report.factor_attempts.size()));
+    span.arg("s0", outcome.s0_used);
+    span.arg("attempts", static_cast<Index>(outcome.attempts.size()));
   }
-  impl_->s0 = outcome.s0;
-  impl_->factor = std::move(outcome.factor);
-  impl_->report.s0_used = outcome.s0;
-  impl_->report.used_dense_fallback = outcome.dense;
+  impl_->absorb_factor_result(std::move(outcome));
   impl_->report.recovered = impl_->report.factor_attempts.size() > 1;
   impl_->report.factor_seconds = seconds_since(t_factor);
-  impl_->factor->fill_stats(impl_->report);
 
   // ---- Starting block, operator and the Lanczos run (steps 0-3). ----
   impl_->build_process();
@@ -338,26 +188,26 @@ ReducedModel SympvlSession::extend(Index additional) {
 ReducedModel SympvlSession::reshift(double new_s0) {
   Impl* impl = impl_.get();
   const auto t_factor = std::chrono::steady_clock::now();
-  std::vector<FactorAttemptRecord> attempts;
-  FactorOutcome outcome;
+  PencilFactorRequest req;
+  req.s0 = new_s0;
+  // The caller chose the shift: no automatic ladder, but the dense rung
+  // still backstops it.
+  req.auto_shift = false;
+  req.ordering = impl->options.ordering;
+  req.full_ladder = true;
+  req.allow_dense = true;
+  req.driver = "sympvl";
+  req.stage = "sympvl.factor";
+  req.cache = impl->options.factor_cache;
+  PencilFactorResult outcome;
   {
     obs::ScopedTimer span("sympvl.reshift");
     span.arg("s0", new_s0);
     span.arg("previous_s0", impl->s0);
-    // The caller chose the shift: no automatic ladder, but the dense rung
-    // still backstops it.
-    outcome = factor_with_recovery(impl->g_matrix, impl->c_matrix, new_s0,
-                                   /*auto_shift=*/false, 0.0,
-                                   impl->options.ordering, &attempts);
+    outcome = factor_pencil(impl->g_matrix, impl->c_matrix, req);
   }
-  impl->factor = std::move(outcome.factor);
-  impl->s0 = outcome.s0;
-  impl->report.s0_used = outcome.s0;
-  impl->report.used_dense_fallback = outcome.dense;
+  impl->absorb_factor_result(std::move(outcome));
   impl->report.factor_seconds += seconds_since(t_factor);
-  impl->factor->fill_stats(impl->report);
-  for (FactorAttemptRecord& rec : attempts)
-    impl->report.factor_attempts.push_back(std::move(rec));
   ++impl->report.shift_retries;
   impl->report.recovered = true;
 

@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "fault.hpp"
-#include "linalg/sparse_ldlt.hpp"
+#include "mor/pencil.hpp"
 
 namespace sympvl {
 
@@ -16,53 +16,25 @@ ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
   require(options.order >= 1, ErrorCode::kInvalidArgument,
           "sypvl_reduce: order must be >= 1", {.stage = "sypvl"});
 
-  // Factor G + s₀C = M J Mᵀ (sparse path only; SyPVL predates the dense
-  // fallback and the circuits it targets are always sparse). Attempts are
-  // recorded into the report's recovery trail like the SyMPVL ladder.
-  double s0 = options.s0;
-  std::vector<FactorAttemptRecord> attempts;
-  std::unique_ptr<LDLT> fact;
-  auto try_factor = [&](double shift) {
-    FactorAttemptRecord rec;
-    rec.method = "ldlt";
-    rec.shift = shift;
-    try {
-      const SMat gt =
-          (shift == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, shift);
-      auto f = std::make_unique<LDLT>(gt, options.ordering,
-                                      /*zero_pivot_tol=*/1e-12);
-      rec.success = true;
-      attempts.push_back(rec);
-      return f;
-    } catch (const Error& ex) {
-      rec.code = ex.code();
-      rec.detail = ex.what();
-      attempts.push_back(rec);
-      throw;
-    }
-  };
-  try {
-    fact = try_factor(s0);
-  } catch (const Error& ex) {
-    if (!(options.auto_shift && s0 == 0.0))
-      throw Error(ErrorCode::kSingular,
-                  std::string("sypvl_reduce: factorization of G + s0*C failed "
-                              "and auto_shift cannot help: ") +
-                      ex.what(),
-                  {.stage = "sypvl.factor", .value = s0});
-    s0 = automatic_shift(sys);
-    fact = try_factor(s0);
-  }
-  const Vec j = fact->j_signs();
+  // Factor G + s₀C = M J Mᵀ through the shared cache (sparse path only;
+  // SyPVL predates the dense fallback and the circuits it targets are
+  // always sparse). Attempts land in the report's recovery trail like the
+  // SyMPVL ladder.
+  PencilFactorRequest req;
+  req.s0 = options.s0;
+  req.auto_shift = options.auto_shift;
+  req.ordering = options.ordering;
+  req.driver = "sypvl_reduce";
+  req.stage = "sypvl.factor";
+  req.cache = options.factor_cache;
+  PencilFactorResult outcome = factor_pencil(sys, req);
+  const std::shared_ptr<const FactorizedPencil> fact = outcome.pencil;
+  const double s0 = outcome.s0_used;
+  const std::vector<FactorAttemptRecord>& attempts = outcome.attempts;
+  const Vec& j = fact->j_signs();
   const Index big_n = sys.size();
 
-  auto apply_op = [&](const Vec& v) {
-    Vec w = fact->solve_mt(v);
-    w = sys.C.multiply(w);
-    w = fact->solve_m(w);
-    for (size_t i = 0; i < w.size(); ++i) w[i] *= j[i];
-    return w;
-  };
+  auto apply_op = [&](const Vec& v) { return fact->apply(v); };
 
   const Index n_max = std::min(options.order, big_n);
   Mat t(n_max, n_max);

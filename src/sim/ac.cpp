@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "linalg/factor_cache.hpp"
 #include "linalg/factor_chain.hpp"
 #include "linalg/sparse_ldlt.hpp"
 #include "linalg/sparse_lu.hpp"
@@ -51,6 +52,22 @@ class PencilSolver {
   FactorChainZ chain_;
 };
 
+// Cacheable wrapper: the per-point PencilSolver behind the FactorCache's
+// opaque complex-solver interface. Solves are const with call-local
+// workspaces, so one cached instance may serve concurrent sweep threads.
+class AcPointSolver final : public ComplexPencilSolver {
+ public:
+  explicit AcPointSolver(const CSMat& pencil) : solver_(pencil) {}
+  AcPointSolver(const CSMat& pencil,
+                const std::shared_ptr<const LdltSymbolic>& symbolic)
+      : solver_(pencil, symbolic) {}
+  CVec solve(const CVec& b) const override { return solver_.solve(b); }
+  CMat solve(const CMat& b) const override { return solver_.solve(b); }
+
+ private:
+  PencilSolver solver_;
+};
+
 // Complex copy of the real port incidence B (the multi-RHS block).
 CMat port_rhs(const MnaSystem& sys) {
   const Index n = sys.size();
@@ -65,9 +82,13 @@ CMat port_rhs(const MnaSystem& sys) {
 
 CMat ac_z_matrix(const MnaSystem& sys, Complex s) {
   require(sys.port_count() > 0, "ac_z_matrix: system has no ports");
-  const CSMat pencil = pencil_combine(sys.G, sys.C, sys.map_s(s));
-  const PencilSolver fact(pencil);
-  const CMat x = fact.solve(port_rhs(sys));
+  const Complex fs = sys.map_s(s);
+  const auto fact = FactorCache::global().acquire_complex(
+      fingerprint_pencil(sys.G, sys.C), fs, [&] {
+        return std::make_shared<const AcPointSolver>(
+            pencil_combine(sys.G, sys.C, fs));
+      });
+  const CMat x = fact->solve(port_rhs(sys));
   CMat z = matmul_transA(sys.B, x);
   z *= sys.prefactor(s);
   return z;
@@ -111,6 +132,8 @@ struct AcSweepEngine::Impl {
   std::vector<Index> g_slot, c_slot;
   std::shared_ptr<const LdltSymbolic> symbolic;
   CMat b_complex;  // complex copy of B, the shared multi-RHS block
+  FactorCache* cache = nullptr;   // never null after construction
+  PencilFingerprint fingerprint;  // of (G, C), computed once
 
   CSMat assemble(Complex fs) const {
     CVec values(pat_rowind.size(), Complex(0.0, 0.0));
@@ -126,9 +149,12 @@ struct AcSweepEngine::Impl {
   }
 };
 
-AcSweepEngine::AcSweepEngine(const MnaSystem& sys) : impl_(std::make_unique<Impl>()) {
+AcSweepEngine::AcSweepEngine(const MnaSystem& sys, FactorCache* cache)
+    : impl_(std::make_unique<Impl>()) {
   require(sys.port_count() > 0, "AcSweepEngine: system has no ports");
   impl_->sys = sys;
+  impl_->cache = cache != nullptr ? cache : &FactorCache::global();
+  impl_->fingerprint = fingerprint_pencil(sys.G, sys.C);
   // Union pattern: all G entries plus all C entries (unit weights so no
   // accidental cancellation drops an entry).
   const Index n = sys.size();
@@ -174,9 +200,17 @@ CMat AcSweepEngine::z_at(Complex s) const {
   // Everything mutable (pencil values, factor, solution block) is local to
   // this call, which is what makes the sweep below thread-safe: each
   // thread refactorizes its own frequency points against the shared
-  // read-only symbolic analysis.
-  const PencilSolver fact(impl_->assemble(sys.map_s(s)), impl_->symbolic);
-  const CMat x = fact.solve(impl_->b_complex);
+  // read-only symbolic analysis. The factorization itself is acquired
+  // through the cache — revisited points (and purely real points already
+  // factored by a reduction driver) skip the refactorization; cached
+  // solvers are immutable, so sharing them across threads is safe.
+  const Complex fs = sys.map_s(s);
+  const auto fact = impl_->cache->acquire_complex(
+      impl_->fingerprint, fs, [&] {
+        return std::make_shared<const AcPointSolver>(impl_->assemble(fs),
+                                                     impl_->symbolic);
+      });
+  const CMat x = fact->solve(impl_->b_complex);
   CMat z = matmul_transA(sys.B, x);
   z *= sys.prefactor(s);
   return z;

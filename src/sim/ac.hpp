@@ -15,6 +15,8 @@
 
 namespace sympvl {
 
+class FactorCache;
+
 /// Exact physical Z(s) = s^prefactor · Bᵀ (G + f(s)C)⁻¹ B at one complex
 /// frequency point.
 CMat ac_z_matrix(const MnaSystem& sys, Complex s);
@@ -43,9 +45,16 @@ Vec linear_frequency_grid(double f_min, double f_max, Index count);
 /// numeric refactorization — the standard way production circuit
 /// simulators run AC sweeps. Falls back to the pivoted sparse LU at points
 /// where the unpivoted path hits a zero pivot.
+///
+/// Every per-point factorization is acquired through the FactorCache
+/// (`cache`; nullptr = the process-global instance): revisiting a
+/// frequency point is a lookup, and a purely real point whose pencil a
+/// reduction driver already factored (same s₀) reuses that real M J Mᵀ
+/// factorization instead of refactoring — zero extra factorizations for
+/// "reduce at s₀, then validate exactly at s₀".
 class AcSweepEngine {
  public:
-  explicit AcSweepEngine(const MnaSystem& sys);
+  explicit AcSweepEngine(const MnaSystem& sys, FactorCache* cache = nullptr);
   ~AcSweepEngine();
   AcSweepEngine(AcSweepEngine&&) noexcept;
   AcSweepEngine& operator=(AcSweepEngine&&) noexcept;

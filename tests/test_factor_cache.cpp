@@ -1,0 +1,386 @@
+#include "linalg/factor_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "fault.hpp"
+#include "gen/package.hpp"
+#include "gen/peec.hpp"
+#include "gen/random_circuit.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "mor/arnoldi.hpp"
+#include "mor/lanczos.hpp"
+#include "mor/pencil.hpp"
+#include "mor/pvl.hpp"
+#include "mor/sympvl.hpp"
+#include "mor/sypvl.hpp"
+#include "obs/obs.hpp"
+#include "sim/ac.hpp"
+
+namespace sympvl {
+namespace {
+
+double rel_err(const CMat& a, const CMat& b) {
+  double num = 0.0, den = 0.0;
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j) {
+      num = std::max(num, std::abs(a(i, j) - b(i, j)));
+      den = std::max(den, std::abs(b(i, j)));
+    }
+  return num / (den + 1e-300);
+}
+
+MnaSystem small_rc() {
+  return build_mna(random_rc({.nodes = 40, .ports = 2, .seed = 11}));
+}
+
+FactorCache::RealMaker maker_for(const MnaSystem& sys,
+                                 const PencilFactorOptions& opt) {
+  return [&sys, opt] {
+    return std::make_shared<const FactorizedPencil>(sys.G, sys.C, opt);
+  };
+}
+
+TEST(FactorCache, MissThenHitReturnsSameFactorization) {
+  const MnaSystem sys = small_rc();
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  FactorCache cache(4);
+  PencilFactorOptions opt;
+  opt.shift = 1e9;
+
+  bool hit = true;
+  const auto a = cache.acquire(fp, opt, maker_for(sys, opt), &hit);
+  EXPECT_FALSE(hit);
+  const auto b = cache.acquire(fp, opt, maker_for(sys, opt), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a.get(), b.get());  // the same shared factorization
+
+  const FactorCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.factorizations, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FactorCache, DistinctKeysDistinctEntries) {
+  const MnaSystem sys = small_rc();
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  FactorCache cache(8);
+  PencilFactorOptions a;
+  a.shift = 0.0;
+  PencilFactorOptions b;
+  b.shift = 2e9;
+  PencilFactorOptions c;
+  c.shift = 0.0;
+  c.ordering = Ordering::kNatural;
+  cache.acquire(fp, a, maker_for(sys, a));
+  cache.acquire(fp, b, maker_for(sys, b));
+  cache.acquire(fp, c, maker_for(sys, c));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(FactorCache, LruEvictionDropsOldest) {
+  const MnaSystem sys = small_rc();
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  FactorCache cache(2);
+  auto opt_at = [](double s0) {
+    PencilFactorOptions o;
+    o.shift = s0;
+    return o;
+  };
+  for (double s0 : {1e8, 2e8, 3e8}) {  // 1e8 falls off the back
+    const auto o = opt_at(s0);
+    cache.acquire(fp, o, maker_for(sys, o));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  bool hit = false;
+  auto o3 = opt_at(3e8);
+  cache.acquire(fp, o3, maker_for(sys, o3), &hit);
+  EXPECT_TRUE(hit);  // most recent survives
+  auto o1 = opt_at(1e8);
+  cache.acquire(fp, o1, maker_for(sys, o1), &hit);
+  EXPECT_FALSE(hit);  // the evicted entry is gone
+}
+
+TEST(FactorCache, TouchRefreshesLruOrder) {
+  const MnaSystem sys = small_rc();
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  FactorCache cache(2);
+  auto opt_at = [](double s0) {
+    PencilFactorOptions o;
+    o.shift = s0;
+    return o;
+  };
+  const auto o1 = opt_at(1e8), o2 = opt_at(2e8), o3 = opt_at(3e8);
+  cache.acquire(fp, o1, maker_for(sys, o1));
+  cache.acquire(fp, o2, maker_for(sys, o2));
+  cache.acquire(fp, o1, maker_for(sys, o1));  // touch: 1e8 becomes MRU
+  cache.acquire(fp, o3, maker_for(sys, o3));  // evicts 2e8, not 1e8
+  bool hit = false;
+  cache.acquire(fp, o1, maker_for(sys, o1), &hit);
+  EXPECT_TRUE(hit);
+  cache.acquire(fp, o2, maker_for(sys, o2), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(FactorCache, FingerprintDistinguishesValueChanges) {
+  Netlist nl;
+  nl.add_resistor(1, 0, 100.0);
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_port(1, 0);
+  const MnaSystem sys1 = build_mna(nl);
+  Netlist nl2;
+  nl2.add_resistor(1, 0, 101.0);  // same pattern, different value
+  nl2.add_capacitor(1, 0, 1e-12);
+  nl2.add_port(1, 0);
+  const MnaSystem sys2 = build_mna(nl2);
+  const PencilFingerprint a = fingerprint_pencil(sys1.G, sys1.C);
+  const PencilFingerprint b = fingerprint_pencil(sys2.G, sys2.C);
+  EXPECT_NE(a.g, b.g);
+  EXPECT_EQ(a.c, b.c);
+}
+
+TEST(FactorCache, FaultModeBypassesCacheEntirely) {
+  const MnaSystem sys = small_rc();
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  FactorCache cache(4);
+  PencilFactorOptions opt;
+  opt.shift = 1e9;
+  fault::arm("ldlt.pivot@999999");  // armed but never triggering
+  ASSERT_TRUE(fault::active());
+  bool hit = true;
+  cache.acquire(fp, opt, maker_for(sys, opt), &hit);
+  EXPECT_FALSE(hit);
+  cache.acquire(fp, opt, maker_for(sys, opt), &hit);
+  EXPECT_FALSE(hit);  // second acquire refactors too: never read
+  fault::disarm();
+  EXPECT_EQ(cache.size(), 0u);  // never written
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().factorizations, 2u);
+
+  // After disarming, the cache works again.
+  cache.acquire(fp, opt, maker_for(sys, opt), &hit);
+  EXPECT_FALSE(hit);
+  cache.acquire(fp, opt, maker_for(sys, opt), &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(FactorCache, FailedFactorizationIsNotCached) {
+  // Pure-C netlist: G is singular at shift 0; the maker throws.
+  Netlist nl;
+  nl.add_capacitor(1, 0, 1e-12);
+  nl.add_port(1, 0);
+  const MnaSystem sys = build_mna(nl);
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  FactorCache cache(4);
+  PencilFactorOptions opt;  // shift 0 → singular
+  EXPECT_THROW(cache.acquire(fp, opt, maker_for(sys, opt)), Error);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- The acceptance check of the issue: SyMPVL at s₀ followed by an
+// exact AC solve at the same point costs exactly ONE factorization. ----
+TEST(FactorCache, CrossDriverReuseSingleFactorization) {
+  const MnaSystem sys = small_rc();
+  FactorCache cache(8);
+  const double s0 = 1e9;
+
+  obs::enable(true);
+  const double hits_before = obs::counter("factor_cache.hit").value();
+
+  SympvlOptions opt;
+  opt.order = 6;
+  opt.s0 = s0;
+  opt.factor_cache = &cache;
+  const ReducedModel rom = sympvl_reduce(sys, opt);
+  EXPECT_EQ(cache.stats().factorizations, 1u);
+
+  // Exact Z at the purely real point s = s₀ (kS variable: fs = s): the
+  // engine adapts the cached real M J Mᵀ factorization instead of
+  // refactoring.
+  AcSweepEngine engine(sys, &cache);
+  const CMat z_cached = engine.z_at(Complex(s0, 0.0));
+  EXPECT_EQ(cache.stats().factorizations, 1u)
+      << "the AC engine must reuse the driver's factorization";
+  EXPECT_GE(cache.stats().hits, 1u);
+  const double hits_after = obs::counter("factor_cache.hit").value();
+  EXPECT_GE(hits_after - hits_before, 1.0);
+  obs::enable(false);
+
+  // The adapted solve agrees with a from-scratch complex factorization.
+  FactorCache fresh(8);
+  AcSweepEngine reference(sys, &fresh);
+  EXPECT_LT(rel_err(z_cached, reference.z_at(Complex(s0, 0.0))), 1e-10);
+
+  // And the reduced model is exact for this state-space dimension at s₀.
+  EXPECT_EQ(rom.shift(), s0);
+}
+
+TEST(FactorCache, WarmCacheReductionIsBitIdentical) {
+  const MnaSystem sys = small_rc();
+  FactorCache cache(8);
+  SympvlOptions opt;
+  opt.order = 8;
+  opt.s0 = 5e8;
+  opt.factor_cache = &cache;
+
+  const ReducedModel cold = sympvl_reduce(sys, opt);
+  ASSERT_EQ(cache.stats().hits, 0u);
+  const ReducedModel warm = sympvl_reduce(sys, opt);
+  EXPECT_GE(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().factorizations, 1u);
+
+  EXPECT_EQ((cold.t() - warm.t()).max_abs(), 0.0);
+  EXPECT_EQ((cold.delta() - warm.delta()).max_abs(), 0.0);
+  EXPECT_EQ((cold.rho() - warm.rho()).max_abs(), 0.0);
+}
+
+// In-test replication of the pre-refactor SyMPVL pipeline: direct LDLᵀ,
+// per-vector closure operator, band_lanczos, ReducedModel. The
+// FactorizedPencil path must reproduce it to the last bit (≤ 1e-13 per
+// the issue's acceptance criterion; equality by construction).
+ReducedModel direct_reference(const MnaSystem& sys, double s0,
+                              const SympvlOptions& opt) {
+  const SMat gt = (s0 == 0.0) ? sys.G : SMat::add(sys.G, 1.0, sys.C, s0);
+  const LDLT fact(gt, opt.ordering, /*zero_pivot_tol=*/1e-12);
+  const Vec j = fact.j_signs();
+  const Index n = sys.size();
+  Mat start(n, sys.port_count());
+  for (Index col = 0; col < sys.port_count(); ++col) {
+    Vec v = fact.solve_m(sys.B.col(col));
+    for (Index i = 0; i < n; ++i)
+      v[static_cast<size_t>(i)] *= j[static_cast<size_t>(i)];
+    start.set_col(col, v);
+  }
+  const CallableOperator op([&](const Vec& v) {
+    Vec w = fact.solve_mt(v);
+    w = sys.C.multiply(w);
+    w = fact.solve_m(w);
+    for (size_t i = 0; i < w.size(); ++i) w[i] *= j[i];
+    return w;
+  });
+  LanczosOptions lopt;
+  lopt.max_order = opt.order;
+  lopt.deflation_tol = opt.deflation_tol;
+  lopt.lookahead_tol = opt.lookahead_tol;
+  lopt.full_reorthogonalization = opt.full_reorthogonalization;
+  lopt.max_cluster_size = opt.max_cluster_size;
+  return ReducedModel(band_lanczos(op, start, j, lopt), sys.variable,
+                      sys.s_prefactor, s0);
+}
+
+TEST(FactorCache, RefactoredSympvlMatchesDirectPathOnPackage) {
+  const PackageCircuit pkg =
+      make_package_circuit({.pins = 8, .segments = 3, .signal_pins = 2});
+  const MnaSystem sys = build_mna(pkg.netlist, MnaForm::kAuto);
+  const double s0 = 2.0 * M_PI * 1e9;
+  SympvlOptions opt;
+  opt.order = 12;
+  opt.s0 = s0;
+  FactorCache cache(4);
+  opt.factor_cache = &cache;
+  const ReducedModel refactored = sympvl_reduce(sys, opt);
+  const ReducedModel reference = direct_reference(sys, s0, opt);
+  ASSERT_EQ(refactored.order(), reference.order());
+  EXPECT_LE((refactored.t() - reference.t()).max_abs(), 1e-13);
+  EXPECT_LE((refactored.delta() - reference.delta()).max_abs(), 1e-13);
+  EXPECT_LE((refactored.rho() - reference.rho()).max_abs(), 1e-13);
+}
+
+TEST(FactorCache, RefactoredSympvlMatchesDirectPathOnPeec) {
+  const PeecCircuit peec = make_peec_circuit({.grid = 4});
+  const MnaSystem& sys = peec.system;
+  const double s0 = automatic_shift(sys);  // LC: G is singular, shift needed
+  SympvlOptions opt;
+  opt.order = 10;
+  opt.s0 = s0;
+  FactorCache cache(4);
+  opt.factor_cache = &cache;
+  const ReducedModel refactored = sympvl_reduce(sys, opt);
+  const ReducedModel reference = direct_reference(sys, s0, opt);
+  ASSERT_EQ(refactored.order(), reference.order());
+  EXPECT_LE((refactored.t() - reference.t()).max_abs(), 1e-13);
+  EXPECT_LE((refactored.delta() - reference.delta()).max_abs(), 1e-13);
+  EXPECT_LE((refactored.rho() - reference.rho()).max_abs(), 1e-13);
+}
+
+TEST(FactorCache, AllDriversShareOneFactorizationAtSameShift) {
+  const MnaSystem sys =
+      build_mna(random_rc({.nodes = 30, .ports = 1, .seed = 21}));
+  FactorCache cache(8);
+  const double s0 = 1e9;
+
+  SympvlOptions sopt;
+  sopt.order = 6;
+  sopt.s0 = s0;
+  sopt.factor_cache = &cache;
+  sympvl_reduce(sys, sopt);
+  EXPECT_EQ(cache.stats().factorizations, 1u);
+
+  sypvl_reduce(sys, sopt);
+  EXPECT_EQ(cache.stats().factorizations, 1u);
+
+  PvlOptions popt;
+  popt.order = 6;
+  popt.s0 = s0;
+  popt.factor_cache = &cache;
+  pvl_reduce_entry(sys, 0, 0, popt);
+  EXPECT_EQ(cache.stats().factorizations, 1u);
+
+  ArnoldiOptions aopt;
+  aopt.order = 6;
+  aopt.s0 = s0;
+  aopt.factor_cache = &cache;
+  arnoldi_reduce(sys, aopt);
+  EXPECT_EQ(cache.stats().factorizations, 1u)
+      << "all four drivers must share the single cached factorization";
+  EXPECT_GE(cache.stats().hits, 3u);
+}
+
+TEST(FactorCache, ConcurrentAcquireIsSafeAndConsistent) {
+  const MnaSystem sys = small_rc();
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  FactorCache cache(4);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 16;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        PencilFactorOptions opt;
+        opt.shift = (i % 2 == 0) ? 1e9 : 2e9;  // two hot keys
+        const auto pencil = cache.acquire(fp, opt, maker_for(sys, opt));
+        if (pencil != nullptr && pencil->size() == sys.size()) ++ok[t];
+      }
+    });
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], kIters);
+  const FactorCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(FactorCache, ClearDropsEntriesKeepsStats) {
+  const MnaSystem sys = small_rc();
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  FactorCache cache(4);
+  PencilFactorOptions opt;
+  opt.shift = 1e9;
+  cache.acquire(fp, opt, maker_for(sys, opt));
+  ASSERT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace sympvl

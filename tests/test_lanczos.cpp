@@ -46,7 +46,7 @@ TEST(Lanczos, SpdCaseProducesIdentityDelta) {
   const Mat start = random_start(n, p, 2);
   LanczosOptions opt;
   opt.max_order = order;
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, start,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start,
                                 op.j, opt);
   ASSERT_EQ(res.n, order);
   EXPECT_NEAR((res.delta - Mat::identity(order)).max_abs(), 0.0, 1e-10);
@@ -60,7 +60,7 @@ TEST(Lanczos, SpdCaseTIsSymmetricBanded) {
   const Mat start = random_start(n, p, 4);
   LanczosOptions opt;
   opt.max_order = order;
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, start,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start,
                                 op.j, opt);
   // ΔT symmetric with Δ = I means T itself is symmetric here.
   EXPECT_NEAR(res.t.asymmetry(), 0.0, 1e-9);
@@ -84,7 +84,7 @@ TEST(Lanczos, DeflationOnDuplicateStartColumns) {
   }
   LanczosOptions opt;
   opt.max_order = 8;
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, dup,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), dup,
                                 op.j, opt);
   EXPECT_GE(res.deflations, 1);
   EXPECT_EQ(res.p1, 1);
@@ -100,7 +100,7 @@ TEST(Lanczos, ExhaustionOnSmallSpace) {
   const Mat start = random_start(n, 1, 8);
   LanczosOptions opt;
   opt.max_order = 10;
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, start,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start,
                                 op.j, opt);
   EXPECT_LE(res.n, n);
   EXPECT_TRUE(res.exhausted);
@@ -117,7 +117,7 @@ TEST(Lanczos, IndefiniteJStaysJOrthogonal) {
   const Mat start = random_start(n, p, 13);
   LanczosOptions opt;
   opt.max_order = order;
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, start,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start,
                                 j, opt);
   ASSERT_GE(res.n, 4);
   // Δ·T must be symmetric (the J-symmetry invariant of eq. 18).
@@ -137,7 +137,7 @@ TEST(Lanczos, RhoReproducesStartBlock) {
   const Mat start = random_start(n, p, 16);
   LanczosOptions opt;
   opt.max_order = 10;
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, start,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start,
                                 op.j, opt);
   for (Index c = 0; c < p; ++c) {
     double rho_norm = 0.0;
@@ -154,11 +154,11 @@ TEST(Lanczos, InvalidInputs) {
   const Mat start = random_start(4, 1, 2);
   LanczosOptions opt;
   opt.max_order = 0;
-  EXPECT_THROW(band_lanczos([&](const Vec& v) { return op(v); }, start, op.j, opt),
+  EXPECT_THROW(band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start, op.j, opt),
                Error);
   opt.max_order = 3;
   Vec bad_j(4, 0.5);
-  EXPECT_THROW(band_lanczos([&](const Vec& v) { return op(v); }, start, bad_j, opt),
+  EXPECT_THROW(band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start, bad_j, opt),
                Error);
 }
 
@@ -179,7 +179,7 @@ TEST(Lanczos, LookAheadTriggersOnZeroJNormStart) {
 
   LanczosOptions opt;
   opt.max_order = 8;
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, start,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start,
                                 j, opt);
   EXPECT_GE(res.lookahead_clusters, 1) << "look-ahead cluster expected";
   // Clusters partition the vectors and at least one has size > 1.
@@ -223,7 +223,7 @@ TEST(Lanczos, LookAheadZeroJNormMidProcess) {
   LanczosOptions opt;
   opt.max_order = 14;
   opt.lookahead_tol = 1e-3;  // aggressive: force clusters to form
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, start,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start,
                                 j, opt);
   ASSERT_GE(res.n, 4);
   const Mat dt = res.delta * res.t;
@@ -237,7 +237,7 @@ TEST(Lanczos, WithoutFullReorthogonalizationStillAccurate) {
   LanczosOptions opt;
   opt.max_order = order;
   opt.full_reorthogonalization = false;
-  const auto res = band_lanczos([&](const Vec& v) { return op(v); }, start,
+  const auto res = band_lanczos(CallableOperator([&](const Vec& v) { return op(v); }), start,
                                 op.j, opt);
   EXPECT_EQ(res.n, order);
   EXPECT_NEAR(res.t.asymmetry(), 0.0, 1e-6);
