@@ -1,0 +1,168 @@
+// Kernel-layer benchmark: simplicial vs supernodal numeric LDLᵀ on the
+// paper's example meshes, numeric-only (one shared symbolic analysis per
+// mesh, timed refactorizations on top — the shape every driver and the
+// AC hot path actually run), plus the blocked p-port multi-RHS solve
+// both Lanczos starting blocks and sweeps ride.
+//
+// Results go to stdout as CSV and to BENCH_kernels.json (with run
+// metadata) — the file tools/check_perf.py gates CI perf-smoke against
+// bench/baselines/BENCH_kernels.json.
+#include <algorithm>
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "gen/package.hpp"
+#include "gen/rc_interconnect.hpp"
+#include "linalg/factorized_pencil.hpp"
+#include "linalg/sparse_ldlt.hpp"
+#include "mor/pencil.hpp"
+
+namespace {
+
+using namespace sympvl;
+using namespace sympvl::bench;
+
+double timed(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Median of `reps` timings of fn (each timing one call).
+double median_time(int reps, const std::function<void()>& fn) {
+  std::vector<double> t(static_cast<size_t>(reps));
+  for (double& v : t) v = timed(fn);
+  std::sort(t.begin(), t.end());
+  return t[t.size() / 2];
+}
+
+KernelOptions path_opt(KernelPath path) {
+  KernelOptions k;
+  k.path = path;
+  return k;
+}
+
+struct MeshCase {
+  const char* name;
+  MnaSystem sys;
+};
+
+struct KernelNumbers {
+  double n = 0, ports = 0, nnz_l = 0;
+  double supernodes = 0, max_panel = 0, panel_zeros = 0;
+  double t_simplicial = 0, t_supernodal = 0, speedup = 0;
+  double t_solve_simplicial = 0, t_solve_supernodal = 0, solve_speedup = 0;
+};
+
+KernelNumbers measure(const MnaSystem& sys, int reps) {
+  KernelNumbers out;
+  const double s0 = automatic_shift(sys);
+  const SMat a = assemble_pencil(sys.G, sys.C, s0);
+  const auto symbolic = std::make_shared<const LdltSymbolic>(a, Ordering::kRCM);
+
+  out.n = static_cast<double>(sys.size());
+  out.ports = static_cast<double>(sys.port_count());
+  out.nnz_l = static_cast<double>(symbolic->l_nnz());
+
+  // Numeric-only refactorization times on the shared symbolic.
+  out.t_simplicial = median_time(reps, [&] {
+    const LDLT f(a, symbolic, 1e-12, path_opt(KernelPath::kSimplicial));
+    benchmark::DoNotOptimize(f.d().data());
+  });
+  out.t_supernodal = median_time(reps, [&] {
+    const LDLT f(a, symbolic, 1e-12, path_opt(KernelPath::kSupernodal));
+    benchmark::DoNotOptimize(f.d().data());
+  });
+  out.speedup = out.t_simplicial / out.t_supernodal;
+
+  // Blocked p-port multi-RHS solve (the starting-block shape).
+  const LDLT fs(a, symbolic, 1e-12, path_opt(KernelPath::kSimplicial));
+  const LDLT fp(a, symbolic, 1e-12, path_opt(KernelPath::kSupernodal));
+  out.supernodes = static_cast<double>(fp.supernode_count());
+  out.max_panel = static_cast<double>(fp.max_panel_width());
+  out.panel_zeros = static_cast<double>(fp.panel_zeros());
+  Mat b(sys.size(), sys.port_count());
+  for (Index j = 0; j < sys.port_count(); ++j) b.set_col(j, sys.B.col(j));
+  out.t_solve_simplicial = median_time(reps, [&] {
+    const Mat x = fs.solve(b);
+    benchmark::DoNotOptimize(x(0, 0));
+  });
+  out.t_solve_supernodal = median_time(reps, [&] {
+    const Mat x = fp.solve(b);
+    benchmark::DoNotOptimize(x(0, 0));
+  });
+  out.solve_speedup = out.t_solve_simplicial / out.t_solve_supernodal;
+  return out;
+}
+
+void print_tables() {
+  std::vector<MeshCase> meshes;
+  meshes.push_back({"package_16x5", build_mna(make_package_circuit(
+                                                  {.pins = 16, .segments = 5})
+                                                  .netlist,
+                                              MnaForm::kGeneral)});
+  meshes.push_back({"package_64x16",  // the 3136-unknown package mesh
+                    build_mna(make_package_circuit({.pins = 64, .segments = 16})
+                                  .netlist,
+                              MnaForm::kGeneral)});
+  meshes.push_back(
+      {"interconnect_8x200",
+       build_mna(make_interconnect_circuit({.wires = 8, .segments = 200})
+                     .netlist,
+                 MnaForm::kRC)});
+
+  csv_begin("numeric LDLT refactorization: simplicial vs supernodal "
+            "(shared symbolic, median of 5)",
+            {"n", "ports", "nnz_l", "supernodes", "max_panel", "panel_zeros",
+             "t_simplicial_s", "t_supernodal_s", "speedup", "t_solve_simp_s",
+             "t_solve_super_s", "solve_speedup"});
+  KernelNumbers package{};
+  for (const MeshCase& mesh : meshes) {
+    const KernelNumbers k = measure(mesh.sys, 5);
+    if (std::string(mesh.name) == "package_64x16") package = k;
+    csv_row({k.n, k.ports, k.nnz_l, k.supernodes, k.max_panel, k.panel_zeros,
+             k.t_simplicial, k.t_supernodal, k.speedup, k.t_solve_simplicial,
+             k.t_solve_supernodal, k.solve_speedup});
+  }
+
+  json_emit("BENCH_kernels.json",
+            {{"package_n", package.n},
+             {"package_ports", package.ports},
+             {"package_nnz_l", package.nnz_l},
+             {"package_supernodes", package.supernodes},
+             {"package_max_panel", package.max_panel},
+             {"package_panel_zeros", package.panel_zeros},
+             {"package_factor_simplicial_s", package.t_simplicial},
+             {"package_factor_supernodal_s", package.t_supernodal},
+             {"package_factor_speedup", package.speedup},
+             {"package_solve_simplicial_s", package.t_solve_simplicial},
+             {"package_solve_supernodal_s", package.t_solve_supernodal},
+             {"package_solve_speedup", package.solve_speedup}});
+  std::printf("\nwrote BENCH_kernels.json (package factor speedup %.2fx)\n",
+              package.speedup);
+}
+
+void bm_factor(benchmark::State& state, KernelPath path) {
+  const MnaSystem sys =
+      build_mna(make_package_circuit({.pins = 64, .segments = 16}).netlist,
+                MnaForm::kGeneral);
+  const SMat a = assemble_pencil(sys.G, sys.C, automatic_shift(sys));
+  const auto symbolic = std::make_shared<const LdltSymbolic>(a, Ordering::kRCM);
+  for (auto _ : state) {
+    const LDLT f(a, symbolic, 1e-12, path_opt(path));
+    benchmark::DoNotOptimize(f.d().data());
+  }
+}
+void bm_factor_simplicial(benchmark::State& state) {
+  bm_factor(state, KernelPath::kSimplicial);
+}
+void bm_factor_supernodal(benchmark::State& state) {
+  bm_factor(state, KernelPath::kSupernodal);
+}
+BENCHMARK(bm_factor_simplicial)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_factor_supernodal)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYMPVL_BENCH_MAIN(print_tables)

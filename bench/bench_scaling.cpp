@@ -24,6 +24,11 @@ double timed(const std::function<void()>& fn) {
 }
 
 void print_tables() {
+  // Largest-case numbers re-emitted to BENCH_scaling.json for the
+  // perf-trajectory gate (tools/check_perf.py).
+  double json_n = 0, json_reduce_s = 0, json_exact_s = 0, json_rom_s = 0;
+  double json_engine_speedup = 0;
+
   csv_begin("scaling in circuit size N (4-wire bus, p=9, order 18)",
             {"segments", "mna_size", "reduce_s", "exact_sweep20_s",
              "rom_sweep20_s"});
@@ -43,6 +48,12 @@ void print_tables() {
     const double t_rom = timed([&] { rom.sweep(freqs); });
     csv_row({static_cast<double>(segments), static_cast<double>(sys.size()),
              t_red, t_exact, t_rom});
+    if (segments == 400) {
+      json_n = static_cast<double>(sys.size());
+      json_reduce_s = t_red;
+      json_exact_s = t_exact;
+      json_rom_s = t_rom;
+    }
   }
 
   csv_begin("scaling in reduced order n (fixed N)",
@@ -75,6 +86,7 @@ void print_tables() {
     const double t_engine = timed([&] { AcSweepEngine(s2).sweep(freqs); });
     csv_row({static_cast<double>(s2.size()), t_points, t_engine,
              t_points / t_engine});
+    if (segments == 400) json_engine_speedup = t_points / t_engine;
   }
 
   csv_begin("scaling in port count p (fixed N per wire, order 2p)",
@@ -91,6 +103,14 @@ void print_tables() {
     });
     csv_row({static_cast<double>(wires), static_cast<double>(s.port_count()), t});
   }
+
+  json_emit("BENCH_scaling.json",
+            {{"interconnect_n", json_n},
+             {"reduce_s", json_reduce_s},
+             {"exact_sweep20_s", json_exact_s},
+             {"rom_sweep20_s", json_rom_s},
+             {"engine_vs_per_point_speedup", json_engine_speedup}});
+  std::printf("\nwrote BENCH_scaling.json\n");
 }
 
 void bm_reduce_by_size(benchmark::State& state) {

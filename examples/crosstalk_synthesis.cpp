@@ -7,11 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "circuit/parser.hpp"
-#include "gen/rc_interconnect.hpp"
-#include "mor/sympvl.hpp"
-#include "mor/synthesis.hpp"
-#include "sim/transient.hpp"
+#include "sympvl.hpp"
 
 namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {

@@ -12,11 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "gen/package.hpp"
-#include "io/touchstone.hpp"
-#include "mor/sympvl.hpp"
-#include "sim/ac.hpp"
-#include "sim/sensitivity.hpp"
+#include "sympvl.hpp"
 
 int main() {
   using namespace sympvl;
@@ -31,7 +27,7 @@ int main() {
 
   // --- 1. Reduce incrementally until the sweep error target is met. ---
   const Vec freqs = log_frequency_grid(1e7, 5e9, 15);
-  const auto exact = ac_sweep(sys, freqs);
+  const SweepResult exact = sweep(sys, freqs, {.throw_on_failure = true});
   auto sweep_err = [&](const ReducedModel& rom) {
     double err = 0.0;
     for (size_t k = 0; k < freqs.size(); ++k) {

@@ -6,10 +6,7 @@
 //   $ ./package_reduction [grid_scale]
 #include <cstdio>
 
-#include "gen/package.hpp"
-#include "io/touchstone.hpp"
-#include "mor/sympvl.hpp"
-#include "sim/ac.hpp"
+#include "sympvl.hpp"
 
 int main(int argc, char** argv) {
   using namespace sympvl;
@@ -26,7 +23,7 @@ int main(int argc, char** argv) {
   const Vec freqs = log_frequency_grid(1e7, 1e10, 25);
   std::printf("computing exact reference sweep (%zu points)...\n",
               freqs.size());
-  const auto exact = ac_sweep(sys, freqs);
+  const SweepResult exact = sweep(sys, freqs, {.throw_on_failure = true});
 
   const double s0 = automatic_shift(sys);
   std::printf("expansion point s0 = %.3e\n\n", s0);

@@ -5,9 +5,7 @@
 //   $ ./peec_twoport
 #include <cstdio>
 
-#include "gen/peec.hpp"
-#include "mor/sympvl.hpp"
-#include "sim/ac.hpp"
+#include "sympvl.hpp"
 
 int main() {
   using namespace sympvl;
@@ -28,7 +26,7 @@ int main() {
               static_cast<long long>(rom.order()), report.s0_used);
 
   const Vec freqs = linear_frequency_grid(1e8, 7.5e9, 25);
-  const auto exact = ac_sweep(peec.system, freqs);
+  const SweepResult exact = sweep(peec.system, freqs, {.throw_on_failure = true});
   std::printf("\n%-12s %-14s %-14s %-14s %-14s\n", "f [Hz]", "|Z11| exact",
               "|Z11| n=50", "|Z21| exact", "|Z21| n=50");
   for (size_t k = 0; k < freqs.size(); ++k) {

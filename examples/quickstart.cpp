@@ -4,10 +4,7 @@
 //   $ ./quickstart
 #include <cstdio>
 
-#include "circuit/parser.hpp"
-#include "mor/passivity.hpp"
-#include "mor/sympvl.hpp"
-#include "sim/ac.hpp"
+#include "sympvl.hpp"
 
 int main() {
   using namespace sympvl;

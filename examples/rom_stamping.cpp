@@ -10,11 +10,7 @@
 //   $ ./rom_stamping
 #include <cstdio>
 
-#include "circuit/topology.hpp"
-#include "gen/rc_interconnect.hpp"
-#include "mor/sympvl.hpp"
-#include "sim/ac.hpp"
-#include "sim/transient.hpp"
+#include "sympvl.hpp"
 
 int main() {
   using namespace sympvl;

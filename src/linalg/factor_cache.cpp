@@ -1,5 +1,6 @@
 #include "linalg/factor_cache.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <list>
 #include <mutex>
@@ -56,11 +57,20 @@ struct Key {
   int ordering = 0;
   bool dense = false;
   bool complex_pencil = false;
+  // Kernel selection changes the factorization's rounding, so it is part
+  // of the identity of a cached factor (defaults for complex entries).
+  int kernel_path = 0;
+  Index relax_zeros = 0;
+  std::uint64_t relax_ratio = 0;
+  Index max_panel_width = 0;
 
   bool operator==(const Key& o) const {
     return g == o.g && c == o.c && shift_re == o.shift_re &&
            shift_im == o.shift_im && tol == o.tol && ordering == o.ordering &&
-           dense == o.dense && complex_pencil == o.complex_pencil;
+           dense == o.dense && complex_pencil == o.complex_pencil &&
+           kernel_path == o.kernel_path && relax_zeros == o.relax_zeros &&
+           relax_ratio == o.relax_ratio &&
+           max_panel_width == o.max_panel_width;
   }
 };
 
@@ -77,6 +87,10 @@ struct KeyHash {
         static_cast<unsigned char>((k.dense ? 1 : 0) |
                                    (k.complex_pencil ? 2 : 0));
     h = fnv1a(&flags, sizeof(flags), h);
+    h = fnv1a(&k.kernel_path, sizeof(k.kernel_path), h);
+    h = fnv1a(&k.relax_zeros, sizeof(k.relax_zeros), h);
+    h = fnv1a(&k.relax_ratio, sizeof(k.relax_ratio), h);
+    h = fnv1a(&k.max_panel_width, sizeof(k.max_panel_width), h);
     return static_cast<std::size_t>(h);
   }
 };
@@ -89,6 +103,10 @@ Key real_key(const PencilFingerprint& fp, const PencilFactorOptions& opt) {
   k.tol = double_bits(opt.zero_pivot_tol);
   k.ordering = static_cast<int>(opt.ordering);
   k.dense = opt.dense;
+  k.kernel_path = static_cast<int>(opt.kernels.path);
+  k.relax_zeros = opt.kernels.relax_zeros;
+  k.relax_ratio = double_bits(opt.kernels.relax_ratio);
+  k.max_panel_width = opt.kernels.max_panel_width;
   return k;
 }
 
@@ -160,6 +178,7 @@ struct FactorCache::Impl {
   explicit Impl(std::size_t cap) : capacity(cap == 0 ? 1 : cap) {}
 
   std::size_t capacity;
+  std::atomic<bool> enabled{true};
   mutable std::mutex mutex;
   // Front = most recently used.
   std::list<Entry> lru;
@@ -215,7 +234,20 @@ FactorCache::FactorCache(std::size_t capacity)
 FactorCache::~FactorCache() = default;
 
 FactorCache& FactorCache::global() {
-  static FactorCache cache;
+  static FactorCache cache([]() -> std::size_t {
+    if (const char* env = std::getenv("SYMPVL_FACTOR_CACHE_CAP")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return 32;
+  }());
+  static const bool env_applied = [] {
+    if (const char* env = std::getenv("SYMPVL_FACTOR_CACHE"))
+      if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)
+        cache.set_enabled(false);
+    return true;
+  }();
+  (void)env_applied;
   return cache;
 }
 
@@ -223,8 +255,9 @@ std::shared_ptr<const FactorizedPencil> FactorCache::acquire(
     const PencilFingerprint& fp, const PencilFactorOptions& options,
     const RealMaker& make, bool* was_hit) {
   if (was_hit != nullptr) *was_hit = false;
-  if (fault::active()) {
-    // Fault drills always exercise the real factorization path.
+  if (fault::active() || !enabled()) {
+    // Fault drills and a disabled cache always exercise the real
+    // factorization path.
     impl_->factorizations.fetch_add(1, std::memory_order_relaxed);
     return make();
   }
@@ -254,7 +287,7 @@ std::shared_ptr<const ComplexPencilSolver> FactorCache::acquire_complex(
     const PencilFingerprint& fp, Complex fs, const ComplexMaker& make,
     bool* was_hit) {
   if (was_hit != nullptr) *was_hit = false;
-  if (fault::active()) {
+  if (fault::active() || !enabled()) {
     impl_->factorizations.fetch_add(1, std::memory_order_relaxed);
     return make();
   }
@@ -304,7 +337,28 @@ std::size_t FactorCache::size() const {
   return impl_->lru.size();
 }
 
-std::size_t FactorCache::capacity() const { return impl_->capacity; }
+std::size_t FactorCache::capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->capacity;
+}
+
+void FactorCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+  while (impl_->lru.size() > impl_->capacity) {
+    impl_->map.erase(impl_->lru.back().key);
+    impl_->lru.pop_back();
+    impl_->note_evict();
+  }
+}
+
+bool FactorCache::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void FactorCache::set_enabled(bool enabled) {
+  impl_->enabled.store(enabled, std::memory_order_relaxed);
+}
 
 FactorCacheStats FactorCache::stats() const {
   FactorCacheStats s;

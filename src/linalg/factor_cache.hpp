@@ -113,6 +113,17 @@ class FactorCache {
   void clear();
   std::size_t size() const;
   std::size_t capacity() const;
+  /// Resizes the LRU bound (evicting immediately when shrinking); 0 is
+  /// clamped to 1 like the constructor.
+  void set_capacity(std::size_t capacity);
+  /// A disabled cache never reads or writes entries: every acquire
+  /// factors fresh (factorizations still counted, hits/misses not).
+  /// global() starts disabled when SYMPVL_FACTOR_CACHE=0|off and sized by
+  /// SYMPVL_FACTOR_CACHE_CAP. Per-reduction disabling goes through
+  /// CacheOptions::enabled instead (the drivers bypass acquire), so one
+  /// reduction's options never flip the shared instance.
+  bool enabled() const;
+  void set_enabled(bool enabled);
   FactorCacheStats stats() const;
   void reset_stats();
 

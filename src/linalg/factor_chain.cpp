@@ -177,9 +177,10 @@ bool FactorChain<T>::try_rung(const SparseMatrix<T>& a, T shift, bool use_ldlt,
     fault::check(use_ldlt ? "factor.ldlt" : "factor.lu", attempt_index);
     if (use_ldlt) {
       if (symbolic != nullptr)
-        ldlt_.emplace(a, symbolic, options_.zero_pivot_tol);
+        ldlt_.emplace(a, symbolic, options_.zero_pivot_tol, options_.kernels);
       else
-        ldlt_.emplace(a, options_.ordering, options_.zero_pivot_tol);
+        ldlt_.emplace(a, options_.ordering, options_.zero_pivot_tol,
+                      options_.kernels);
     } else {
       lu_.emplace(a, options_.ordering, /*pivot_threshold=*/1.0,
                   options_.zero_pivot_tol);

@@ -76,6 +76,9 @@ struct FactorChainOptions {
   Index solve_refine_iters = 0;
   /// Relative residual target for solve() refinement.
   double refine_tol = 1e-9;
+  /// Numeric-kernel selection handed to the LDLᵀ rung (the LU rung is
+  /// simplicial-only and ignores it).
+  KernelOptions kernels;
 };
 
 /// Jittered shift ladder for rung 3 (eq. 26 retries): deterministic

@@ -17,7 +17,8 @@ FactorizedPencil::FactorizedPencil(const SMat& g, const SMat& c,
     : n_(g.rows()), options_(options), c_(c) {
   const SMat a = assemble_pencil(g, c, options.shift);
   if (!options.dense) {
-    ldlt_ = std::make_unique<LDLT>(a, options.ordering, options.zero_pivot_tol);
+    ldlt_ = std::make_unique<LDLT>(a, options.ordering, options.zero_pivot_tol,
+                                   options.kernels);
     j_ = ldlt_->j_signs();
     return;
   }

@@ -1,0 +1,231 @@
+// Cache-blocked dense panel kernels and the supernode machinery behind
+// the supernodal LDLᵀ factorization path.
+//
+// The up-looking simplicial SparseLDLT eliminates one column at a time
+// with scattered scalar updates; on the large quasi-banded MNA pencils
+// of the paper's package/PEEC examples most adjacent columns share an
+// identical lower structure, so the factorization can instead operate on
+// dense column panels ("supernodes"): one rank-k GEMM-style update per
+// descendant supernode and one dense in-panel LDLᵀ per panel, with unit
+// stride inner loops instead of index-gathered AXPYs. This header holds
+//
+//   * KernelPath / KernelOptions — the public selector between the
+//     simplicial and supernodal paths (env fallback: SYMPVL_KERNEL);
+//   * detect_supernodes — fundamental supernode detection with relaxed
+//     amalgamation up to a fill slack, from the elimination tree and the
+//     per-column factor counts alone (O(n));
+//   * the dense micro-kernels (rank-k panel update, fused AXPY/dot,
+//     panel forward/backward multi-RHS solves) used by the supernodal
+//     numeric phase. All kernels are templated over double/Complex and
+//     instantiated in kernels.cpp.
+//
+// Numerical contract: the supernodal path reorders floating-point sums
+// relative to the simplicial path (agreement to ~1e-12 relative), but
+// the single-RHS and multi-RHS supernodal solves run per-column
+// bit-identical arithmetic — both funnel through the same kernels with
+// an independent accumulator chain per right-hand side.
+#pragma once
+
+#include <vector>
+
+#include "common.hpp"
+
+namespace sympvl {
+
+/// Which numeric LDLᵀ kernel factors and solves.
+enum class KernelPath {
+  kAuto,        ///< supernodal for large systems, simplicial for tiny ones
+                ///< (env SYMPVL_KERNEL=simplicial|supernodal overrides)
+  kSimplicial,  ///< the up-looking column-at-a-time path
+  kSupernodal,  ///< blocked panel path
+};
+
+inline const char* kernel_path_name(KernelPath p) {
+  switch (p) {
+    case KernelPath::kAuto: return "auto";
+    case KernelPath::kSimplicial: return "simplicial";
+    case KernelPath::kSupernodal: return "supernodal";
+  }
+  return "unknown";
+}
+
+/// Kernel-path selection and supernode amalgamation knobs. The defaults
+/// are the canonical settings every driver uses; passing a non-default
+/// KernelOptions to a reduction changes the factorization's rounding at
+/// the 1e-15 level, so the FactorCache keys on these fields.
+struct KernelOptions {
+  KernelPath path = KernelPath::kAuto;
+  /// Relaxed amalgamation: a column may join the current panel even when
+  /// the merge stores explicit zeros, as long as the panel keeps at most
+  /// `relax_zeros` of them AND they stay under `relax_ratio` of the
+  /// panel's dense entry count. 0/0 admits only fundamental supernodes.
+  Index relax_zeros = 64;
+  double relax_ratio = 0.25;
+  /// Maximum panel width (0 = unlimited). Wide panels amortize more; the
+  /// rank-k update blocks internally, so no cache-motivated cap is needed.
+  Index max_panel_width = 0;
+
+  bool operator==(const KernelOptions& o) const {
+    return path == o.path && relax_zeros == o.relax_zeros &&
+           relax_ratio == o.relax_ratio && max_panel_width == o.max_panel_width;
+  }
+};
+
+/// Resolves kAuto: an explicit path wins; else the SYMPVL_KERNEL
+/// environment variable ("simplicial" | "supernodal" | "auto"); else
+/// supernodal for n >= 48 and simplicial below (panel bookkeeping does
+/// not pay for itself on tiny systems).
+KernelPath resolve_kernel_path(const KernelOptions& options, Index n);
+
+/// FactorCache behavior for one reduction/sweep. Lives here (rather than
+/// factor_cache.hpp) so CommonReductionOptions can hold it by value
+/// without pulling the whole factorization stack into every driver
+/// header. Environment fallbacks, applied to the process-global cache on
+/// first use: SYMPVL_FACTOR_CACHE=0|off disables it,
+/// SYMPVL_FACTOR_CACHE_CAP=<n> sets its capacity.
+struct CacheOptions {
+  /// false bypasses the cache for this reduction (every factorization
+  /// runs fresh); it never re-enables a cache disabled via environment.
+  bool enabled = true;
+  /// Resizes the cache used by this reduction before the first acquire
+  /// (0 = leave the cache's current capacity alone).
+  std::size_t capacity = 0;
+
+  bool operator==(const CacheOptions& o) const {
+    return enabled == o.enabled && capacity == o.capacity;
+  }
+};
+
+/// Supernode partition of the factor's columns: `start` holds the first
+/// column of each supernode plus a terminating n, so supernode s spans
+/// [start[s], start[s+1]).
+struct SupernodePartition {
+  std::vector<Index> start;
+  /// Explicit zeros the relaxed panels store (0 with relaxation off).
+  Index zeros = 0;
+  /// Total dense panel entries (triangle + below-rows rectangle).
+  Index panel_entries = 0;
+
+  Index count() const { return static_cast<Index>(start.size()) - 1; }
+  Index max_width() const {
+    Index w = 0;
+    for (size_t s = 0; s + 1 < start.size(); ++s)
+      w = std::max(w, start[s + 1] - start[s]);
+    return w;
+  }
+};
+
+/// Detects supernodes from the elimination tree `parent` and the
+/// per-column off-diagonal factor counts `lnz` (both over the permuted
+/// pattern). Columns j-1 and j share a supernode only when
+/// parent[j-1] == j (an elimination-tree chain, which guarantees the
+/// merged panel's below-rows are exactly struct(last column)); the merge
+/// is accepted when it introduces no explicit zeros (fundamental) or
+/// stays within the relaxed-amalgamation slack of `options`.
+SupernodePartition detect_supernodes(const std::vector<Index>& parent,
+                                     const std::vector<Index>& lnz,
+                                     const KernelOptions& options);
+
+namespace kernels {
+
+// All pointers are __restrict-qualified in the implementations; callers
+// must not alias output with inputs.
+
+/// y[0..n) += alpha * x[0..n)  (unrolled fused AXPY).
+template <typename T>
+void axpy_n(Index n, T alpha, const T* x, T* y);
+
+/// Unrolled dot product sum(a[i] * b[i]), no conjugation (the factor is
+/// complex symmetric, not Hermitian).
+template <typename T>
+T dot_n(Index n, const T* a, const T* b);
+
+/// x[0..n) *= alpha.
+template <typename T>
+void scale_n(Index n, T alpha, T* x);
+
+/// Rank-k panel update C += A · Bᵀ with column-major operands:
+/// A is m×k (lda), B is q×k (ldb), C is m×q (ldc). Register-blocked
+/// 4-column × 4-rank micro-kernel with contiguous unit-stride streams —
+/// the workhorse of the descendant-supernode update.
+template <typename T>
+void gemm_nt_acc(Index m, Index q, Index k, const T* a, Index lda, const T* b,
+                 Index ldb, T* c, Index ldc);
+
+/// Dense in-panel LDLᵀ over a column-major h×w panel (ld = h): the top
+/// w×w triangle is factored in place (unit lower L, pivots left on the
+/// diagonal) and the trailing (h-w)×w block becomes the below-panel L
+/// rows. Right-looking with fused column AXPYs. Returns the flop count.
+/// Pivot acceptance is the caller's job: `pivot` is invoked with
+/// (local_column, pivot_value) before the column is used for scaling and
+/// may throw.
+template <typename T, typename PivotFn>
+double panel_ldlt(Index h, Index w, T* panel, const PivotFn& pivot) {
+  double flops = 0.0;
+  for (Index j = 0; j < w; ++j) {
+    T* colj = panel + j * h;
+    const T dj = colj[j];
+    pivot(j, dj);
+    const Index below = h - j - 1;
+    // Scale column j below the diagonal: L(i,j) = P(i,j) / d_j.
+    scale_n(below, T(1) / dj, colj + j + 1);
+    // Trailing update: P(i,k) -= L(i,j)·d_j·L(k,j) for i ≥ k > j. Only the
+    // lower triangle of the panel is stored, so the multiplier L(k,j)
+    // reads from the freshly scaled column j.
+    for (Index k = j + 1; k < w; ++k) {
+      T* colk = panel + k * h;
+      const T mult = colj[k] * dj;
+      axpy_n(h - k, -mult, colj + k, colk + k);
+    }
+    flops += static_cast<double>(below) +
+             2.0 * static_cast<double>(below) * static_cast<double>(w - j - 1);
+  }
+  return flops;
+}
+
+/// Multi-RHS forward below-panel update: for each below row i,
+///   X[rows[i], :] -= Σ_j  Lbelow(i, j) · Xtop[j, :]
+/// with Lbelow the (r×w) below-rows block of a column-major panel
+/// (element (i,j) at lbelow[j*ld + i]), Xtop the panel's top rows
+/// (w×nrhs, row-major, stride nrhs) and X the full right-hand-side block
+/// (row-major, stride nrhs). Each (row, rhs-column) pair accumulates in
+/// one scalar chain over j — bit-identical for nrhs == 1 and nrhs == p.
+template <typename T>
+void below_forward(Index r, Index w, Index nrhs, const T* lbelow, Index ld,
+                   const Index* rows, const T* xtop, T* x);
+
+/// Multi-RHS backward below-panel update: for each panel column j,
+///   Xtop[j, :] -= Σ_i  Lbelow(i, j) · X[rows[i], :]
+/// (the transpose of below_forward; same accumulation contract).
+template <typename T>
+void below_backward(Index r, Index w, Index nrhs, const T* lbelow, Index ld,
+                    const Index* rows, const T* x, T* xtop);
+
+extern template void axpy_n<double>(Index, double, const double*, double*);
+extern template void axpy_n<Complex>(Index, Complex, const Complex*, Complex*);
+extern template double dot_n<double>(Index, const double*, const double*);
+extern template Complex dot_n<Complex>(Index, const Complex*, const Complex*);
+extern template void scale_n<double>(Index, double, double*);
+extern template void scale_n<Complex>(Index, Complex, Complex*);
+extern template void gemm_nt_acc<double>(Index, Index, Index, const double*,
+                                         Index, const double*, Index, double*,
+                                         Index);
+extern template void gemm_nt_acc<Complex>(Index, Index, Index, const Complex*,
+                                          Index, const Complex*, Index,
+                                          Complex*, Index);
+extern template void below_forward<double>(Index, Index, Index, const double*,
+                                           Index, const Index*, const double*,
+                                           double*);
+extern template void below_forward<Complex>(Index, Index, Index, const Complex*,
+                                            Index, const Index*, const Complex*,
+                                            Complex*);
+extern template void below_backward<double>(Index, Index, Index, const double*,
+                                            Index, const Index*, const double*,
+                                            double*);
+extern template void below_backward<Complex>(Index, Index, Index, const Complex*,
+                                             Index, const Index*, const Complex*,
+                                             Complex*);
+
+}  // namespace kernels
+
+}  // namespace sympvl

@@ -92,11 +92,42 @@ LdltSymbolic::LdltSymbolic(Index n, const std::vector<Index>& colptr,
   for (Index k = 0; k < n_; ++k)
     l_colptr_[static_cast<size_t>(k) + 1] =
         l_colptr_[static_cast<size_t>(k)] + lnz[static_cast<size_t>(k)];
+
+  // ---- Full L row pattern: a second ereach sweep appending k to every
+  // column of row k's pattern. Appends happen in ascending k, so each
+  // column comes out sorted — the exact fill order of the up-looking
+  // numeric phase. ----
+  l_rowind_.resize(static_cast<size_t>(l_colptr_[static_cast<size_t>(n_)]));
+  std::vector<Index> lnz_used(static_cast<size_t>(n_), 0);
+  std::fill(flag.begin(), flag.end(), -1);
+  for (Index k = 0; k < n_; ++k) {
+    flag[static_cast<size_t>(k)] = k;
+    for (Index p = p_colptr_[static_cast<size_t>(k)];
+         p < p_colptr_[static_cast<size_t>(k) + 1]; ++p) {
+      Index i = p_rowind_[static_cast<size_t>(p)];
+      if (i >= k) continue;
+      while (flag[static_cast<size_t>(i)] != k) {
+        l_rowind_[static_cast<size_t>(l_colptr_[static_cast<size_t>(i)] +
+                                      lnz_used[static_cast<size_t>(i)]++)] = k;
+        flag[static_cast<size_t>(i)] = k;
+        i = parent_[static_cast<size_t>(i)];
+      }
+    }
+  }
+}
+
+std::vector<Index> LdltSymbolic::column_counts() const {
+  std::vector<Index> lnz(static_cast<size_t>(n_));
+  for (Index k = 0; k < n_; ++k)
+    lnz[static_cast<size_t>(k)] =
+        l_colptr_[static_cast<size_t>(k) + 1] - l_colptr_[static_cast<size_t>(k)];
+  return lnz;
 }
 
 template <typename T>
 SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a, Ordering ordering,
-                          double zero_pivot_tol) {
+                          double zero_pivot_tol, const KernelOptions& kernels)
+    : kernel_options_(kernels) {
   obs::ScopedTimer span("ldlt.factor");
   require(a.rows() == a.cols(), "SparseLDLT: matrix not square");
   n_ = a.rows();
@@ -113,13 +144,16 @@ SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a, Ordering ordering,
   span.arg("flops", flops_);
   span.arg("pivot_ratio", pivot_ratio_);
   span.arg("ordering", ordering_name(ordering));
+  span.arg("kernel", kernel_path_name(path_));
+  span.arg("supernodes", supernode_count());
+  span.arg("max_panel_width", max_panel_width_);
 }
 
 template <typename T>
 SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a,
                           std::shared_ptr<const LdltSymbolic> symbolic,
-                          double zero_pivot_tol)
-    : symbolic_(std::move(symbolic)) {
+                          double zero_pivot_tol, const KernelOptions& kernels)
+    : symbolic_(std::move(symbolic)), kernel_options_(kernels) {
   obs::ScopedTimer span("ldlt.refactor");
   require(symbolic_ != nullptr, "SparseLDLT: null symbolic analysis");
   require(a.rows() == a.cols() && a.rows() == symbolic_->n_,
@@ -133,38 +167,86 @@ SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a,
   span.arg("fill_ratio", fill_ratio_);
   span.arg("flops", flops_);
   span.arg("pivot_ratio", pivot_ratio_);
+  span.arg("kernel", kernel_path_name(path_));
+  span.arg("supernodes", supernode_count());
+  span.arg("max_panel_width", max_panel_width_);
 }
 
 template <typename T>
 void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
   const LdltSymbolic& sym = *symbolic_;
-  const auto& colptr = sym.p_colptr_;
-  const auto& rowind = sym.p_rowind_;
-  const auto& parent = sym.parent_;
+  path_ = resolve_kernel_path(kernel_options_, n_);
 
   // Gather the values into permuted order via the precomputed mapping.
   std::vector<T> values(sym.source_.size());
   for (size_t k = 0; k < values.size(); ++k)
     values[k] = a.values()[static_cast<size_t>(sym.source_[k])];
 
+  double amax = 0.0;
+  for (const auto& v : values) amax = std::max(amax, ScalarTraits<T>::abs(v));
+  const double pivot_floor = zero_pivot_tol * amax;
+
+  d_.assign(static_cast<size_t>(n_), T(0));
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = 0.0;
+  if (path_ == KernelPath::kSupernodal)
+    factorize_supernodal(values, pivot_floor, dmin, dmax);
+  else
+    factorize_simplicial(values, pivot_floor, dmin, dmax);
+
+  pivot_ratio_ = (dmax > 0.0) ? dmin / dmax : 0.0;
+  // Fill-in relative to the lower triangle of A (A is stored with both
+  // triangles; (nnz + n)/2 is its lower-triangle count incl. diagonal).
+  fill_ratio_ = static_cast<double>(l_nnz() + n_) /
+                std::max(1.0, (static_cast<double>(a.nnz()) +
+                               static_cast<double>(n_)) / 2.0);
+
+  sqrt_abs_d_.resize(static_cast<size_t>(n_));
+  for (Index k = 0; k < n_; ++k)
+    sqrt_abs_d_[static_cast<size_t>(k)] =
+        std::sqrt(ScalarTraits<T>::abs(d_[static_cast<size_t>(k)]));
+}
+
+namespace {
+
+// The zero-pivot rejection shared verbatim by both kernel paths (and by
+// the fault-injection tests, which expect this exact code/context).
+template <typename T>
+inline void accept_pivot(Index k, const T& dval, double pivot_floor,
+                         double& dmin, double& dmax) {
+  const double dk = ScalarTraits<T>::abs(dval);
+  fault::check("ldlt.pivot", k);
+  if (!(dk != 0.0 && dk > pivot_floor))
+    throw Error(ErrorCode::kZeroPivot,
+                "SparseLDLT: zero pivot encountered (matrix singular or not "
+                "quasi-definite; consider a frequency shift, eq. 26)",
+                ErrorContext{.stage = "ldlt.factor", .index = k, .value = dk});
+  dmin = std::min(dmin, dk);
+  dmax = std::max(dmax, dk);
+}
+
+}  // namespace
+
+template <typename T>
+void SparseLDLT<T>::factorize_simplicial(const std::vector<T>& values,
+                                         double pivot_floor, double& dmin,
+                                         double& dmax) {
+  const LdltSymbolic& sym = *symbolic_;
+  const auto& colptr = sym.p_colptr_;
+  const auto& rowind = sym.p_rowind_;
+  const auto& parent = sym.parent_;
+
   l_colptr_ = sym.l_colptr_;
   l_rowind_.assign(static_cast<size_t>(l_colptr_[static_cast<size_t>(n_)]), 0);
   l_values_.assign(l_rowind_.size(), T(0));
 
   // ---- Numeric factorization (up-looking).
-  d_.assign(static_cast<size_t>(n_), T(0));
   std::vector<T> y(static_cast<size_t>(n_), T(0));
   std::vector<Index> pattern(static_cast<size_t>(n_), 0);
   std::vector<Index> lnz_used(static_cast<size_t>(n_), 0);
   std::vector<Index> flag(static_cast<size_t>(n_), -1);
 
-  double dmin = std::numeric_limits<double>::infinity();
-  double dmax = 0.0;
-  double amax = 0.0;
-  for (const auto& v : values) amax = std::max(amax, ScalarTraits<T>::abs(v));
-  const double pivot_floor = zero_pivot_tol * amax;
   double flops = 0.0;
-
   for (Index k = 0; k < n_; ++k) {
     Index top = n_;
     flag[static_cast<size_t>(k)] = k;
@@ -200,32 +282,252 @@ void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
       l_values_[static_cast<size_t>(pend)] = lki;
       ++lnz_used[static_cast<size_t>(i)];
     }
-    const double dk = ScalarTraits<T>::abs(d_[static_cast<size_t>(k)]);
-    fault::check("ldlt.pivot", k);
-    if (!(dk != 0.0 && dk > pivot_floor))
-      throw Error(ErrorCode::kZeroPivot,
-                  "SparseLDLT: zero pivot encountered (matrix singular or not "
-                  "quasi-definite; consider a frequency shift, eq. 26)",
-                  ErrorContext{.stage = "ldlt.factor", .index = k, .value = dk});
-    dmin = std::min(dmin, dk);
-    dmax = std::max(dmax, dk);
+    accept_pivot(k, d_[static_cast<size_t>(k)], pivot_floor, dmin, dmax);
   }
-  pivot_ratio_ = (dmax > 0.0) ? dmin / dmax : 0.0;
   flops_ = flops;
-  // Fill-in relative to the lower triangle of A (A is stored with both
-  // triangles; (nnz + n)/2 is its lower-triangle count incl. diagonal).
-  fill_ratio_ = static_cast<double>(l_nnz() + n_) /
-                std::max(1.0, (static_cast<double>(a.nnz()) +
-                               static_cast<double>(n_)) / 2.0);
+}
 
-  sqrt_abs_d_.resize(static_cast<size_t>(n_));
-  for (Index k = 0; k < n_; ++k)
-    sqrt_abs_d_[static_cast<size_t>(k)] =
-        std::sqrt(ScalarTraits<T>::abs(d_[static_cast<size_t>(k)]));
+template <typename T>
+void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
+                                         double pivot_floor, double& dmin,
+                                         double& dmax) {
+  const LdltSymbolic& sym = *symbolic_;
+  const auto& colptr = sym.p_colptr_;
+  const auto& rowind = sym.p_rowind_;
+  const auto lnz = sym.column_counts();
+
+  const SupernodePartition part =
+      detect_supernodes(sym.parent_, lnz, kernel_options_);
+  super_start_ = part.start;
+  panel_zeros_ = part.zeros;
+  max_panel_width_ = part.max_width();
+  const Index nsuper = part.count();
+
+  super_of_col_.resize(static_cast<size_t>(n_));
+  panel_offset_.assign(static_cast<size_t>(nsuper) + 1, 0);
+  Index max_w = 0, max_r = 0;
+  for (Index s = 0; s < nsuper; ++s) {
+    const Index a = super_start_[static_cast<size_t>(s)];
+    const Index e = super_start_[static_cast<size_t>(s) + 1];
+    const Index w = e - a;
+    const Index r = lnz[static_cast<size_t>(e - 1)];
+    for (Index j = a; j < e; ++j) super_of_col_[static_cast<size_t>(j)] = s;
+    panel_offset_[static_cast<size_t>(s) + 1] =
+        panel_offset_[static_cast<size_t>(s)] + (w + r) * w;
+    max_w = std::max(max_w, w);
+    max_r = std::max(max_r, r);
+  }
+  panel_data_.assign(static_cast<size_t>(panel_offset_[static_cast<size_t>(nsuper)]),
+                     T(0));
+
+  // Left-looking over supernodes: head/next thread the pending-descendant
+  // lists, pos[] tracks how far each factored supernode's below rows have
+  // been consumed by ancestor updates.
+  std::vector<Index> head(static_cast<size_t>(nsuper), -1);
+  std::vector<Index> next(static_cast<size_t>(nsuper), -1);
+  std::vector<Index> pos(static_cast<size_t>(nsuper), 0);
+  std::vector<Index> row_local(static_cast<size_t>(n_), -1);
+  // Scratch for one descendant update: W = D_d·L_d[p1:p2,:] (q×wd) and
+  // C = L_d[p1:,:]·Wᵀ (m×q), both column-major.
+  std::vector<T> wbuf(static_cast<size_t>(max_w) * static_cast<size_t>(max_w));
+  std::vector<T> cbuf(static_cast<size_t>(std::max<Index>(max_r + max_w, 1)) *
+                      static_cast<size_t>(std::max<Index>(max_w, 1)));
+
+  double flops = 0.0;
+  for (Index s = 0; s < nsuper; ++s) {
+    const Index a = super_start_[static_cast<size_t>(s)];
+    const Index e = super_start_[static_cast<size_t>(s) + 1];
+    const Index w = e - a;
+    const Index r = lnz[static_cast<size_t>(e - 1)];
+    const Index h = w + r;
+    const Index* rows =
+        sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(e - 1)];
+    T* panel = panel_data_.data() + panel_offset_[static_cast<size_t>(s)];
+
+    for (Index jj = 0; jj < w; ++jj) row_local[static_cast<size_t>(a + jj)] = jj;
+    for (Index i = 0; i < r; ++i)
+      row_local[static_cast<size_t>(rows[i])] = w + i;
+
+    // Assemble the lower triangle of A's panel columns.
+    for (Index j = a; j < e; ++j) {
+      T* col = panel + (j - a) * h;
+      for (Index p = colptr[static_cast<size_t>(j)];
+           p < colptr[static_cast<size_t>(j) + 1]; ++p) {
+        const Index i = rowind[static_cast<size_t>(p)];
+        if (i < j) continue;
+        col[row_local[static_cast<size_t>(i)]] += values[static_cast<size_t>(p)];
+      }
+    }
+
+    // Apply every pending descendant update C = L_d[p1:,:]·D_d·L_d[p1:p2,:]ᵀ.
+    for (Index d = head[static_cast<size_t>(s)]; d != -1;) {
+      const Index dnext = next[static_cast<size_t>(d)];
+      const Index da = super_start_[static_cast<size_t>(d)];
+      const Index de = super_start_[static_cast<size_t>(d) + 1];
+      const Index wd = de - da;
+      const Index rd = lnz[static_cast<size_t>(de - 1)];
+      const Index hd = wd + rd;
+      const Index* rowsd =
+          sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(de - 1)];
+      const T* dpanel = panel_data_.data() + panel_offset_[static_cast<size_t>(d)];
+      const Index p1 = pos[static_cast<size_t>(d)];
+      Index p2 = p1;
+      while (p2 < rd && rowsd[p2] < e) ++p2;
+      const Index m = rd - p1;
+      const Index q = p2 - p1;
+      // W(i,j) = L_d(p1+i, j) · d_j  — the D-scaled middle segment.
+      for (Index j = 0; j < wd; ++j) {
+        const T dj = d_[static_cast<size_t>(da + j)];
+        const T* src = dpanel + j * hd + wd + p1;
+        T* dst = wbuf.data() + j * q;
+        for (Index i = 0; i < q; ++i) dst[i] = src[i] * dj;
+      }
+      std::fill(cbuf.begin(),
+                cbuf.begin() + static_cast<size_t>(m) * static_cast<size_t>(q),
+                T(0));
+      kernels::gemm_nt_acc<T>(m, q, wd, dpanel + wd + p1, hd, wbuf.data(), q,
+                              cbuf.data(), m);
+      flops += 2.0 * static_cast<double>(m) * static_cast<double>(q) *
+                   static_cast<double>(wd) +
+               static_cast<double>(q) * static_cast<double>(wd);
+      // Scatter-subtract the lower triangle (rows_d ascending, so rr >= c
+      // is exactly the lower part).
+      for (Index c = 0; c < q; ++c) {
+        T* colt = panel + row_local[static_cast<size_t>(rowsd[p1 + c])] * h;
+        const T* csrc = cbuf.data() + c * m;
+        for (Index rr = c; rr < m; ++rr)
+          colt[row_local[static_cast<size_t>(rowsd[p1 + rr])]] -= csrc[rr];
+      }
+      pos[static_cast<size_t>(d)] = p2;
+      if (p2 < rd) {
+        const Index t = super_of_col_[static_cast<size_t>(rowsd[p2])];
+        next[static_cast<size_t>(d)] = head[static_cast<size_t>(t)];
+        head[static_cast<size_t>(t)] = d;
+      }
+      d = dnext;
+    }
+
+    // Dense in-panel factorization; pivots accepted per global column in
+    // ascending order — the same fault::check sites and zero-pivot Error
+    // as the simplicial path.
+    flops += kernels::panel_ldlt(h, w, panel, [&](Index jj, const T& dj) {
+      const Index k = a + jj;
+      d_[static_cast<size_t>(k)] = dj;
+      accept_pivot(k, dj, pivot_floor, dmin, dmax);
+    });
+
+    for (Index jj = 0; jj < w; ++jj) row_local[static_cast<size_t>(a + jj)] = -1;
+    for (Index i = 0; i < r; ++i) row_local[static_cast<size_t>(rows[i])] = -1;
+    if (r > 0) {
+      const Index t = super_of_col_[static_cast<size_t>(rows[0])];
+      next[static_cast<size_t>(s)] = head[static_cast<size_t>(t)];
+      head[static_cast<size_t>(t)] = s;
+    }
+  }
+  flops_ = flops;
+}
+
+template <typename T>
+SparseMatrix<T> SparseLDLT<T>::l_matrix() const {
+  const LdltSymbolic& sym = *symbolic_;
+  SparseMatrix<T> l(n_, n_);
+  if (path_ != KernelPath::kSupernodal) {
+    l.set_raw(l_colptr_, l_rowind_, l_values_);
+    return l;
+  }
+  // Gather the symbolic-pattern entries out of the panels (relaxed panels
+  // also hold explicit zeros; those are dropped here).
+  std::vector<T> vals(sym.l_rowind_.size());
+  std::vector<Index> row_local(static_cast<size_t>(n_), -1);
+  const Index nsuper = supernode_count();
+  const auto lnz = sym.column_counts();
+  for (Index s = 0; s < nsuper; ++s) {
+    const Index a = super_start_[static_cast<size_t>(s)];
+    const Index e = super_start_[static_cast<size_t>(s) + 1];
+    const Index w = e - a;
+    const Index r = lnz[static_cast<size_t>(e - 1)];
+    const Index h = w + r;
+    const Index* rows =
+        sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(e - 1)];
+    const T* panel = panel_data_.data() + panel_offset_[static_cast<size_t>(s)];
+    for (Index jj = 0; jj < w; ++jj) row_local[static_cast<size_t>(a + jj)] = jj;
+    for (Index i = 0; i < r; ++i)
+      row_local[static_cast<size_t>(rows[i])] = w + i;
+    for (Index j = a; j < e; ++j) {
+      const T* col = panel + (j - a) * h;
+      for (Index p = sym.l_colptr_[static_cast<size_t>(j)];
+           p < sym.l_colptr_[static_cast<size_t>(j) + 1]; ++p)
+        vals[static_cast<size_t>(p)] =
+            col[row_local[static_cast<size_t>(sym.l_rowind_[static_cast<size_t>(p)])]];
+    }
+    for (Index jj = 0; jj < w; ++jj) row_local[static_cast<size_t>(a + jj)] = -1;
+    for (Index i = 0; i < r; ++i) row_local[static_cast<size_t>(rows[i])] = -1;
+  }
+  l.set_raw(sym.l_colptr_, sym.l_rowind_, std::move(vals));
+  return l;
+}
+
+template <typename T>
+void SparseLDLT<T>::panel_forward(T* x, Index nrhs) const {
+  const LdltSymbolic& sym = *symbolic_;
+  const Index nsuper = supernode_count();
+  for (Index s = 0; s < nsuper; ++s) {
+    const Index a = super_start_[static_cast<size_t>(s)];
+    const Index e = super_start_[static_cast<size_t>(s) + 1];
+    const Index w = e - a;
+    const Index h =
+        (panel_offset_[static_cast<size_t>(s) + 1] -
+         panel_offset_[static_cast<size_t>(s)]) / w;
+    const T* panel = panel_data_.data() + panel_offset_[static_cast<size_t>(s)];
+    // In-panel unit-lower solve (column sweep; per-row accumulation over
+    // jj ascending is independent of nrhs).
+    for (Index jj = 0; jj < w; ++jj) {
+      const T* colj = panel + jj * h;
+      const T* xj = x + (a + jj) * nrhs;
+      for (Index ii = jj + 1; ii < w; ++ii)
+        kernels::axpy_n<T>(nrhs, -colj[ii], xj, x + (a + ii) * nrhs);
+    }
+    const Index r = h - w;
+    if (r > 0)
+      kernels::below_forward<T>(
+          r, w, nrhs, panel + w, h,
+          sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(e - 1)],
+          x + a * nrhs, x);
+  }
+}
+
+template <typename T>
+void SparseLDLT<T>::panel_backward(T* x, Index nrhs) const {
+  const LdltSymbolic& sym = *symbolic_;
+  for (Index s = supernode_count() - 1; s >= 0; --s) {
+    const Index a = super_start_[static_cast<size_t>(s)];
+    const Index e = super_start_[static_cast<size_t>(s) + 1];
+    const Index w = e - a;
+    const Index h =
+        (panel_offset_[static_cast<size_t>(s) + 1] -
+         panel_offset_[static_cast<size_t>(s)]) / w;
+    const T* panel = panel_data_.data() + panel_offset_[static_cast<size_t>(s)];
+    const Index r = h - w;
+    if (r > 0)
+      kernels::below_backward<T>(
+          r, w, nrhs, panel + w, h,
+          sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(e - 1)], x,
+          x + a * nrhs);
+    for (Index jj = w - 1; jj >= 0; --jj) {
+      const T* colj = panel + jj * h;
+      T* xj = x + (a + jj) * nrhs;
+      for (Index ii = jj + 1; ii < w; ++ii)
+        kernels::axpy_n<T>(nrhs, -colj[ii], x + (a + ii) * nrhs, xj);
+    }
+  }
 }
 
 template <typename T>
 void SparseLDLT<T>::forward_solve(std::vector<T>& x) const {
+  if (path_ == KernelPath::kSupernodal) {
+    panel_forward(x.data(), 1);
+    return;
+  }
   for (Index j = 0; j < n_; ++j) {
     const T xj = x[static_cast<size_t>(j)];
     if (xj == T(0)) continue;
@@ -238,6 +540,10 @@ void SparseLDLT<T>::forward_solve(std::vector<T>& x) const {
 
 template <typename T>
 void SparseLDLT<T>::backward_solve(std::vector<T>& x) const {
+  if (path_ == KernelPath::kSupernodal) {
+    panel_backward(x.data(), 1);
+    return;
+  }
   for (Index j = n_ - 1; j >= 0; --j) {
     T acc = x[static_cast<size_t>(j)];
     for (Index p = l_colptr_[static_cast<size_t>(j)];
@@ -277,14 +583,18 @@ Matrix<T> SparseLDLT<T>::solve(const Matrix<T>& b) const {
     T* dst = x.data() + i * p;
     for (Index r = 0; r < p; ++r) dst[r] = src[r];
   }
-  // Forward: L X = B (unit lower), one pass over L's columns.
-  for (Index j = 0; j < n_; ++j) {
-    const T* xj = x.data() + j * p;
-    for (Index q = l_colptr_[static_cast<size_t>(j)];
-         q < l_colptr_[static_cast<size_t>(j) + 1]; ++q) {
-      const T lij = l_values_[static_cast<size_t>(q)];
-      T* xi = x.data() + l_rowind_[static_cast<size_t>(q)] * p;
-      for (Index r = 0; r < p; ++r) xi[r] -= lij * xj[r];
+  if (path_ == KernelPath::kSupernodal) {
+    panel_forward(x.data(), p);
+  } else {
+    // Forward: L X = B (unit lower), one pass over L's columns.
+    for (Index j = 0; j < n_; ++j) {
+      const T* xj = x.data() + j * p;
+      for (Index q = l_colptr_[static_cast<size_t>(j)];
+           q < l_colptr_[static_cast<size_t>(j) + 1]; ++q) {
+        const T lij = l_values_[static_cast<size_t>(q)];
+        T* xi = x.data() + l_rowind_[static_cast<size_t>(q)] * p;
+        for (Index r = 0; r < p; ++r) xi[r] -= lij * xj[r];
+      }
     }
   }
   // Diagonal: D X = X.
@@ -293,14 +603,18 @@ Matrix<T> SparseLDLT<T>::solve(const Matrix<T>& b) const {
     T* xj = x.data() + j * p;
     for (Index r = 0; r < p; ++r) xj[r] /= dj;
   }
-  // Backward: Lᵀ X = X, one pass over L's columns in reverse.
-  for (Index j = n_ - 1; j >= 0; --j) {
-    T* xj = x.data() + j * p;
-    for (Index q = l_colptr_[static_cast<size_t>(j)];
-         q < l_colptr_[static_cast<size_t>(j) + 1]; ++q) {
-      const T lij = l_values_[static_cast<size_t>(q)];
-      const T* xi = x.data() + l_rowind_[static_cast<size_t>(q)] * p;
-      for (Index r = 0; r < p; ++r) xj[r] -= lij * xi[r];
+  if (path_ == KernelPath::kSupernodal) {
+    panel_backward(x.data(), p);
+  } else {
+    // Backward: Lᵀ X = X, one pass over L's columns in reverse.
+    for (Index j = n_ - 1; j >= 0; --j) {
+      T* xj = x.data() + j * p;
+      for (Index q = l_colptr_[static_cast<size_t>(j)];
+           q < l_colptr_[static_cast<size_t>(j) + 1]; ++q) {
+        const T lij = l_values_[static_cast<size_t>(q)];
+        const T* xi = x.data() + l_rowind_[static_cast<size_t>(q)] * p;
+        for (Index r = 0; r < p; ++r) xj[r] -= lij * xi[r];
+      }
     }
   }
   Matrix<T> out(n_, p);

@@ -1,5 +1,5 @@
-// Sparse LDLᵀ factorization (up-looking, unpivoted, 1×1 pivots) with a
-// fill-reducing pre-ordering, templated over real/complex scalars.
+// Sparse LDLᵀ factorization (unpivoted, 1×1 pivots) with a fill-reducing
+// pre-ordering, templated over real/complex scalars.
 //
 // This is the workhorse behind
 //   * the paper's symmetric factorization G = M J⁻¹ Mᵀ (eq. 15) with
@@ -16,13 +16,27 @@
 //
 // For repeated factorizations of matrices sharing one sparsity pattern
 // (an AC sweep factors G + sC at hundreds of frequencies), the symbolic
-// analysis — ordering, elimination tree, column counts — is computed once
-// as an LdltSymbolic and reused; only the numeric phase runs per point.
+// analysis — ordering, elimination tree, column counts, and the full L
+// pattern — is computed once as an LdltSymbolic and reused; only the
+// numeric phase runs per point.
+//
+// Two numeric kernels share that symbolic analysis (see KernelOptions in
+// linalg/kernels.hpp):
+//   * simplicial — the original up-looking column-at-a-time elimination;
+//   * supernodal — columns with (near-)identical lower structure are
+//     amalgamated into dense panels factored with blocked rank-k updates
+//     and solved with blocked multi-RHS panel sweeps.
+// The two paths agree entrywise to rounding (≈1e-12 relative on the
+// paper's meshes; structural zeros stay exact zeros), produce identical
+// pivot-failure behavior (same fault::check sites, same Error), and each
+// path's single-RHS and multi-RHS solves run per-column bit-identical
+// arithmetic.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "linalg/kernels.hpp"
 #include "linalg/ordering.hpp"
 #include "linalg/sparse.hpp"
 
@@ -44,6 +58,12 @@ class LdltSymbolic {
   Index l_nnz() const { return l_colptr_.empty() ? 0 : l_colptr_.back(); }
   const std::vector<Index>& permutation() const { return perm_; }
 
+  /// Elimination tree over the permuted pattern (-1 marks roots).
+  const std::vector<Index>& etree_parent() const { return parent_; }
+  /// Off-diagonal entry count of each L column (the lnz vector feeding
+  /// supernode detection).
+  std::vector<Index> column_counts() const;
+
  private:
   LdltSymbolic(Index n, const std::vector<Index>& colptr,
                const std::vector<Index>& rowind, std::vector<Index> perm);
@@ -59,9 +79,13 @@ class LdltSymbolic {
   std::vector<Index> p_colptr_;
   std::vector<Index> p_rowind_;
   std::vector<Index> source_;
-  // Elimination tree and L column pointers.
+  // Elimination tree, L column pointers, and the full L row pattern
+  // (each column's rows ascending — exactly the fill order the
+  // up-looking numeric phase produces). The supernodal kernel reads
+  // per-supernode below-row lists straight out of l_rowind_.
   std::vector<Index> parent_;
   std::vector<Index> l_colptr_;
+  std::vector<Index> l_rowind_;
 };
 
 template <typename T>
@@ -73,16 +97,19 @@ class SparseLDLT {
   /// zero: pass 0 to accept any nonzero pivot (AC sweeps near resonances
   /// legitimately produce tiny pivots), or ~1e-12 to detect structurally
   /// singular matrices such as an ungrounded G (the trigger for the
-  /// paper's eq. 26 frequency shift).
+  /// paper's eq. 26 frequency shift). `kernels` selects the numeric path
+  /// (default: auto — supernodal for large systems, SYMPVL_KERNEL env
+  /// override honored).
   explicit SparseLDLT(const SparseMatrix<T>& a, Ordering ordering = Ordering::kRCM,
-                      double zero_pivot_tol = 0.0);
+                      double zero_pivot_tol = 0.0,
+                      const KernelOptions& kernels = {});
 
   /// Numeric-only factorization reusing a symbolic analysis. `a` must have
   /// exactly the pattern the symbolic was computed from (same colptr and
   /// rowind).
   SparseLDLT(const SparseMatrix<T>& a,
              std::shared_ptr<const LdltSymbolic> symbolic,
-             double zero_pivot_tol = 0.0);
+             double zero_pivot_tol = 0.0, const KernelOptions& kernels = {});
 
   Index size() const { return n_; }
 
@@ -90,17 +117,21 @@ class SparseLDLT {
   std::vector<T> solve(const std::vector<T>& b) const;
 
   /// Blocked multi-right-hand-side solve: A X = B for an n×p B. The
-  /// forward, diagonal, and backward phases each make ONE pass over L's
-  /// pattern with the p right-hand sides as the contiguous inner
+  /// forward, diagonal, and backward phases each make ONE pass over the
+  /// factor with the p right-hand sides as the contiguous inner
   /// dimension, instead of p independent passes — the natural shape for
-  /// solving against all port columns of an MNA system at once.
+  /// solving against all port columns of an MNA system at once. On the
+  /// supernodal path this rides the same dense panels as the
+  /// factorization; per column it is bit-identical to solve(vector).
   Matrix<T> solve(const Matrix<T>& b) const;
 
   /// Diagonal D entries (in permuted order).
   const std::vector<T>& d() const { return d_; }
 
-  /// Fill-in: number of stored off-diagonal entries of L.
-  Index l_nnz() const { return static_cast<Index>(l_rowind_.size()); }
+  /// Fill-in: number of stored off-diagonal entries of L (the symbolic
+  /// pattern count — relaxed supernodal panels may store explicit zeros
+  /// beyond it; see panel_zeros()).
+  Index l_nnz() const { return symbolic_->l_nnz(); }
 
   /// Stored factor entries (nnz(L) + diagonal) per lower-triangle nonzero
   /// of A — 1.0 means no fill-in at all.
@@ -121,6 +152,27 @@ class SparseLDLT {
   /// negative eigenvalues for the unpivoted real factorization).
   Index negative_pivots() const;
 
+  // --- Kernel-path telemetry. ---
+  /// The resolved numeric path this factorization ran.
+  KernelPath kernel_path() const { return path_; }
+  bool supernodal() const { return path_ == KernelPath::kSupernodal; }
+  /// Number of supernodes (0 on the simplicial path).
+  Index supernode_count() const {
+    return super_start_.empty() ? 0
+                                : static_cast<Index>(super_start_.size()) - 1;
+  }
+  /// Widest amalgamated panel (0 on the simplicial path).
+  Index max_panel_width() const { return max_panel_width_; }
+  /// Explicit zeros stored by relaxed amalgamation (0 on the simplicial
+  /// path or with relaxation off).
+  Index panel_zeros() const { return panel_zeros_; }
+
+  /// The strictly-lower factor L as a CSC matrix over the PERMUTED
+  /// indices (unit diagonal implied) — the common currency for comparing
+  /// the simplicial and supernodal paths in tests. Gathered from the
+  /// panels on demand on the supernodal path.
+  SparseMatrix<T> l_matrix() const;
+
   // --- The M-operator interface used by the Lanczos process (real only). --
   // With A = M J Mᵀ, M = Pᵀ L √|D|:
 
@@ -134,16 +186,39 @@ class SparseLDLT {
 
  private:
   void factorize(const SparseMatrix<T>& a, double zero_pivot_tol);
+  void factorize_simplicial(const std::vector<T>& values, double pivot_floor,
+                            double& dmin, double& dmax);
+  void factorize_supernodal(const std::vector<T>& values, double pivot_floor,
+                            double& dmin, double& dmax);
   void forward_solve(std::vector<T>& x) const;   // L x = b (unit lower)
   void backward_solve(std::vector<T>& x) const;  // Lᵀ x = b
+  // Panel sweeps of the supernodal path; x is the permuted workspace laid
+  // out row-major n×nrhs. Both solve() overloads funnel through these
+  // with nrhs = 1 / p respectively.
+  void panel_forward(T* x, Index nrhs) const;
+  void panel_backward(T* x, Index nrhs) const;
 
   Index n_ = 0;
   std::shared_ptr<const LdltSymbolic> symbolic_;
-  // L in CSC (columns = elimination order), strictly lower, unit diagonal
-  // implied.
+  KernelOptions kernel_options_;
+  KernelPath path_ = KernelPath::kSimplicial;
+  // Simplicial storage: L in CSC (columns = elimination order), strictly
+  // lower, unit diagonal implied.
   std::vector<Index> l_colptr_;
   std::vector<Index> l_rowind_;
   std::vector<T> l_values_;
+  // Supernodal storage: column-major dense panels, one per supernode.
+  // Panel s covers columns [super_start_[s], super_start_[s+1]) with
+  // height w + r: the top w rows are the in-panel triangle (pivots on
+  // the diagonal, unit-lower L below it), the bottom r rows are the
+  // below-panel L rows whose global indices are the symbolic pattern of
+  // the panel's last column.
+  std::vector<Index> super_start_;
+  std::vector<Index> super_of_col_;
+  std::vector<Index> panel_offset_;  // size supernode_count()+1
+  std::vector<T> panel_data_;
+  Index panel_zeros_ = 0;
+  Index max_panel_width_ = 0;
   std::vector<T> d_;
   std::vector<typename ScalarTraits<T>::Real> sqrt_abs_d_;
   double pivot_ratio_ = 0.0;

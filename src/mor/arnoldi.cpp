@@ -87,6 +87,8 @@ ArnoldiModel arnoldi_reduce(const MnaSystem& sys, const ArnoldiOptions& options)
   req.driver = "arnoldi_reduce";
   req.stage = "arnoldi.factor";
   req.cache = options.factor_cache;
+  req.cache_options = options.cache;
+  req.kernels = options.kernel;
   PencilFactorResult outcome = factor_pencil(sys, req);
   const std::shared_ptr<const FactorizedPencil> fact = outcome.pencil;
   const double s0 = outcome.s0_used;

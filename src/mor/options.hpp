@@ -6,6 +6,7 @@
 #pragma once
 
 #include "common.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/ordering.hpp"
 
 namespace sympvl {
@@ -39,6 +40,15 @@ struct CommonReductionOptions {
   /// Factorization cache the driver acquires its pencil factors through
   /// (nullptr = the process-global FactorCache).
   FactorCache* factor_cache = nullptr;
+  /// Cache behavior for this reduction: enabled=false factors fresh
+  /// without touching the cache, capacity>0 resizes it up front.
+  /// Environment fallbacks (SYMPVL_FACTOR_CACHE, SYMPVL_FACTOR_CACHE_CAP)
+  /// configure the global cache when these stay at their defaults.
+  CacheOptions cache;
+  /// Numeric LDLᵀ kernel selection (simplicial vs supernodal panels) and
+  /// amalgamation slack; kAuto resolves per system size with the
+  /// SYMPVL_KERNEL environment variable as fallback.
+  KernelOptions kernel;
 };
 
 }  // namespace sympvl

@@ -14,21 +14,27 @@ namespace {
 // Returns nullptr on failure (the failure record carries code/detail).
 std::shared_ptr<const FactorizedPencil> attempt_rung(
     const SMat& g, const SMat& c, const PencilFingerprint& fp,
-    FactorCache& cache, double shift, Ordering ordering, bool dense,
-    std::vector<FactorAttemptRecord>* attempts) {
+    FactorCache& cache, const PencilFactorRequest& req, double shift,
+    bool dense, std::vector<FactorAttemptRecord>* attempts) {
   FactorAttemptRecord rec;
   rec.method = dense ? "dense_bk" : "ldlt";
   rec.shift = shift;
   PencilFactorOptions opt;
   opt.shift = shift;
-  opt.ordering = ordering;
+  opt.ordering = req.ordering;
   opt.dense = dense;
+  opt.kernels = req.kernels;
   try {
     bool hit = false;
-    auto pencil = cache.acquire(
-        fp, opt,
-        [&] { return std::make_shared<const FactorizedPencil>(g, c, opt); },
-        &hit);
+    std::shared_ptr<const FactorizedPencil> pencil;
+    if (req.cache_options.enabled) {
+      pencil = cache.acquire(
+          fp, opt,
+          [&] { return std::make_shared<const FactorizedPencil>(g, c, opt); },
+          &hit);
+    } else {
+      pencil = std::make_shared<const FactorizedPencil>(g, c, opt);
+    }
     rec.success = true;
     if (hit) rec.detail = "cache hit";
     attempts->push_back(std::move(rec));
@@ -75,7 +81,7 @@ PencilFactorResult full_ladder(const SMat& g, const SMat& c,
     for (double s : shift_ladder(base, 4)) shifts.push_back(s);
   }
   for (double s : shifts) {
-    if (auto pencil = attempt_rung(g, c, fp, cache, s, req.ordering,
+    if (auto pencil = attempt_rung(g, c, fp, cache, req, s,
                                    /*dense=*/false, &res.attempts)) {
       res.pencil = std::move(pencil);
       res.s0_used = s;
@@ -90,7 +96,7 @@ PencilFactorResult full_ladder(const SMat& g, const SMat& c,
                              ? req.auto_s0
                              : req.s0;
   obs::instant("sympvl.dense_fallback", {obs::arg("n", g.rows())});
-  if (auto pencil = attempt_rung(g, c, fp, cache, s_dense, req.ordering,
+  if (auto pencil = attempt_rung(g, c, fp, cache, req, s_dense,
                                  /*dense=*/true, &res.attempts)) {
     res.pencil = std::move(pencil);
     res.s0_used = s_dense;
@@ -108,7 +114,7 @@ PencilFactorResult single_attempt(const SMat& g, const SMat& c,
                                   const PencilFactorRequest& req,
                                   double auto_s0) {
   PencilFactorResult res;
-  if (auto pencil = attempt_rung(g, c, fp, cache, req.s0, req.ordering,
+  if (auto pencil = attempt_rung(g, c, fp, cache, req, req.s0,
                                  /*dense=*/false, &res.attempts)) {
     res.pencil = std::move(pencil);
     res.s0_used = req.s0;
@@ -122,7 +128,7 @@ PencilFactorResult single_attempt(const SMat& g, const SMat& c,
                     "cannot help: " +
                     failed.detail,
                 {.stage = req.stage, .value = req.s0});
-  if (auto pencil = attempt_rung(g, c, fp, cache, auto_s0, req.ordering,
+  if (auto pencil = attempt_rung(g, c, fp, cache, req, auto_s0,
                                  /*dense=*/false, &res.attempts)) {
     res.pencil = std::move(pencil);
     res.s0_used = auto_s0;
@@ -155,6 +161,8 @@ double automatic_shift(const MnaSystem& sys) {
 PencilFactorResult factor_pencil(const SMat& g, const SMat& c,
                                  const PencilFactorRequest& req) {
   FactorCache& cache = req.cache != nullptr ? *req.cache : FactorCache::global();
+  if (req.cache_options.capacity > 0)
+    cache.set_capacity(req.cache_options.capacity);
   const PencilFingerprint fp = fingerprint_pencil(g, c);
   if (req.full_ladder) return full_ladder(g, c, fp, cache, req);
   return single_attempt(g, c, fp, cache, req, req.auto_s0);
@@ -163,6 +171,8 @@ PencilFactorResult factor_pencil(const SMat& g, const SMat& c,
 PencilFactorResult factor_pencil(const MnaSystem& sys,
                                  const PencilFactorRequest& req) {
   FactorCache& cache = req.cache != nullptr ? *req.cache : FactorCache::global();
+  if (req.cache_options.capacity > 0)
+    cache.set_capacity(req.cache_options.capacity);
   const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
   if (req.full_ladder) {
     PencilFactorRequest r = req;
@@ -180,7 +190,7 @@ PencilFactorResult factor_pencil(const MnaSystem& sys,
   // the first attempt failed and a retry is allowed — automatic_shift
   // throws on resistor-only circuits, and those factor fine at s₀ = 0.
   PencilFactorResult res;
-  if (auto pencil = attempt_rung(sys.G, sys.C, fp, cache, req.s0, req.ordering,
+  if (auto pencil = attempt_rung(sys.G, sys.C, fp, cache, req, req.s0,
                                  /*dense=*/false, &res.attempts)) {
     res.pencil = std::move(pencil);
     res.s0_used = req.s0;
@@ -195,9 +205,8 @@ PencilFactorResult factor_pencil(const MnaSystem& sys,
                     failed.detail,
                 {.stage = req.stage, .value = req.s0});
   const double auto_s0 = automatic_shift(sys);  // may throw; propagates
-  if (auto pencil = attempt_rung(sys.G, sys.C, fp, cache, auto_s0,
-                                 req.ordering, /*dense=*/false,
-                                 &res.attempts)) {
+  if (auto pencil = attempt_rung(sys.G, sys.C, fp, cache, req, auto_s0,
+                                 /*dense=*/false, &res.attempts)) {
     res.pencil = std::move(pencil);
     res.s0_used = auto_s0;
     return res;

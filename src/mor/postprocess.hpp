@@ -39,6 +39,9 @@ class ModalModel {
 
   /// Sweep along the jω axis (one p×p matrix per frequency in Hz),
   /// evaluated in parallel across frequency points.
+  /// \deprecated Prefer the unified sympvl::sweep(model, grid, options)
+  /// of sim/sweep_api.hpp, which adds per-point fault containment and
+  /// returns the same SweepResult as every other sweep target.
   std::vector<CMat> sweep(const Vec& frequencies_hz) const;
 
   /// Poles mapped to the physical s-plane (σ for kS; ±√σ for kSSquared).

@@ -63,6 +63,8 @@ PvlModel pvl_reduce_entry(const MnaSystem& sys, Index row, Index col,
   req.driver = "pvl_reduce_entry";
   req.stage = "pvl.factor";
   req.cache = options.factor_cache;
+  req.cache_options = options.cache;
+  req.kernels = options.kernel;
   PencilFactorResult outcome = factor_pencil(sys, req);
   const std::shared_ptr<const FactorizedPencil> fact = outcome.pencil;
   const double s0 = outcome.s0_used;

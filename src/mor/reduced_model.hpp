@@ -51,6 +51,9 @@ class ReducedModel {
   /// the same per-point fault containment as AcSweepEngine::sweep: a
   /// failed evaluation yields a NaN matrix plus a structured error record
   /// while the remaining points complete unaffected.
+  /// \deprecated Prefer the unified sympvl::sweep(model, grid, options)
+  /// of sim/sweep_api.hpp; this member spelling is kept for
+  /// compatibility.
   SweepResult sweep(const Vec& frequencies_hz) const;
 
   /// Poles of Zₙ in the physical s-plane. In the pencil variable the poles

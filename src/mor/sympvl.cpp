@@ -44,11 +44,19 @@ struct SympvlSession::Impl {
     s0 = outcome.s0_used;
     report.s0_used = outcome.s0_used;
     report.used_dense_fallback = outcome.dense;
-    for (FactorAttemptRecord& rec : outcome.attempts)
+    for (FactorAttemptRecord& rec : outcome.attempts) {
+      if (rec.success)
+        ++(rec.detail == "cache hit" ? report.factor_cache_hits
+                                     : report.factor_cache_misses);
       report.factor_attempts.push_back(std::move(rec));
+    }
     report.factor_nnz_l = pencil->l_nnz();
     report.factor_fill_ratio = pencil->fill_ratio();
     report.factor_flops = pencil->flops();
+    report.kernel_path = kernel_path_name(pencil->kernel_path());
+    report.supernode_count = pencil->supernode_count();
+    report.max_panel_width = pencil->max_panel_width();
+    report.panel_zeros = pencil->panel_zeros();
   }
 
   // Builds the starting block J⁻¹M⁻¹B, the exact 0th moment and a fresh
@@ -152,6 +160,8 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
   req.driver = "sympvl";
   req.stage = "sympvl.factor";
   req.cache = options.factor_cache;
+  req.cache_options = options.cache;
+  req.kernels = options.kernel;
   PencilFactorResult outcome;
   {
     obs::ScopedTimer span("sympvl.factor");
@@ -199,6 +209,8 @@ ReducedModel SympvlSession::reshift(double new_s0) {
   req.driver = "sympvl";
   req.stage = "sympvl.factor";
   req.cache = impl->options.factor_cache;
+  req.cache_options = impl->options.cache;
+  req.kernels = impl->options.kernel;
   PencilFactorResult outcome;
   {
     obs::ScopedTimer span("sympvl.reshift");

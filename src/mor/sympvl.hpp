@@ -67,6 +67,19 @@ struct SympvlReport {
   double factor_fill_ratio = 0.0;  ///< stored factor per lower-tri nnz of A
   double factor_flops = 0.0;       ///< numeric factorization flop count
 
+  // -- Kernel-layer telemetry (see KernelOptions; defaults on the dense
+  //    fallback). --
+  std::string kernel_path = "simplicial";  ///< numeric kernel actually run
+  Index supernode_count = 0;   ///< panels of the supernodal factor (0 =
+                               ///< simplicial)
+  Index max_panel_width = 0;   ///< widest amalgamated panel
+  Index panel_zeros = 0;       ///< explicit zeros stored by relaxation
+
+  // -- FactorCache outcome for this reduction's successful rungs (failed
+  //    rungs are neither; bypassed acquires count as misses). --
+  Index factor_cache_hits = 0;
+  Index factor_cache_misses = 0;
+
   // -- Moment-match diagnostic: the 0th moment of the Padé model,
   //    ρₙᵀΔₙρₙ, against the exact Bᵀ(G+s₀C)⁻¹B (computed from the
   //    factorization, so it costs O(N·p²)). Near machine epsilon whenever

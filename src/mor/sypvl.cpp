@@ -27,6 +27,8 @@ ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
   req.driver = "sypvl_reduce";
   req.stage = "sypvl.factor";
   req.cache = options.factor_cache;
+  req.cache_options = options.cache;
+  req.kernels = options.kernel;
   PencilFactorResult outcome = factor_pencil(sys, req);
   const std::shared_ptr<const FactorizedPencil> fact = outcome.pencil;
   const double s0 = outcome.s0_used;

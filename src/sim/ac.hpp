@@ -69,6 +69,9 @@ class AcSweepEngine {
   /// be factored (or that hits an injected fault) yields a NaN matrix and
   /// a structured error record while every other point completes
   /// unaffected — and bit-identical to an all-healthy sweep.
+  /// \deprecated Prefer the unified sympvl::sweep(engine, grid, options)
+  /// of sim/sweep_api.hpp; this member spelling is kept for
+  /// compatibility.
   SweepResult sweep(const Vec& frequencies_hz) const;
 
  private:

@@ -1,0 +1,57 @@
+#include "sim/sweep_api.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace sympvl {
+
+namespace {
+
+// Applies the all-or-nothing contract when requested: the error carries
+// the first failed point, exactly like SweepResult::values_or_throw.
+SweepResult finish(SweepResult res, const SweepOptions& options) {
+  if (options.throw_on_failure && !res.all_ok()) {
+    const SweepPointError& first = res.errors.front();
+    ErrorContext ctx;
+    ctx.stage = "sweep";
+    ctx.index = first.index;
+    ctx.frequency = Complex(first.frequency_hz, 0.0);
+    throw Error(ErrorCode::kSweepPointFailed,
+                std::to_string(res.errors.size()) + " of " +
+                    std::to_string(res.values.size()) +
+                    " sweep points failed; first: " + first.message,
+                std::move(ctx));
+  }
+  return res;
+}
+
+}  // namespace
+
+SweepResult sweep(const AcSweepEngine& engine, const Vec& frequencies_hz,
+                  const SweepOptions& options) {
+  return finish(engine.sweep(frequencies_hz), options);
+}
+
+SweepResult sweep(const ReducedModel& model, const Vec& frequencies_hz,
+                  const SweepOptions& options) {
+  return finish(model.sweep(frequencies_hz), options);
+}
+
+SweepResult sweep(const ModalModel& model, const Vec& frequencies_hz,
+                  const SweepOptions& options) {
+  const Index p = model.port_count();
+  SweepResult res =
+      detail::run_contained_sweep(frequencies_hz, p, p, [&](Index k) {
+        const double f = frequencies_hz[static_cast<size_t>(k)];
+        return model.eval(Complex(0.0, 2.0 * M_PI * f));
+      });
+  return finish(std::move(res), options);
+}
+
+SweepResult sweep(const MnaSystem& sys, const Vec& frequencies_hz,
+                  const SweepOptions& options) {
+  const AcSweepEngine engine(sys, options.factor_cache);
+  return finish(engine.sweep(frequencies_hz), options);
+}
+
+}  // namespace sympvl

@@ -1,0 +1,57 @@
+// The unified frequency-sweep entry point.
+//
+// Historically each sweepable object spelled its own sweep:
+// AcSweepEngine::sweep and ReducedModel::sweep returned the contained
+// SweepResult while ModalModel::sweep returned a bare std::vector<CMat>
+// with no per-point containment. sympvl::sweep(target, grid, options)
+// is the single spelling over all of them — same argument order, same
+// SweepResult return (ModalModel evaluation gains the containment
+// harness on the way), plus an MnaSystem overload that stands up an
+// exact AcSweepEngine for one-shot sweeps.
+//
+// The member spellings remain for compatibility but are deprecated in
+// favor of these free functions; new code should not grow more
+// per-class sweep members.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "mor/postprocess.hpp"
+#include "mor/reduced_model.hpp"
+#include "sim/ac.hpp"
+#include "sim/sweep.hpp"
+
+namespace sympvl {
+
+/// Behavior knobs shared by every sweep target.
+struct SweepOptions {
+  /// Throw Error(kSweepPointFailed) describing the first failed point
+  /// instead of returning a partially-healthy SweepResult (the old
+  /// all-or-nothing contract).
+  bool throw_on_failure = false;
+  /// Factorization cache for targets that factor pencils per point
+  /// (the MnaSystem overload; nullptr = the process-global cache).
+  FactorCache* factor_cache = nullptr;
+};
+
+/// Exact AC sweep through an existing engine (symbolic analysis already
+/// amortized across calls).
+SweepResult sweep(const AcSweepEngine& engine, const Vec& frequencies_hz,
+                  const SweepOptions& options = {});
+
+/// Reduced-model sweep: evaluates Zₙ(j·2πf) per grid point.
+SweepResult sweep(const ReducedModel& model, const Vec& frequencies_hz,
+                  const SweepOptions& options = {});
+
+/// Modal (pole/residue) sweep. Unlike the deprecated
+/// ModalModel::sweep, failed evaluations are contained per point like
+/// every other target.
+SweepResult sweep(const ModalModel& model, const Vec& frequencies_hz,
+                  const SweepOptions& options = {});
+
+/// One-shot exact sweep: builds an AcSweepEngine over `sys` (honoring
+/// options.factor_cache) and sweeps. Amortize the engine yourself when
+/// sweeping the same system repeatedly.
+SweepResult sweep(const MnaSystem& sys, const Vec& frequencies_hz,
+                  const SweepOptions& options = {});
+
+}  // namespace sympvl

@@ -16,6 +16,7 @@
 #include "mor/driver.hpp"
 #include "mor/sympvl.hpp"
 #include "sim/ac.hpp"
+#include "sim/sweep_api.hpp"
 
 namespace sympvl {
 namespace {
@@ -106,6 +107,61 @@ TEST_F(FaultTest, ForcedPivotFailureModelMatchesCleanRun) {
     const Complex s(0.0, 2.0 * M_PI * f);
     EXPECT_LT(max_rel_err(recovered.eval(s), clean.eval(s)), 1e-10) << f;
   }
+}
+
+// ---- Acceptance: pivot faults fire identically on both kernel paths. ----
+
+TEST_F(FaultTest, PivotFaultIdenticalAcrossKernelPaths) {
+  // fault::check("ldlt.pivot", k) must be reached per column in the same
+  // ascending order whether the numeric phase is simplicial or
+  // supernodal: an injected fault at a fixed column yields the same
+  // structured error and the same fire count on both paths.
+  const Index n = 60;
+  const SMat a = laplacian_spd(n);
+  for (const KernelPath path :
+       {KernelPath::kSimplicial, KernelPath::kSupernodal}) {
+    KernelOptions kopt;
+    kopt.path = path;
+    fault::arm("ldlt.pivot@17");
+    try {
+      const LDLT f(a, Ordering::kNatural, 0.0, kopt);
+      FAIL() << "expected injected fault on " << kernel_path_name(path);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kFaultInjected) << kernel_path_name(path);
+      EXPECT_EQ(e.context().index, 17) << kernel_path_name(path);
+    }
+    EXPECT_EQ(fault::fire_count("ldlt.pivot"), 1) << kernel_path_name(path);
+    fault::disarm();
+  }
+}
+
+// ---- Unified sweep: throw_on_failure rethrows the first failed point. ----
+
+TEST_F(FaultTest, UnifiedSweepThrowOnFailure) {
+  const Netlist nl = random_rc({.nodes = 30, .ports = 2, .seed = 7});
+  const MnaSystem sys = build_mna(nl);
+  SympvlOptions opt;
+  opt.order = 8;
+  const ReducedModel rom = sympvl_reduce(sys, opt);
+  const Vec freqs = log_frequency_grid(1e6, 1e9, 8);
+
+  fault::arm("sweep.point@3");
+  const SweepResult contained = sweep(rom, freqs);
+  fault::disarm();
+  ASSERT_EQ(contained.failed_count(), 1);
+  EXPECT_EQ(contained.errors.front().index, 3);
+
+  SweepOptions strict;
+  strict.throw_on_failure = true;
+  fault::arm("sweep.point@3");
+  try {
+    sweep(rom, freqs, strict);
+    FAIL() << "expected Error(kSweepPointFailed)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSweepPointFailed);
+    EXPECT_EQ(e.context().index, 3);
+  }
+  fault::disarm();
 }
 
 // ---- Acceptance: forced Lanczos breakdown truncates, reshift recovers. ----
@@ -299,8 +355,11 @@ TEST_F(FaultTest, ChunkFaultMarksUnreachedPointsStructured) {
     EXPECT_EQ(err.code, ErrorCode::kFaultInjected);
     EXPECT_FALSE(err.message.empty());
   }
-  for (size_t k = 0; k < sweep.size(); ++k)
-    if (!sweep.ok(k)) EXPECT_TRUE(std::isnan(sweep[k](0, 0).real()));
+  for (size_t k = 0; k < sweep.size(); ++k) {
+    if (!sweep.ok(k)) {
+      EXPECT_TRUE(std::isnan(sweep[k](0, 0).real()));
+    }
+  }
 }
 
 TEST_F(FaultTest, ArmDisarmAndFireCounts) {

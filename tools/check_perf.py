@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for BENCH_*.json files.
+
+Usage:
+    check_perf.py CURRENT BASELINE [--threshold 0.20] [--keys k1,k2,...]
+
+Compares the timing keys of a freshly produced BENCH_*.json against a
+checked-in baseline and exits nonzero when any gated key regressed by
+more than the threshold (current > baseline * (1 + threshold)).
+
+The comparison is meta-aware: wall-clock numbers are only comparable
+between runs of the same machine shape and build. When the "meta"
+blocks differ on any of the identity fields (compiler, build type,
+C++ flags, hardware concurrency, resolved thread count) the gate is
+SKIPPED with a diagnostic instead of producing a false verdict —
+a laptop must not fail CI against a CI-host baseline or vice versa.
+
+Gated keys: by default every key ending in "_s" or "_ms" (seconds /
+milliseconds — smaller is better). Ratio keys ("*_speedup") are
+reported but never gated; they are derived from the gated times and
+noisy in both directions.
+"""
+
+import argparse
+import json
+import sys
+
+META_IDENTITY_FIELDS = (
+    "compiler",
+    "build_type",
+    "cxx_flags",
+    "hardware_concurrency",
+    "resolved_threads",
+)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def meta_mismatches(current, baseline):
+    cm, bm = current.get("meta", {}), baseline.get("meta", {})
+    return [
+        (field, cm.get(field), bm.get(field))
+        for field in META_IDENTITY_FIELDS
+        if cm.get(field) != bm.get(field)
+    ]
+
+
+def gated_keys(doc, explicit):
+    if explicit:
+        return explicit
+    return [
+        k
+        for k, v in doc.items()
+        if k != "meta"
+        and isinstance(v, (int, float))
+        and (k.endswith("_s") or k.endswith("_ms"))
+    ]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed relative regression (default 0.20)")
+    parser.add_argument("--keys", default="",
+                        help="comma-separated keys to gate (default: all "
+                             "*_s / *_ms keys present in the baseline)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    mismatches = meta_mismatches(current, baseline)
+    if mismatches:
+        print(f"check_perf: SKIP {args.current} — meta mismatch, wall-clock "
+              "numbers not comparable:")
+        for field, cur, base in mismatches:
+            print(f"  {field}: current={cur!r} baseline={base!r}")
+        return 0
+
+    explicit = [k for k in args.keys.split(",") if k]
+    keys = gated_keys(baseline, explicit)
+    if not keys:
+        print(f"check_perf: {args.baseline} has no gated timing keys")
+        return 2
+
+    failures = []
+    for key in keys:
+        if key not in current or key not in baseline:
+            failures.append(f"{key}: missing from "
+                            f"{'current' if key not in current else 'baseline'}")
+            continue
+        cur, base = float(current[key]), float(baseline[key])
+        if base <= 0.0:
+            print(f"  {key}: baseline {base:.6g} not positive, skipped")
+            continue
+        ratio = cur / base
+        verdict = "OK"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failures.append(f"{key}: {base:.6g} -> {cur:.6g} "
+                            f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        print(f"  {key}: baseline {base:.6g}  current {cur:.6g}  "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)  {verdict}")
+
+    for key, value in sorted(current.items()):
+        if key.endswith("_speedup"):
+            print(f"  {key}: {value:.3g} (informational)")
+
+    if failures:
+        print(f"check_perf: FAIL {args.current} — "
+              f"{len(failures)} gated key(s) regressed "
+              f">{args.threshold * 100:.0f}%:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"check_perf: PASS {args.current} ({len(keys)} keys gated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
