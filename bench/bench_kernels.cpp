@@ -96,6 +96,41 @@ KernelNumbers measure(const MnaSystem& sys, int reps) {
   return out;
 }
 
+// RHS-width sweep on one mesh: blocked simplicial vs supernodal solve at
+// p ∈ {1, 4, 16, 64}, documenting the crossover the resolve_kernel_path
+// p-heuristic (rhs_width·4 > n → simplicial) encodes. Emitted keys:
+// solve_p{P}_{path}_s.
+struct RhsSweepPoint {
+  double p = 0, t_simplicial = 0, t_supernodal = 0, speedup = 0;
+};
+
+std::vector<RhsSweepPoint> rhs_width_sweep(const MnaSystem& sys, int reps) {
+  const double s0 = automatic_shift(sys);
+  const SMat a = assemble_pencil(sys.G, sys.C, s0);
+  const auto symbolic = std::make_shared<const LdltSymbolic>(a, Ordering::kRCM);
+  const LDLT fs(a, symbolic, 1e-12, path_opt(KernelPath::kSimplicial));
+  const LDLT fp(a, symbolic, 1e-12, path_opt(KernelPath::kSupernodal));
+  std::vector<RhsSweepPoint> points;
+  for (const Index p : {Index(1), Index(4), Index(16), Index(64)}) {
+    RhsSweepPoint pt;
+    pt.p = static_cast<double>(p);
+    Mat b(sys.size(), p);
+    for (Index j = 0; j < p; ++j)
+      b.set_col(j, sys.B.col(j % sys.port_count()));
+    pt.t_simplicial = median_time(reps, [&] {
+      const Mat x = fs.solve(b);
+      benchmark::DoNotOptimize(x(0, 0));
+    });
+    pt.t_supernodal = median_time(reps, [&] {
+      const Mat x = fp.solve(b);
+      benchmark::DoNotOptimize(x(0, 0));
+    });
+    pt.speedup = pt.t_simplicial / pt.t_supernodal;
+    points.push_back(pt);
+  }
+  return points;
+}
+
 void print_tables() {
   std::vector<MeshCase> meshes;
   meshes.push_back({"package_16x5", build_mna(make_package_circuit(
@@ -126,21 +161,40 @@ void print_tables() {
              k.t_solve_supernodal, k.solve_speedup});
   }
 
-  json_emit("BENCH_kernels.json",
-            {{"package_n", package.n},
-             {"package_ports", package.ports},
-             {"package_nnz_l", package.nnz_l},
-             {"package_supernodes", package.supernodes},
-             {"package_max_panel", package.max_panel},
-             {"package_panel_zeros", package.panel_zeros},
-             {"package_factor_simplicial_s", package.t_simplicial},
-             {"package_factor_supernodal_s", package.t_supernodal},
-             {"package_factor_speedup", package.speedup},
-             {"package_solve_simplicial_s", package.t_solve_simplicial},
-             {"package_solve_supernodal_s", package.t_solve_supernodal},
-             {"package_solve_speedup", package.solve_speedup}});
-  std::printf("\nwrote BENCH_kernels.json (package factor speedup %.2fx)\n",
-              package.speedup);
+  // RHS-width sweep on the big package mesh (crossover documentation for
+  // the resolve_kernel_path p-heuristic).
+  const std::vector<RhsSweepPoint> sweep =
+      rhs_width_sweep(meshes[1].sys, 5);
+  csv_begin("blocked multi-RHS solve: simplicial vs supernodal by RHS "
+            "width (package_64x16, median of 5)",
+            {"p", "t_solve_simp_s", "t_solve_super_s", "solve_speedup"});
+  for (const RhsSweepPoint& pt : sweep)
+    csv_row({pt.p, pt.t_simplicial, pt.t_supernodal, pt.speedup});
+
+  std::vector<std::pair<std::string, double>> kv = {
+      {"package_n", package.n},
+      {"package_ports", package.ports},
+      {"package_nnz_l", package.nnz_l},
+      {"package_supernodes", package.supernodes},
+      {"package_max_panel", package.max_panel},
+      {"package_panel_zeros", package.panel_zeros},
+      {"package_factor_simplicial_s", package.t_simplicial},
+      {"package_factor_supernodal_s", package.t_supernodal},
+      {"package_factor_speedup", package.speedup},
+      {"package_solve_simplicial_s", package.t_solve_simplicial},
+      {"package_solve_supernodal_s", package.t_solve_supernodal},
+      {"package_solve_speedup", package.solve_speedup}};
+  for (const RhsSweepPoint& pt : sweep) {
+    const std::string tag = "package_solve_p" +
+                            std::to_string(static_cast<int>(pt.p));
+    kv.emplace_back(tag + "_simplicial_s", pt.t_simplicial);
+    kv.emplace_back(tag + "_supernodal_s", pt.t_supernodal);
+    kv.emplace_back(tag + "_speedup", pt.speedup);
+  }
+  json_emit("BENCH_kernels.json", kv);
+  std::printf("\nwrote BENCH_kernels.json (package factor speedup %.2fx, "
+              "p=16 solve speedup %.2fx)\n",
+              package.speedup, package.solve_speedup);
 }
 
 void bm_factor(benchmark::State& state, KernelPath path) {

@@ -54,6 +54,9 @@ namespace sympvl {
 struct PencilFingerprint {
   std::uint64_t g = 0;
   std::uint64_t c = 0;
+  /// System dimension, carried so the cache key can store the RESOLVED
+  /// kernel path (the kAuto heuristic depends on n and the RHS width).
+  Index n = 0;
 };
 
 PencilFingerprint fingerprint_pencil(const SMat& g, const SMat& c);

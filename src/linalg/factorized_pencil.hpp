@@ -151,6 +151,13 @@ class FactorizedPencil final : public SymmetricOperator {
   Index supernode_count() const { return ldlt_ ? ldlt_->supernode_count() : 0; }
   Index max_panel_width() const { return ldlt_ ? ldlt_->max_panel_width() : 0; }
   Index panel_zeros() const { return ldlt_ ? ldlt_->panel_zeros() : 0; }
+  /// Resolved SIMD dispatch level of the panel kernels (kScalar on the
+  /// dense backend, where no panel kernels run).
+  SimdLevel simd_level() const {
+    return ldlt_ ? ldlt_->simd_level() : SimdLevel::kScalar;
+  }
+  /// Threads the supernodal numeric factorization spanned (1 = serial).
+  Index kernel_threads() const { return ldlt_ ? ldlt_->kernel_threads() : 1; }
 
  private:
   Index n_ = 0;

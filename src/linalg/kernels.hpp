@@ -10,25 +10,33 @@
 // stride inner loops instead of index-gathered AXPYs. This header holds
 //
 //   * KernelPath / KernelOptions — the public selector between the
-//     simplicial and supernodal paths (env fallback: SYMPVL_KERNEL);
+//     simplicial and supernodal paths (env fallback: SYMPVL_KERNEL) and
+//     the SIMD dispatch level (env fallback: SYMPVL_SIMD — see
+//     linalg/simd.hpp);
 //   * detect_supernodes — fundamental supernode detection with relaxed
 //     amalgamation up to a fill slack, from the elimination tree and the
 //     per-column factor counts alone (O(n));
-//   * the dense micro-kernels (rank-k panel update, fused AXPY/dot,
-//     panel forward/backward multi-RHS solves) used by the supernodal
-//     numeric phase. All kernels are templated over double/Complex and
-//     instantiated in kernels.cpp.
+//   * PanelKernels — the per-SIMD-level table of dense panel primitives
+//     (rank-k panel update, D-scaled column copy, in-panel triangular
+//     multi-RHS solves, scattered below-panel updates, diagonal solve)
+//     the supernodal numeric phase and blocked solves dispatch through.
+//     Scalar, AVX2+FMA and AVX-512 instances live in kernels.cpp behind
+//     `target` function attributes, so one binary carries all levels.
 //
 // Numerical contract: the supernodal path reorders floating-point sums
-// relative to the simplicial path (agreement to ~1e-12 relative), but
-// the single-RHS and multi-RHS supernodal solves run per-column
-// bit-identical arithmetic — both funnel through the same kernels with
-// an independent accumulator chain per right-hand side.
+// relative to the simplicial path, and the AVX levels fuse multiply-add
+// chains the scalar level rounds twice (agreement to ~1e-12 relative
+// either way). Within one dispatch level the single-RHS and multi-RHS
+// supernodal solves run per-column bit-identical arithmetic — both
+// funnel through the same kernels, whose remainder lanes use the same
+// fused operations as the full vectors, with an independent accumulator
+// chain per right-hand side.
 #pragma once
 
 #include <vector>
 
 #include "common.hpp"
+#include "linalg/simd.hpp"
 
 namespace sympvl {
 
@@ -52,30 +60,50 @@ inline const char* kernel_path_name(KernelPath p) {
 /// Kernel-path selection and supernode amalgamation knobs. The defaults
 /// are the canonical settings every driver uses; passing a non-default
 /// KernelOptions to a reduction changes the factorization's rounding at
-/// the 1e-15 level, so the FactorCache keys on these fields.
+/// the 1e-15 level, so the FactorCache keys on these fields (plus the
+/// RESOLVED SIMD level — kAuto resolves through the environment, and two
+/// resolutions may differ).
 struct KernelOptions {
   KernelPath path = KernelPath::kAuto;
+  /// SIMD dispatch level of the dense panel kernels. kAuto resolves via
+  /// SYMPVL_SIMD, then a CPUID probe; explicit levels are clamped to what
+  /// the host supports (see linalg/simd.hpp).
+  SimdLevel simd = SimdLevel::kAuto;
   /// Relaxed amalgamation: a column may join the current panel even when
   /// the merge stores explicit zeros, as long as the panel keeps at most
   /// `relax_zeros` of them AND they stay under `relax_ratio` of the
   /// panel's dense entry count. 0/0 admits only fundamental supernodes.
-  Index relax_zeros = 64;
-  double relax_ratio = 0.25;
+  /// Defaults retuned for the SIMD panel kernels (wider panels amortize
+  /// the vector microkernels better; measured on the package mesh by
+  /// bench_kernels — 64/0.25 was the scalar-era optimum).
+  Index relax_zeros = 128;
+  double relax_ratio = 0.5;
   /// Maximum panel width (0 = unlimited). Wide panels amortize more; the
   /// rank-k update blocks internally, so no cache-motivated cap is needed.
   Index max_panel_width = 0;
+  /// Expected right-hand-side block width of the solves this
+  /// factorization will serve (the port count p for the drivers;
+  /// 0 = unknown). Only a kAuto path heuristic hint — wide-RHS solves on
+  /// small systems favor the simplicial path (see resolve_kernel_path).
+  Index rhs_hint = 0;
 
   bool operator==(const KernelOptions& o) const {
-    return path == o.path && relax_zeros == o.relax_zeros &&
-           relax_ratio == o.relax_ratio && max_panel_width == o.max_panel_width;
+    return path == o.path && simd == o.simd &&
+           relax_zeros == o.relax_zeros && relax_ratio == o.relax_ratio &&
+           max_panel_width == o.max_panel_width && rhs_hint == o.rhs_hint;
   }
 };
 
 /// Resolves kAuto: an explicit path wins; else the SYMPVL_KERNEL
-/// environment variable ("simplicial" | "supernodal" | "auto"); else
-/// supernodal for n >= 48 and simplicial below (panel bookkeeping does
-/// not pay for itself on tiny systems).
-KernelPath resolve_kernel_path(const KernelOptions& options, Index n);
+/// environment variable ("simplicial" | "supernodal" | "auto"); else a
+/// size heuristic: supernodal for n >= 48 (panel bookkeeping does not pay
+/// for itself on tiny systems) — unless the expected RHS block is nearly
+/// as wide as the system itself (`rhs_width > n/4`), where the blocked
+/// panel solve's scatter bookkeeping loses to the simplicial one-pass
+/// sweep (crossover measured by bench_kernels; see DESIGN.md §5.6).
+/// `rhs_width <= 0` means unknown and leaves the n-only heuristic.
+KernelPath resolve_kernel_path(const KernelOptions& options, Index n,
+                               Index rhs_width = 0);
 
 /// FactorCache behavior for one reduction/sweep. Lives here (rather than
 /// factor_cache.hpp) so CommonReductionOptions can hold it by value
@@ -129,7 +157,8 @@ SupernodePartition detect_supernodes(const std::vector<Index>& parent,
 namespace kernels {
 
 // All pointers are __restrict-qualified in the implementations; callers
-// must not alias output with inputs.
+// must not alias output with inputs (x/xtop overlap in the trsm kernels
+// is by design: they solve in place).
 
 /// y[0..n) += alpha * x[0..n)  (unrolled fused AXPY).
 template <typename T>
@@ -144,23 +173,69 @@ T dot_n(Index n, const T* a, const T* b);
 template <typename T>
 void scale_n(Index n, T alpha, T* x);
 
-/// Rank-k panel update C += A · Bᵀ with column-major operands:
-/// A is m×k (lda), B is q×k (ldb), C is m×q (ldc). Register-blocked
-/// 4-column × 4-rank micro-kernel with contiguous unit-stride streams —
-/// the workhorse of the descendant-supernode update.
+/// Per-SIMD-level table of the dense panel primitives. Obtain via
+/// panel_kernels<T>(level) with a RESOLVED level (never kAuto); the
+/// returned reference is a process-lifetime static.
+///
+/// Layout conventions shared by every entry:
+///   * panels are column-major with leading dimension `ld` (the panel
+///     height h = w + r);
+///   * right-hand-side blocks are row-major with the nrhs columns
+///     contiguous per row (row i at x + i*nrhs) — the "interleaved RHS
+///     panel" layout that keeps the multi-RHS inner loops unit-stride.
 template <typename T>
-void gemm_nt_acc(Index m, Index q, Index k, const T* a, Index lda, const T* b,
-                 Index ldb, T* c, Index ldc);
+struct PanelKernels {
+  /// Rank-k panel update C += A · Bᵀ with column-major operands:
+  /// A is m×k (lda), B is q×k (ldb), C is m×q (ldc). The workhorse of
+  /// the descendant-supernode update.
+  void (*gemm_nt_acc)(Index m, Index q, Index k, const T* a, Index lda,
+                      const T* b, Index ldb, T* c, Index ldc);
+  /// W(:,j) = src(:,j) · d[j] for j in [0, w): the D-scaled middle
+  /// segment feeding gemm_nt_acc. src/dst column-major q×w.
+  void (*scale_cols)(Index q, Index w, const T* src, Index lds, const T* d,
+                     T* dst, Index ldd);
+  /// In-panel unit-lower forward solve L X = X over the panel's top w×w
+  /// triangle; X is the w-row RHS panel at `x` (row-major, stride nrhs).
+  void (*trsm_forward)(Index w, const T* panel, Index ld, Index nrhs, T* x);
+  /// In-panel backward solve Lᵀ X = X (same panel/layout contract).
+  void (*trsm_backward)(Index w, const T* panel, Index ld, Index nrhs, T* x);
+  /// Scattered below-panel forward update: for each below row i,
+  ///   X[rows[i], :] -= Σ_j  Lbelow(i, j) · Xtop[j, :]
+  /// with Lbelow the r×w block at `lbelow` (element (i,j) at
+  /// lbelow[j*ld + i]), Xtop the panel's top rows (w×nrhs) and X the full
+  /// RHS block. Accumulate-then-subtract per (row, rhs) pair with the
+  /// j-chain ascending.
+  void (*below_forward)(Index r, Index w, Index nrhs, const T* lbelow,
+                        Index ld, const Index* rows, const T* xtop, T* x);
+  /// Scattered below-panel backward update: for each panel column j,
+  ///   Xtop[j, :] -= Σ_i  Lbelow(i, j) · X[rows[i], :]
+  /// (the transpose of below_forward; i-chain ascending).
+  void (*below_backward)(Index r, Index w, Index nrhs, const T* lbelow,
+                         Index ld, const Index* rows, const T* x, T* xtop);
+  /// Diagonal solve X[i, :] /= d[i] for i in [0, n) (row-major X).
+  void (*diag_solve)(Index n, Index nrhs, const T* d, T* x);
+  /// y += alpha·x and x *= alpha at this dispatch level (the in-panel
+  /// LDLᵀ column operations).
+  void (*axpy)(Index n, T alpha, const T* x, T* y);
+  void (*scale)(Index n, T alpha, T* x);
+};
+
+/// The kernel table for a resolved dispatch level. Levels the build
+/// cannot express (non-x86) alias the scalar table; resolve_simd_level
+/// guarantees the host can execute whatever it returns.
+template <typename T>
+const PanelKernels<T>& panel_kernels(SimdLevel level);
 
 /// Dense in-panel LDLᵀ over a column-major h×w panel (ld = h): the top
 /// w×w triangle is factored in place (unit lower L, pivots left on the
 /// diagonal) and the trailing (h-w)×w block becomes the below-panel L
-/// rows. Right-looking with fused column AXPYs. Returns the flop count.
-/// Pivot acceptance is the caller's job: `pivot` is invoked with
-/// (local_column, pivot_value) before the column is used for scaling and
-/// may throw.
+/// rows. Right-looking with fused column AXPYs dispatched through `K`.
+/// Returns the flop count. Pivot acceptance is the caller's job: `pivot`
+/// is invoked with (local_column, pivot_value) before the column is used
+/// for scaling and may throw.
 template <typename T, typename PivotFn>
-double panel_ldlt(Index h, Index w, T* panel, const PivotFn& pivot) {
+double panel_ldlt(const PanelKernels<T>& K, Index h, Index w, T* panel,
+                  const PivotFn& pivot) {
   double flops = 0.0;
   for (Index j = 0; j < w; ++j) {
     T* colj = panel + j * h;
@@ -168,14 +243,14 @@ double panel_ldlt(Index h, Index w, T* panel, const PivotFn& pivot) {
     pivot(j, dj);
     const Index below = h - j - 1;
     // Scale column j below the diagonal: L(i,j) = P(i,j) / d_j.
-    scale_n(below, T(1) / dj, colj + j + 1);
+    K.scale(below, T(1) / dj, colj + j + 1);
     // Trailing update: P(i,k) -= L(i,j)·d_j·L(k,j) for i ≥ k > j. Only the
     // lower triangle of the panel is stored, so the multiplier L(k,j)
     // reads from the freshly scaled column j.
     for (Index k = j + 1; k < w; ++k) {
       T* colk = panel + k * h;
       const T mult = colj[k] * dj;
-      axpy_n(h - k, -mult, colj + k, colk + k);
+      K.axpy(h - k, -mult, colj + k, colk + k);
     }
     flops += static_cast<double>(below) +
              2.0 * static_cast<double>(below) * static_cast<double>(w - j - 1);
@@ -183,48 +258,14 @@ double panel_ldlt(Index h, Index w, T* panel, const PivotFn& pivot) {
   return flops;
 }
 
-/// Multi-RHS forward below-panel update: for each below row i,
-///   X[rows[i], :] -= Σ_j  Lbelow(i, j) · Xtop[j, :]
-/// with Lbelow the (r×w) below-rows block of a column-major panel
-/// (element (i,j) at lbelow[j*ld + i]), Xtop the panel's top rows
-/// (w×nrhs, row-major, stride nrhs) and X the full right-hand-side block
-/// (row-major, stride nrhs). Each (row, rhs-column) pair accumulates in
-/// one scalar chain over j — bit-identical for nrhs == 1 and nrhs == p.
-template <typename T>
-void below_forward(Index r, Index w, Index nrhs, const T* lbelow, Index ld,
-                   const Index* rows, const T* xtop, T* x);
-
-/// Multi-RHS backward below-panel update: for each panel column j,
-///   Xtop[j, :] -= Σ_i  Lbelow(i, j) · X[rows[i], :]
-/// (the transpose of below_forward; same accumulation contract).
-template <typename T>
-void below_backward(Index r, Index w, Index nrhs, const T* lbelow, Index ld,
-                    const Index* rows, const T* x, T* xtop);
-
 extern template void axpy_n<double>(Index, double, const double*, double*);
 extern template void axpy_n<Complex>(Index, Complex, const Complex*, Complex*);
 extern template double dot_n<double>(Index, const double*, const double*);
 extern template Complex dot_n<Complex>(Index, const Complex*, const Complex*);
 extern template void scale_n<double>(Index, double, double*);
 extern template void scale_n<Complex>(Index, Complex, Complex*);
-extern template void gemm_nt_acc<double>(Index, Index, Index, const double*,
-                                         Index, const double*, Index, double*,
-                                         Index);
-extern template void gemm_nt_acc<Complex>(Index, Index, Index, const Complex*,
-                                          Index, const Complex*, Index,
-                                          Complex*, Index);
-extern template void below_forward<double>(Index, Index, Index, const double*,
-                                           Index, const Index*, const double*,
-                                           double*);
-extern template void below_forward<Complex>(Index, Index, Index, const Complex*,
-                                            Index, const Index*, const Complex*,
-                                            Complex*);
-extern template void below_backward<double>(Index, Index, Index, const double*,
-                                            Index, const Index*, const double*,
-                                            double*);
-extern template void below_backward<Complex>(Index, Index, Index, const Complex*,
-                                             Index, const Index*, const Complex*,
-                                             Complex*);
+extern template const PanelKernels<double>& panel_kernels<double>(SimdLevel);
+extern template const PanelKernels<Complex>& panel_kernels<Complex>(SimdLevel);
 
 }  // namespace kernels
 

@@ -1,0 +1,47 @@
+#include "linalg/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sympvl {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+SimdLevel probe_cpu() {
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512vl"))
+    return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+#else
+SimdLevel probe_cpu() { return SimdLevel::kScalar; }
+#endif
+
+SimdLevel clamp_to_cpu(SimdLevel request) {
+  const SimdLevel best = detect_simd_level();
+  return static_cast<int>(request) <= static_cast<int>(best) ? request : best;
+}
+
+}  // namespace
+
+SimdLevel detect_simd_level() {
+  static const SimdLevel level = probe_cpu();
+  return level;
+}
+
+SimdLevel resolve_simd_level(SimdLevel request) {
+  if (request != SimdLevel::kAuto) return clamp_to_cpu(request);
+  if (const char* env = std::getenv("SYMPVL_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return clamp_to_cpu(SimdLevel::kAvx2);
+    if (std::strcmp(env, "avx512") == 0)
+      return clamp_to_cpu(SimdLevel::kAvx512);
+    // anything else (including "auto") falls through to the probe
+  }
+  return detect_simd_level();
+}
+
+}  // namespace sympvl

@@ -7,6 +7,21 @@
 
 #include "fault.hpp"
 #include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sympvl {
+namespace {
+
+// Parallel grain gates: an elimination-tree level fans out across the
+// thread pool only when it holds at least two supernodes AND enough dense
+// work to amortize the dispatch. Work is measured in dense panel entries
+// (times the RHS block width for solves) — a deterministic function of the
+// symbolic analysis, so the schedule never depends on timing.
+constexpr double kFactorGrainEntries = 16384.0;
+constexpr double kSolveGrainEntries = 65536.0;
+
+}  // namespace
+}  // namespace sympvl
 
 namespace sympvl {
 
@@ -147,6 +162,8 @@ SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a, Ordering ordering,
   span.arg("kernel", kernel_path_name(path_));
   span.arg("supernodes", supernode_count());
   span.arg("max_panel_width", max_panel_width_);
+  span.arg("simd", simd_level_name(simd_));
+  span.arg("threads", threads_used_);
 }
 
 template <typename T>
@@ -170,12 +187,15 @@ SparseLDLT<T>::SparseLDLT(const SparseMatrix<T>& a,
   span.arg("kernel", kernel_path_name(path_));
   span.arg("supernodes", supernode_count());
   span.arg("max_panel_width", max_panel_width_);
+  span.arg("simd", simd_level_name(simd_));
+  span.arg("threads", threads_used_);
 }
 
 template <typename T>
 void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
   const LdltSymbolic& sym = *symbolic_;
-  path_ = resolve_kernel_path(kernel_options_, n_);
+  path_ = resolve_kernel_path(kernel_options_, n_, kernel_options_.rhs_hint);
+  simd_ = resolve_simd_level(kernel_options_.simd);
 
   // Gather the values into permuted order via the precomputed mapping.
   std::vector<T> values(sym.source_.size());
@@ -320,21 +340,131 @@ void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
   panel_data_.assign(static_cast<size_t>(panel_offset_[static_cast<size_t>(nsuper)]),
                      T(0));
 
-  // Left-looking over supernodes: head/next thread the pending-descendant
-  // lists, pos[] tracks how far each factored supernode's below rows have
-  // been consumed by ancestor updates.
-  std::vector<Index> head(static_cast<size_t>(nsuper), -1);
-  std::vector<Index> next(static_cast<size_t>(nsuper), -1);
-  std::vector<Index> pos(static_cast<size_t>(nsuper), 0);
-  std::vector<Index> row_local(static_cast<size_t>(n_), -1);
-  // Scratch for one descendant update: W = D_d·L_d[p1:p2,:] (q×wd) and
-  // C = L_d[p1:,:]·Wᵀ (m×q), both column-major.
-  std::vector<T> wbuf(static_cast<size_t>(max_w) * static_cast<size_t>(max_w));
-  std::vector<T> cbuf(static_cast<size_t>(std::max<Index>(max_r + max_w, 1)) *
-                      static_cast<size_t>(std::max<Index>(max_w, 1)));
+  // ---- Descendant update segments, CSR by TARGET supernode. Each
+  // below-row run of supernode d landing in target t's columns becomes
+  // one segment; iterating d ascending in both passes leaves every
+  // target's segment list d-ascending — a deterministic left-looking pull
+  // order that never depends on execution interleaving (the old
+  // head/next/pos relink lists were inherently sequential). ----
+  upd_ptr_.assign(static_cast<size_t>(nsuper) + 1, 0);
+  for (Index d = 0; d < nsuper; ++d) {
+    const Index de = super_start_[static_cast<size_t>(d) + 1];
+    const Index rd = lnz[static_cast<size_t>(de - 1)];
+    const Index* rowsd =
+        sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(de - 1)];
+    Index p1 = 0;
+    while (p1 < rd) {
+      const Index t = super_of_col_[static_cast<size_t>(rowsd[p1])];
+      const Index et = super_start_[static_cast<size_t>(t) + 1];
+      Index p2 = p1;
+      while (p2 < rd && rowsd[p2] < et) ++p2;
+      ++upd_ptr_[static_cast<size_t>(t) + 1];
+      p1 = p2;
+    }
+  }
+  for (Index s = 0; s < nsuper; ++s)
+    upd_ptr_[static_cast<size_t>(s) + 1] += upd_ptr_[static_cast<size_t>(s)];
+  const Index nseg = nsuper > 0 ? upd_ptr_[static_cast<size_t>(nsuper)] : 0;
+  upd_src_.resize(static_cast<size_t>(nseg));
+  upd_p1_.resize(static_cast<size_t>(nseg));
+  upd_p2_.resize(static_cast<size_t>(nseg));
+  {
+    std::vector<Index> cursor(upd_ptr_.begin(), upd_ptr_.end() - 1);
+    for (Index d = 0; d < nsuper; ++d) {
+      const Index de = super_start_[static_cast<size_t>(d) + 1];
+      const Index rd = lnz[static_cast<size_t>(de - 1)];
+      const Index* rowsd =
+          sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(de - 1)];
+      Index p1 = 0;
+      while (p1 < rd) {
+        const Index t = super_of_col_[static_cast<size_t>(rowsd[p1])];
+        const Index et = super_start_[static_cast<size_t>(t) + 1];
+        Index p2 = p1;
+        while (p2 < rd && rowsd[p2] < et) ++p2;
+        const Index u = cursor[static_cast<size_t>(t)]++;
+        upd_src_[static_cast<size_t>(u)] = d;
+        upd_p1_[static_cast<size_t>(u)] = p1;
+        upd_p2_[static_cast<size_t>(u)] = p2;
+        p1 = p2;
+      }
+    }
+  }
 
-  double flops = 0.0;
+  // ---- Supernodal elimination tree and its level sets. The parent of s
+  // is the supernode owning s's first below row — always a later
+  // supernode, and (because each supernode is an elimination-tree chain)
+  // every below row of s lives on s's supernodal ancestor path. A level
+  // is therefore an antichain: its supernodes share no rows, their update
+  // sources all sit at strictly lower levels, and they factor — and
+  // solve — concurrently. ----
+  std::vector<Index> slevel(static_cast<size_t>(nsuper), 0);
+  Index nlevels = nsuper > 0 ? 1 : 0;
   for (Index s = 0; s < nsuper; ++s) {
+    const Index e = super_start_[static_cast<size_t>(s) + 1];
+    const Index r = lnz[static_cast<size_t>(e - 1)];
+    if (r == 0) continue;
+    const Index* rows =
+        sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(e - 1)];
+    const Index parent = super_of_col_[static_cast<size_t>(rows[0])];
+    slevel[static_cast<size_t>(parent)] =
+        std::max(slevel[static_cast<size_t>(parent)],
+                 slevel[static_cast<size_t>(s)] + 1);
+    nlevels = std::max(nlevels, slevel[static_cast<size_t>(parent)] + 1);
+  }
+  level_ptr_.assign(static_cast<size_t>(nlevels) + 1, 0);
+  for (Index s = 0; s < nsuper; ++s)
+    ++level_ptr_[static_cast<size_t>(slevel[static_cast<size_t>(s)]) + 1];
+  for (Index l = 0; l < nlevels; ++l)
+    level_ptr_[static_cast<size_t>(l) + 1] += level_ptr_[static_cast<size_t>(l)];
+  level_order_.resize(static_cast<size_t>(nsuper));
+  level_work_.assign(static_cast<size_t>(std::max<Index>(nlevels, 1)), 0.0);
+  {
+    std::vector<Index> cursor(level_ptr_.begin(), level_ptr_.end() - 1);
+    for (Index s = 0; s < nsuper; ++s) {
+      const Index l = slevel[static_cast<size_t>(s)];
+      level_order_[static_cast<size_t>(cursor[static_cast<size_t>(l)]++)] = s;
+      level_work_[static_cast<size_t>(l)] += static_cast<double>(
+          panel_offset_[static_cast<size_t>(s) + 1] -
+          panel_offset_[static_cast<size_t>(s)]);
+    }
+  }
+
+  // ---- Numeric phase. One workspace per worker; dmin/dmax merge by
+  // min/max (commutative) and the flop counts are exact integer-valued
+  // sums, so the reduction is independent of the schedule. Per-supernode
+  // arithmetic is fully determined by the panel contents and the
+  // d-ascending segment order, so 1-thread and N-thread factorizations
+  // produce bit-identical factors. ----
+  const auto& K = kernels::panel_kernels<T>(simd_);
+  obs::ScopedTimer span("kernel.panel_update");
+
+  struct Workspace {
+    std::vector<T> wbuf, cbuf;
+    std::vector<Index> row_local;
+    double dmin = std::numeric_limits<double>::infinity();
+    double dmax = 0.0;
+    double flops = 0.0;
+  };
+
+  const bool can_parallel = num_threads() > 1 && !in_parallel_region();
+  bool any_parallel_level = false;
+  if (can_parallel)
+    for (Index l = 0; l < nlevels; ++l)
+      if (level_ptr_[static_cast<size_t>(l) + 1] -
+                  level_ptr_[static_cast<size_t>(l)] >= 2 &&
+          level_work_[static_cast<size_t>(l)] >= kFactorGrainEntries)
+        any_parallel_level = true;
+
+  const Index nws = any_parallel_level ? num_threads() : 1;
+  std::vector<Workspace> ws(static_cast<size_t>(nws));
+  for (auto& w : ws) {
+    w.wbuf.resize(static_cast<size_t>(max_w) * static_cast<size_t>(max_w));
+    w.cbuf.resize(static_cast<size_t>(std::max<Index>(max_r + max_w, 1)) *
+                  static_cast<size_t>(std::max<Index>(max_w, 1)));
+    w.row_local.assign(static_cast<size_t>(n_), -1);
+  }
+
+  auto process = [&](Index s, Workspace& wk) {
     const Index a = super_start_[static_cast<size_t>(s)];
     const Index e = super_start_[static_cast<size_t>(s) + 1];
     const Index w = e - a;
@@ -343,10 +473,10 @@ void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
     const Index* rows =
         sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(e - 1)];
     T* panel = panel_data_.data() + panel_offset_[static_cast<size_t>(s)];
+    Index* row_local = wk.row_local.data();
 
-    for (Index jj = 0; jj < w; ++jj) row_local[static_cast<size_t>(a + jj)] = jj;
-    for (Index i = 0; i < r; ++i)
-      row_local[static_cast<size_t>(rows[i])] = w + i;
+    for (Index jj = 0; jj < w; ++jj) row_local[a + jj] = jj;
+    for (Index i = 0; i < r; ++i) row_local[rows[i]] = w + i;
 
     // Assemble the lower triangle of A's panel columns.
     for (Index j = a; j < e; ++j) {
@@ -355,13 +485,17 @@ void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
            p < colptr[static_cast<size_t>(j) + 1]; ++p) {
         const Index i = rowind[static_cast<size_t>(p)];
         if (i < j) continue;
-        col[row_local[static_cast<size_t>(i)]] += values[static_cast<size_t>(p)];
+        col[row_local[i]] += values[static_cast<size_t>(p)];
       }
     }
 
-    // Apply every pending descendant update C = L_d[p1:,:]·D_d·L_d[p1:p2,:]ᵀ.
-    for (Index d = head[static_cast<size_t>(s)]; d != -1;) {
-      const Index dnext = next[static_cast<size_t>(d)];
+    // Pull every incoming descendant segment: the extended update
+    // C = L_d[p1:,:]·D_d·L_d[p1:p2,:]ᵀ lands entirely in this panel
+    // (rows of d beyond the target's columns are a subset of the
+    // target's below rows), so concurrent targets never collide.
+    for (Index u = upd_ptr_[static_cast<size_t>(s)];
+         u < upd_ptr_[static_cast<size_t>(s) + 1]; ++u) {
+      const Index d = upd_src_[static_cast<size_t>(u)];
       const Index da = super_start_[static_cast<size_t>(d)];
       const Index de = super_start_[static_cast<size_t>(d) + 1];
       const Index wd = de - da;
@@ -369,62 +503,83 @@ void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
       const Index hd = wd + rd;
       const Index* rowsd =
           sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(de - 1)];
-      const T* dpanel = panel_data_.data() + panel_offset_[static_cast<size_t>(d)];
-      const Index p1 = pos[static_cast<size_t>(d)];
-      Index p2 = p1;
-      while (p2 < rd && rowsd[p2] < e) ++p2;
+      const T* dpanel =
+          panel_data_.data() + panel_offset_[static_cast<size_t>(d)];
+      const Index p1 = upd_p1_[static_cast<size_t>(u)];
+      const Index p2 = upd_p2_[static_cast<size_t>(u)];
       const Index m = rd - p1;
       const Index q = p2 - p1;
       // W(i,j) = L_d(p1+i, j) · d_j  — the D-scaled middle segment.
-      for (Index j = 0; j < wd; ++j) {
-        const T dj = d_[static_cast<size_t>(da + j)];
-        const T* src = dpanel + j * hd + wd + p1;
-        T* dst = wbuf.data() + j * q;
-        for (Index i = 0; i < q; ++i) dst[i] = src[i] * dj;
-      }
-      std::fill(cbuf.begin(),
-                cbuf.begin() + static_cast<size_t>(m) * static_cast<size_t>(q),
+      K.scale_cols(q, wd, dpanel + wd + p1, hd, d_.data() + da,
+                   wk.wbuf.data(), q);
+      std::fill(wk.cbuf.begin(),
+                wk.cbuf.begin() + static_cast<size_t>(m) * static_cast<size_t>(q),
                 T(0));
-      kernels::gemm_nt_acc<T>(m, q, wd, dpanel + wd + p1, hd, wbuf.data(), q,
-                              cbuf.data(), m);
-      flops += 2.0 * static_cast<double>(m) * static_cast<double>(q) *
-                   static_cast<double>(wd) +
-               static_cast<double>(q) * static_cast<double>(wd);
+      K.gemm_nt_acc(m, q, wd, dpanel + wd + p1, hd, wk.wbuf.data(), q,
+                    wk.cbuf.data(), m);
+      wk.flops += 2.0 * static_cast<double>(m) * static_cast<double>(q) *
+                      static_cast<double>(wd) +
+                  static_cast<double>(q) * static_cast<double>(wd);
       // Scatter-subtract the lower triangle (rows_d ascending, so rr >= c
       // is exactly the lower part).
       for (Index c = 0; c < q; ++c) {
-        T* colt = panel + row_local[static_cast<size_t>(rowsd[p1 + c])] * h;
-        const T* csrc = cbuf.data() + c * m;
+        T* colt = panel + row_local[rowsd[p1 + c]] * h;
+        const T* csrc = wk.cbuf.data() + c * m;
         for (Index rr = c; rr < m; ++rr)
-          colt[row_local[static_cast<size_t>(rowsd[p1 + rr])]] -= csrc[rr];
+          colt[row_local[rowsd[p1 + rr]]] -= csrc[rr];
       }
-      pos[static_cast<size_t>(d)] = p2;
-      if (p2 < rd) {
-        const Index t = super_of_col_[static_cast<size_t>(rowsd[p2])];
-        next[static_cast<size_t>(d)] = head[static_cast<size_t>(t)];
-        head[static_cast<size_t>(t)] = d;
-      }
-      d = dnext;
     }
 
     // Dense in-panel factorization; pivots accepted per global column in
     // ascending order — the same fault::check sites and zero-pivot Error
     // as the simplicial path.
-    flops += kernels::panel_ldlt(h, w, panel, [&](Index jj, const T& dj) {
+    wk.flops += kernels::panel_ldlt(K, h, w, panel, [&](Index jj, const T& dj) {
       const Index k = a + jj;
       d_[static_cast<size_t>(k)] = dj;
-      accept_pivot(k, dj, pivot_floor, dmin, dmax);
+      accept_pivot(k, dj, pivot_floor, wk.dmin, wk.dmax);
     });
 
-    for (Index jj = 0; jj < w; ++jj) row_local[static_cast<size_t>(a + jj)] = -1;
-    for (Index i = 0; i < r; ++i) row_local[static_cast<size_t>(rows[i])] = -1;
-    if (r > 0) {
-      const Index t = super_of_col_[static_cast<size_t>(rows[0])];
-      next[static_cast<size_t>(s)] = head[static_cast<size_t>(t)];
-      head[static_cast<size_t>(t)] = s;
+    for (Index jj = 0; jj < w; ++jj) row_local[a + jj] = -1;
+    for (Index i = 0; i < r; ++i) row_local[rows[i]] = -1;
+  };
+
+  threads_used_ = 1;
+  if (!any_parallel_level) {
+    // Plain ascending sweep — every descendant precedes its ancestors.
+    // Deliberately NOT routed through parallel_for_chunks: its serial
+    // fallback still visits the parallel.chunk fault site, which belongs
+    // to genuinely fanned-out work only.
+    for (Index s = 0; s < nsuper; ++s) process(s, ws[0]);
+  } else {
+    for (Index l = 0; l < nlevels; ++l) {
+      const Index lb = level_ptr_[static_cast<size_t>(l)];
+      const Index le = level_ptr_[static_cast<size_t>(l) + 1];
+      if (le - lb >= 2 && level_work_[static_cast<size_t>(l)] >= kFactorGrainEntries) {
+        threads_used_ = num_threads();
+        parallel_for_chunks(lb, le, [&](Index rank, Index b, Index e2) {
+          for (Index k = b; k < e2; ++k)
+            process(level_order_[static_cast<size_t>(k)],
+                    ws[static_cast<size_t>(rank)]);
+        });
+      } else {
+        for (Index k = lb; k < le; ++k)
+          process(level_order_[static_cast<size_t>(k)], ws[0]);
+      }
     }
   }
+
+  double flops = 0.0;
+  for (const auto& w : ws) {
+    dmin = std::min(dmin, w.dmin);
+    dmax = std::max(dmax, w.dmax);
+    flops += w.flops;
+  }
   flops_ = flops;
+  span.arg("supernodes", nsuper);
+  span.arg("levels", nlevels);
+  span.arg("threads", threads_used_);
+  span.arg("simd", simd_level_name(simd_));
+  span.arg("flops", flops_);
 }
 
 template <typename T>
@@ -471,35 +626,92 @@ template <typename T>
 void SparseLDLT<T>::panel_forward(T* x, Index nrhs) const {
   const LdltSymbolic& sym = *symbolic_;
   const Index nsuper = supernode_count();
-  for (Index s = 0; s < nsuper; ++s) {
+  const Index nlevels = static_cast<Index>(level_ptr_.size()) - 1;
+  const auto& K = kernels::panel_kernels<T>(simd_);
+  obs::ScopedTimer span("kernel.trsm");
+  span.arg("phase", "forward");
+  span.arg("nrhs", nrhs);
+  span.arg("levels", nlevels);
+  span.arg("simd", simd_level_name(simd_));
+
+  // Left-looking pull: a target first drains its incoming descendant
+  // segments (updating its own top rows from descendant solutions
+  // finalized at lower levels), then runs the in-panel triangular solve.
+  auto process = [&](Index s) {
     const Index a = super_start_[static_cast<size_t>(s)];
     const Index e = super_start_[static_cast<size_t>(s) + 1];
     const Index w = e - a;
     const Index h =
         (panel_offset_[static_cast<size_t>(s) + 1] -
          panel_offset_[static_cast<size_t>(s)]) / w;
-    const T* panel = panel_data_.data() + panel_offset_[static_cast<size_t>(s)];
-    // In-panel unit-lower solve (column sweep; per-row accumulation over
-    // jj ascending is independent of nrhs).
-    for (Index jj = 0; jj < w; ++jj) {
-      const T* colj = panel + jj * h;
-      const T* xj = x + (a + jj) * nrhs;
-      for (Index ii = jj + 1; ii < w; ++ii)
-        kernels::axpy_n<T>(nrhs, -colj[ii], xj, x + (a + ii) * nrhs);
+    for (Index u = upd_ptr_[static_cast<size_t>(s)];
+         u < upd_ptr_[static_cast<size_t>(s) + 1]; ++u) {
+      const Index d = upd_src_[static_cast<size_t>(u)];
+      const Index da = super_start_[static_cast<size_t>(d)];
+      const Index de = super_start_[static_cast<size_t>(d) + 1];
+      const Index wd = de - da;
+      const Index hd =
+          (panel_offset_[static_cast<size_t>(d) + 1] -
+           panel_offset_[static_cast<size_t>(d)]) / wd;
+      const Index* rowsd =
+          sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(de - 1)];
+      const T* dpanel =
+          panel_data_.data() + panel_offset_[static_cast<size_t>(d)];
+      const Index p1 = upd_p1_[static_cast<size_t>(u)];
+      const Index p2 = upd_p2_[static_cast<size_t>(u)];
+      K.below_forward(p2 - p1, wd, nrhs, dpanel + wd + p1, hd, rowsd + p1,
+                      x + da * nrhs, x);
     }
-    const Index r = h - w;
-    if (r > 0)
-      kernels::below_forward<T>(
-          r, w, nrhs, panel + w, h,
-          sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(e - 1)],
-          x + a * nrhs, x);
+    const T* panel = panel_data_.data() + panel_offset_[static_cast<size_t>(s)];
+    K.trsm_forward(w, panel, h, nrhs, x + a * nrhs);
+  };
+
+  const bool can_parallel = num_threads() > 1 && !in_parallel_region();
+  const double rhs_scale = static_cast<double>(std::max<Index>(nrhs, 1));
+  bool any_parallel_level = false;
+  if (can_parallel)
+    for (Index l = 0; l < nlevels; ++l)
+      if (level_ptr_[static_cast<size_t>(l) + 1] -
+                  level_ptr_[static_cast<size_t>(l)] >= 2 &&
+          level_work_[static_cast<size_t>(l)] * rhs_scale >= kSolveGrainEntries)
+        any_parallel_level = true;
+
+  if (!any_parallel_level) {
+    for (Index s = 0; s < nsuper; ++s) process(s);
+    return;
+  }
+  for (Index l = 0; l < nlevels; ++l) {
+    const Index lb = level_ptr_[static_cast<size_t>(l)];
+    const Index le = level_ptr_[static_cast<size_t>(l) + 1];
+    if (le - lb >= 2 &&
+        level_work_[static_cast<size_t>(l)] * rhs_scale >= kSolveGrainEntries) {
+      parallel_for_chunks(lb, le, [&](Index /*rank*/, Index b, Index e2) {
+        for (Index k = b; k < e2; ++k)
+          process(level_order_[static_cast<size_t>(k)]);
+      });
+    } else {
+      for (Index k = lb; k < le; ++k)
+        process(level_order_[static_cast<size_t>(k)]);
+    }
   }
 }
 
 template <typename T>
 void SparseLDLT<T>::panel_backward(T* x, Index nrhs) const {
   const LdltSymbolic& sym = *symbolic_;
-  for (Index s = supernode_count() - 1; s >= 0; --s) {
+  const Index nsuper = supernode_count();
+  const Index nlevels = static_cast<Index>(level_ptr_.size()) - 1;
+  const auto& K = kernels::panel_kernels<T>(simd_);
+  obs::ScopedTimer span("kernel.trsm");
+  span.arg("phase", "backward");
+  span.arg("nrhs", nrhs);
+  span.arg("levels", nlevels);
+  span.arg("simd", simd_level_name(simd_));
+
+  // The backward sweep is naturally a pull: each supernode reads only its
+  // own below rows (all on its ancestor path, finalized at higher levels)
+  // and writes only its own top rows.
+  auto process = [&](Index s) {
     const Index a = super_start_[static_cast<size_t>(s)];
     const Index e = super_start_[static_cast<size_t>(s) + 1];
     const Index w = e - a;
@@ -509,15 +721,39 @@ void SparseLDLT<T>::panel_backward(T* x, Index nrhs) const {
     const T* panel = panel_data_.data() + panel_offset_[static_cast<size_t>(s)];
     const Index r = h - w;
     if (r > 0)
-      kernels::below_backward<T>(
+      K.below_backward(
           r, w, nrhs, panel + w, h,
           sym.l_rowind_.data() + sym.l_colptr_[static_cast<size_t>(e - 1)], x,
           x + a * nrhs);
-    for (Index jj = w - 1; jj >= 0; --jj) {
-      const T* colj = panel + jj * h;
-      T* xj = x + (a + jj) * nrhs;
-      for (Index ii = jj + 1; ii < w; ++ii)
-        kernels::axpy_n<T>(nrhs, -colj[ii], x + (a + ii) * nrhs, xj);
+    K.trsm_backward(w, panel, h, nrhs, x + a * nrhs);
+  };
+
+  const bool can_parallel = num_threads() > 1 && !in_parallel_region();
+  const double rhs_scale = static_cast<double>(std::max<Index>(nrhs, 1));
+  bool any_parallel_level = false;
+  if (can_parallel)
+    for (Index l = 0; l < nlevels; ++l)
+      if (level_ptr_[static_cast<size_t>(l) + 1] -
+                  level_ptr_[static_cast<size_t>(l)] >= 2 &&
+          level_work_[static_cast<size_t>(l)] * rhs_scale >= kSolveGrainEntries)
+        any_parallel_level = true;
+
+  if (!any_parallel_level) {
+    for (Index s = nsuper - 1; s >= 0; --s) process(s);
+    return;
+  }
+  for (Index l = nlevels - 1; l >= 0; --l) {
+    const Index lb = level_ptr_[static_cast<size_t>(l)];
+    const Index le = level_ptr_[static_cast<size_t>(l) + 1];
+    if (le - lb >= 2 &&
+        level_work_[static_cast<size_t>(l)] * rhs_scale >= kSolveGrainEntries) {
+      parallel_for_chunks(lb, le, [&](Index /*rank*/, Index b, Index e2) {
+        for (Index k = b; k < e2; ++k)
+          process(level_order_[static_cast<size_t>(k)]);
+      });
+    } else {
+      for (Index k = lb; k < le; ++k)
+        process(level_order_[static_cast<size_t>(k)]);
     }
   }
 }
@@ -562,7 +798,14 @@ std::vector<T> SparseLDLT<T>::solve(const std::vector<T>& b) const {
   for (Index i = 0; i < n_; ++i)
     x[static_cast<size_t>(i)] = b[static_cast<size_t>(perm[static_cast<size_t>(i)])];
   forward_solve(x);
-  for (Index i = 0; i < n_; ++i) x[static_cast<size_t>(i)] /= d_[static_cast<size_t>(i)];
+  if (path_ == KernelPath::kSupernodal) {
+    // Same dispatched kernel as the blocked solve's diagonal phase, so
+    // solve(vector) stays bit-identical to a column of solve(Matrix).
+    kernels::panel_kernels<T>(simd_).diag_solve(n_, 1, d_.data(), x.data());
+  } else {
+    for (Index i = 0; i < n_; ++i)
+      x[static_cast<size_t>(i)] /= d_[static_cast<size_t>(i)];
+  }
   backward_solve(x);
   std::vector<T> out(static_cast<size_t>(n_));
   for (Index i = 0; i < n_; ++i)
@@ -598,10 +841,14 @@ Matrix<T> SparseLDLT<T>::solve(const Matrix<T>& b) const {
     }
   }
   // Diagonal: D X = X.
-  for (Index j = 0; j < n_; ++j) {
-    const T dj = d_[static_cast<size_t>(j)];
-    T* xj = x.data() + j * p;
-    for (Index r = 0; r < p; ++r) xj[r] /= dj;
+  if (path_ == KernelPath::kSupernodal) {
+    kernels::panel_kernels<T>(simd_).diag_solve(n_, p, d_.data(), x.data());
+  } else {
+    for (Index j = 0; j < n_; ++j) {
+      const T dj = d_[static_cast<size_t>(j)];
+      T* xj = x.data() + j * p;
+      for (Index r = 0; r < p; ++r) xj[r] /= dj;
+    }
   }
   if (path_ == KernelPath::kSupernodal) {
     panel_backward(x.data(), p);

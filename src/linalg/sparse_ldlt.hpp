@@ -156,6 +156,11 @@ class SparseLDLT {
   /// The resolved numeric path this factorization ran.
   KernelPath kernel_path() const { return path_; }
   bool supernodal() const { return path_ == KernelPath::kSupernodal; }
+  /// The resolved SIMD dispatch level of the panel kernels (never kAuto).
+  SimdLevel simd_level() const { return simd_; }
+  /// Threads the supernodal numeric factorization actually spanned (1 when
+  /// every elimination-tree level ran serially).
+  Index kernel_threads() const { return threads_used_; }
   /// Number of supernodes (0 on the simplicial path).
   Index supernode_count() const {
     return super_start_.empty() ? 0
@@ -219,6 +224,28 @@ class SparseLDLT {
   std::vector<T> panel_data_;
   Index panel_zeros_ = 0;
   Index max_panel_width_ = 0;
+  // Elimination-tree level schedule over supernodes: level_order_ holds
+  // supernode indices grouped by tree level (ascending within a level),
+  // level_ptr_ delimits the groups. Supernodes within one level have no
+  // ancestor/descendant relation, so they factor — and solve — in
+  // parallel without ordering constraints. level_work_ is the dense-entry
+  // count per level, the grain gate deciding whether fanning a level out
+  // across the thread pool beats running it inline.
+  std::vector<Index> level_ptr_;
+  std::vector<Index> level_order_;
+  std::vector<double> level_work_;
+  // Descendant update segments in CSR form keyed by TARGET supernode:
+  // segment k of target s (k in [upd_ptr_[s], upd_ptr_[s+1])) says rows
+  // [upd_p1_[k], upd_p2_[k]) of descendant upd_src_[k]'s below-panel block
+  // land in s's columns. Built once per factorization, d-ascending within
+  // each target — the left-looking pull order is deterministic and
+  // independent of thread count.
+  std::vector<Index> upd_ptr_;
+  std::vector<Index> upd_src_;
+  std::vector<Index> upd_p1_;
+  std::vector<Index> upd_p2_;
+  SimdLevel simd_ = SimdLevel::kScalar;
+  Index threads_used_ = 1;
   std::vector<T> d_;
   std::vector<typename ScalarTraits<T>::Real> sqrt_abs_d_;
   double pivot_ratio_ = 0.0;

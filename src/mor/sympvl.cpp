@@ -57,6 +57,18 @@ struct SympvlSession::Impl {
     report.supernode_count = pencil->supernode_count();
     report.max_panel_width = pencil->max_panel_width();
     report.panel_zeros = pencil->panel_zeros();
+    report.simd_level = simd_level_name(pencil->simd_level());
+    report.kernel_threads = pencil->kernel_threads();
+  }
+
+  // Flop rate of the numeric factorization; call after factor_seconds is
+  // settled (it includes ladder retries, so this is a floor on the kernel
+  // rate).
+  void refresh_factor_gflops() {
+    report.factor_gflops =
+        report.factor_seconds > 0.0
+            ? report.factor_flops / report.factor_seconds * 1e-9
+            : 0.0;
   }
 
   // Builds the starting block J⁻¹M⁻¹B, the exact 0th moment and a fresh
@@ -162,6 +174,9 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
   req.cache = options.factor_cache;
   req.cache_options = options.cache;
   req.kernels = options.kernel;
+  // The blocked solves of this reduction are p-wide (the port count);
+  // let the kAuto path heuristic know unless the caller already did.
+  if (req.kernels.rhs_hint == 0) req.kernels.rhs_hint = sys.port_count();
   PencilFactorResult outcome;
   {
     obs::ScopedTimer span("sympvl.factor");
@@ -174,6 +189,7 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
   impl_->absorb_factor_result(std::move(outcome));
   impl_->report.recovered = impl_->report.factor_attempts.size() > 1;
   impl_->report.factor_seconds = seconds_since(t_factor);
+  impl_->refresh_factor_gflops();
 
   // ---- Starting block, operator and the Lanczos run (steps 0-3). ----
   impl_->build_process();
@@ -211,6 +227,8 @@ ReducedModel SympvlSession::reshift(double new_s0) {
   req.cache = impl->options.factor_cache;
   req.cache_options = impl->options.cache;
   req.kernels = impl->options.kernel;
+  if (req.kernels.rhs_hint == 0)
+    req.kernels.rhs_hint = impl->b_matrix.cols();
   PencilFactorResult outcome;
   {
     obs::ScopedTimer span("sympvl.reshift");
@@ -220,6 +238,7 @@ ReducedModel SympvlSession::reshift(double new_s0) {
   }
   impl->absorb_factor_result(std::move(outcome));
   impl->report.factor_seconds += seconds_since(t_factor);
+  impl->refresh_factor_gflops();
   ++impl->report.shift_retries;
   impl->report.recovered = true;
 

@@ -74,6 +74,11 @@ struct SympvlReport {
                                ///< simplicial)
   Index max_panel_width = 0;   ///< widest amalgamated panel
   Index panel_zeros = 0;       ///< explicit zeros stored by relaxation
+  std::string simd_level = "scalar";  ///< resolved SIMD dispatch level
+  Index kernel_threads = 1;    ///< threads the numeric phase spanned
+  /// Numeric-factorization flop rate (GFLOP/s over factor_seconds; 0 when
+  /// unmeasurable).
+  double factor_gflops = 0.0;
 
   // -- FactorCache outcome for this reduction's successful rungs (failed
   //    rungs are neither; bypassed acquires count as misses). --

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "linalg/simd.hpp"
 #include "obs/json.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -434,6 +435,8 @@ std::string run_metadata_json(const std::string& indent) {
   field("sympvl_num_threads_env",
         env_threads != nullptr ? json_string(env_threads) : "null");
   field("resolved_threads", std::to_string(num_threads()));
+  field("simd_level",
+        json_string(simd_level_name(resolve_simd_level(SimdLevel::kAuto))));
   field("compiler", json_string(compiler));
   field("cxx_flags", json_string(SYMPVL_CXX_FLAGS));
   field("build_type", json_string(SYMPVL_BUILD_TYPE), /*last=*/true);

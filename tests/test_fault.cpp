@@ -13,6 +13,8 @@
 #include "fault.hpp"
 #include "gen/random_circuit.hpp"
 #include "linalg/factor_chain.hpp"
+#include "linalg/simd.hpp"
+#include "linalg/sparse_ldlt.hpp"
 #include "mor/driver.hpp"
 #include "mor/sympvl.hpp"
 #include "sim/ac.hpp"
@@ -41,6 +43,38 @@ SMat laplacian_spd(Index n) {
   for (Index i = 0; i < n; ++i) t.add(i, i, 2.0 + 0.1 * double(i));
   for (Index i = 0; i + 1 < n; ++i) t.add_symmetric(i, i + 1, -1.0);
   return t.compress();
+}
+
+// ---- SIMD dispatch parity: the error surface must not depend on the ISA ----
+
+TEST_F(FaultTest, InjectedPivotFailsIdenticallyAcrossSimdLevels) {
+  // The same fault site must fire at the same permuted column and surface
+  // the same structured error whether the panels run scalar, AVX2 or
+  // AVX-512 — the dispatch level is an implementation detail, not an
+  // error-surface variable.
+  const SMat a = laplacian_spd(120);
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (detect_simd_level() >= SimdLevel::kAvx2)
+    levels.push_back(SimdLevel::kAvx2);
+  if (detect_simd_level() >= SimdLevel::kAvx512)
+    levels.push_back(SimdLevel::kAvx512);
+
+  fault::arm("ldlt.pivot@11");
+  for (const SimdLevel level : levels) {
+    KernelOptions o;
+    o.path = KernelPath::kSupernodal;
+    o.simd = level;
+    try {
+      const LDLT f(a, Ordering::kRCM, 1e-14, o);
+      FAIL() << "expected injected pivot failure at "
+             << simd_level_name(level);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kFaultInjected)
+          << simd_level_name(level);
+      EXPECT_EQ(e.context().stage, "ldlt.pivot") << simd_level_name(level);
+      EXPECT_EQ(e.context().index, 11) << simd_level_name(level);
+    }
+  }
 }
 
 // ---- Acceptance: forced pivot failure walks the whole fallback chain. ----

@@ -11,9 +11,11 @@ more than the threshold (current > baseline * (1 + threshold)).
 The comparison is meta-aware: wall-clock numbers are only comparable
 between runs of the same machine shape and build. When the "meta"
 blocks differ on any of the identity fields (compiler, build type,
-C++ flags, hardware concurrency, resolved thread count) the gate is
-SKIPPED with a diagnostic instead of producing a false verdict —
-a laptop must not fail CI against a CI-host baseline or vice versa.
+C++ flags, hardware concurrency, resolved thread count, resolved SIMD
+level) the gate is SKIPPED with a diagnostic instead of producing a
+false verdict — a laptop must not fail CI against a CI-host baseline,
+and an AVX-512 host must not be judged against scalar-kernel numbers
+(or vice versa).
 
 Gated keys: by default every key ending in "_s" or "_ms" (seconds /
 milliseconds — smaller is better). Ratio keys ("*_speedup") are
@@ -31,6 +33,10 @@ META_IDENTITY_FIELDS = (
     "cxx_flags",
     "hardware_concurrency",
     "resolved_threads",
+    # Recorded by obs::run_metadata_json since the SIMD dispatch layer
+    # landed; older baselines without the field mismatch against newer
+    # runs (None != "avx512"), which correctly forces a re-baseline.
+    "simd_level",
 )
 
 
