@@ -6,17 +6,27 @@
 // Instrumentation cannot be compiled out, so the disabled overhead is
 // bounded from measurements rather than an A/B build:
 //   1. time the sweep with instrumentation disabled (best of several runs);
-//   2. count how many events one instrumented sweep records (enabled run);
+//   2. count how many events one instrumented sweep records (enabled run —
+//      since Metrics v2 this path also feeds the per-span latency
+//      histograms, so enabled_ms covers histogram recording too);
 //   3. microbenchmark one disabled instrumentation point (ScopedTimer
 //      construct+destruct: a relaxed atomic load and a branch);
 //   overhead_pct = events_per_sweep * per_op_ns / sweep_ns * 100.
 // The enabled sweep time is also reported for reference (no contract).
+//
+// Metrics v2 additions, measured per-op (no contract, informational):
+//   * Histogram::record through the enabled gate — the span-exit cost;
+//   * ByteGauge::add — the memory-accounting primitive, which is
+//     ALWAYS-ON (not gated on obs::enabled()), so its per-op cost is
+//     what every factorization/cache path pays unconditionally.
 //
 // Results go to stdout as CSV and to BENCH_obs_overhead.json.
 #include <chrono>
 
 #include "bench_util.hpp"
 #include "gen/package.hpp"
+#include "obs/histogram.hpp"
+#include "obs/memstat.hpp"
 #include "obs/obs.hpp"
 #include "sim/ac.hpp"
 
@@ -72,6 +82,28 @@ void print_tables() {
   }
   const double per_op_ns = (now_ms() - t2) * 1e6 / static_cast<double>(reps);
 
+  // ---- 4. per-op cost of the enabled Metrics v2 primitives ----
+  obs::enable(true);
+  obs::Histogram hist;
+  const double t3 = now_ms();
+  for (long i = 0; i < reps; ++i) {
+    hist.record(1.2e-4);  // mid-range bucket: the common span-exit path
+    benchmark::ClobberMemory();
+  }
+  const double hist_record_ns =
+      (now_ms() - t3) * 1e6 / static_cast<double>(reps);
+  obs::enable(false);
+  obs::reset();
+
+  obs::ByteGauge& gauge = obs::byte_gauge("bench.noop_bytes");
+  const double t4 = now_ms();
+  for (long i = 0; i < reps; ++i) {
+    gauge.add((i & 1) ? -64 : 64);  // alternating: exercises the peak CAS
+    benchmark::ClobberMemory();
+  }
+  const double gauge_add_ns =
+      (now_ms() - t4) * 1e6 / static_cast<double>(reps);
+
   const double overhead_pct =
       events_per_sweep * per_op_ns / (disabled_ms * 1e6) * 100.0;
   const double enabled_pct =
@@ -85,6 +117,10 @@ void print_tables() {
   std::printf("overhead contract %s: %.4f%% < 2%%\n",
               overhead_pct < 2.0 ? "MET" : "VIOLATED", overhead_pct);
 
+  csv_begin("enabled telemetry per-op cost (informational)",
+            {"hist_record_ns", "gauge_add_ns"});
+  csv_row({hist_record_ns, gauge_add_ns});
+
   json_emit("BENCH_obs_overhead.json",
             {{"mna_size", static_cast<double>(sys.size())},
              {"ports", static_cast<double>(sys.port_count())},
@@ -94,6 +130,8 @@ void print_tables() {
              {"sweep_enabled_ms", enabled_ms},
              {"events_per_sweep", events_per_sweep},
              {"disabled_per_op_ns", per_op_ns},
+             {"hist_record_ns", hist_record_ns},
+             {"gauge_add_ns", gauge_add_ns},
              {"disabled_overhead_pct", overhead_pct},
              {"enabled_overhead_pct", enabled_pct},
              {"contract_met", overhead_pct < 2.0 ? 1.0 : 0.0}});

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "fault.hpp"
+#include "obs/memstat.hpp"
 #include "obs/obs.hpp"
 
 namespace sympvl {
@@ -184,9 +185,16 @@ struct FactorCache::Impl {
     Key key;
     std::shared_ptr<const FactorizedPencil> real;
     std::shared_ptr<const ComplexPencilSolver> complex_;
+    std::int64_t bytes = 0;  // resident cost, charged while cached
   };
 
   explicit Impl(std::size_t cap) : capacity(cap == 0 ? 1 : cap) {}
+
+  ~Impl() {
+    // Release the byte charges of whatever is still resident so short-
+    // lived (test/bench) caches leave the process-wide gauge balanced.
+    for (const Entry& e : lru) charge_bytes(-e.bytes);
+  }
 
   std::size_t capacity;
   std::atomic<bool> enabled{true};
@@ -197,6 +205,29 @@ struct FactorCache::Impl {
 
   std::atomic<std::uint64_t> hits{0}, misses{0}, evictions{0},
       factorizations{0};
+  std::atomic<std::int64_t> resident_bytes{0}, peak_resident_bytes{0};
+
+  static std::int64_t entry_bytes(const Entry& e) {
+    if (e.real) return e.real->bytes();
+    if (e.complex_) return e.complex_->bytes();
+    return 0;
+  }
+
+  // Per-cache resident/peak accounting plus the process-wide gauge (the
+  // gauge aggregates across instances — the number the million-unknown
+  // audit cares about).
+  void charge_bytes(std::int64_t delta) {
+    if (delta == 0) return;
+    const std::int64_t now =
+        resident_bytes.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t peak = peak_resident_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !peak_resident_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    static obs::ByteGauge& gauge =
+        obs::byte_gauge("factor_cache.resident_bytes");
+    gauge.add(delta);
+  }
 
   void note_hit() {
     hits.fetch_add(1, std::memory_order_relaxed);
@@ -228,9 +259,12 @@ struct FactorCache::Impl {
   // past capacity.
   Entry* insert_locked(Entry entry) {
     if (Entry* existing = find_locked(entry.key)) return existing;
+    entry.bytes = entry_bytes(entry);
+    charge_bytes(entry.bytes);
     lru.push_front(std::move(entry));
     map.emplace(lru.front().key, lru.begin());
     while (lru.size() > capacity) {
+      charge_bytes(-lru.back().bytes);
       map.erase(lru.back().key);
       lru.pop_back();
       note_evict();
@@ -339,6 +373,9 @@ std::shared_ptr<const ComplexPencilSolver> FactorCache::acquire_complex(
 
 void FactorCache::clear() {
   std::lock_guard<std::mutex> lock(impl_->mutex);
+  // Releases the byte charges but is NOT capacity pressure — the evict
+  // counter tracks forced evictions only.
+  for (const Impl::Entry& e : impl_->lru) impl_->charge_bytes(-e.bytes);
   impl_->lru.clear();
   impl_->map.clear();
 }
@@ -357,6 +394,7 @@ void FactorCache::set_capacity(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->capacity = capacity == 0 ? 1 : capacity;
   while (impl_->lru.size() > impl_->capacity) {
+    impl_->charge_bytes(-impl_->lru.back().bytes);
     impl_->map.erase(impl_->lru.back().key);
     impl_->lru.pop_back();
     impl_->note_evict();
@@ -377,6 +415,9 @@ FactorCacheStats FactorCache::stats() const {
   s.misses = impl_->misses.load(std::memory_order_relaxed);
   s.evictions = impl_->evictions.load(std::memory_order_relaxed);
   s.factorizations = impl_->factorizations.load(std::memory_order_relaxed);
+  s.resident_bytes = impl_->resident_bytes.load(std::memory_order_relaxed);
+  s.peak_resident_bytes =
+      impl_->peak_resident_bytes.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -385,6 +426,9 @@ void FactorCache::reset_stats() {
   impl_->misses.store(0, std::memory_order_relaxed);
   impl_->evictions.store(0, std::memory_order_relaxed);
   impl_->factorizations.store(0, std::memory_order_relaxed);
+  impl_->peak_resident_bytes.store(
+      impl_->resident_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
 }
 
 }  // namespace sympvl

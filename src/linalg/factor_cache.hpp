@@ -62,13 +62,21 @@ struct PencilFingerprint {
 PencilFingerprint fingerprint_pencil(const SMat& g, const SMat& c);
 
 /// Always-on cache telemetry (monotonic since construction or the last
-/// reset_stats()).
+/// reset_stats(), except the byte gauges which track live entries).
 struct FactorCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Capacity-pressure evictions: entries forced out by an insert past
+  /// capacity or a set_capacity() shrink. clear() does not count.
   std::uint64_t evictions = 0;
   /// Factorizations actually performed (misses plus fault-mode bypasses).
   std::uint64_t factorizations = 0;
+  /// Bytes held by resident entries right now, and the high-water mark
+  /// since construction (reset_stats() drops the peak to the current
+  /// value). Also mirrored into the process-wide
+  /// "factor_cache.resident_bytes" byte gauge.
+  std::int64_t resident_bytes = 0;
+  std::int64_t peak_resident_bytes = 0;
 };
 
 /// Opaque complex pencil solver cached for AC sweep points (backed by the
@@ -78,6 +86,9 @@ class ComplexPencilSolver {
   virtual ~ComplexPencilSolver() = default;
   virtual CVec solve(const CVec& b) const = 0;
   virtual CMat solve(const CMat& b) const = 0;
+  /// Resident bytes this solver pins while cached (0 for adapters that
+  /// merely reference another entry's factorization).
+  virtual std::int64_t bytes() const { return 0; }
 };
 
 class FactorCache {

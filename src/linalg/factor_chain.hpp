@@ -153,6 +153,17 @@ class FactorChain {
   const SparseLDLT<T>* ldlt() const { return ldlt_ ? &*ldlt_ : nullptr; }
   const SparseLU<T>* lu() const { return lu_ ? &*lu_ : nullptr; }
 
+  /// Resident bytes of the chain: the retained pencil matrix plus the
+  /// accepted factor's storage — what one FactorCache entry costs.
+  std::int64_t bytes() const {
+    std::int64_t b = static_cast<std::int64_t>(
+        a_.nnz() * static_cast<Index>(sizeof(T) + sizeof(Index)) +
+        (a_.cols() + 1) * static_cast<Index>(sizeof(Index)));
+    if (ldlt_) b += ldlt_->factor_bytes();
+    if (lu_) b += lu_->factor_bytes();
+    return b;
+  }
+
  private:
   void run_chain(const SparseMatrix<T>* g, const SparseMatrix<T>* c, T shift,
                  const std::vector<T>& retry_shifts,

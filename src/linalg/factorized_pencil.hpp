@@ -159,6 +159,21 @@ class FactorizedPencil final : public SymmetricOperator {
   /// Threads the supernodal numeric factorization spanned (1 = serial).
   Index kernel_threads() const { return ldlt_ ? ldlt_->kernel_threads() : 1; }
 
+  /// Resident bytes of this pencil: the retained C matrix, J, and the
+  /// backend factor storage (exact for the sparse LDLᵀ backend; the
+  /// dense backend is counted as its two n×n LU factors).
+  std::int64_t bytes() const {
+    std::int64_t b = static_cast<std::int64_t>(
+        c_.nnz() * static_cast<Index>(sizeof(double) + sizeof(Index)) +
+        (c_.cols() + 1) * static_cast<Index>(sizeof(Index)) +
+        static_cast<Index>(j_.size() * sizeof(double)));
+    if (ldlt_) b += ldlt_->factor_bytes();
+    if (m_lu_ || mt_lu_)
+      b += 2 * static_cast<std::int64_t>(n_) * static_cast<std::int64_t>(n_) *
+           static_cast<std::int64_t>(sizeof(double));
+    return b;
+  }
+
  private:
   Index n_ = 0;
   PencilFactorOptions options_;

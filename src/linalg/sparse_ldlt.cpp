@@ -225,6 +225,9 @@ void SparseLDLT<T>::factorize(const SparseMatrix<T>& a, double zero_pivot_tol) {
   for (Index k = 0; k < n_; ++k)
     sqrt_abs_d_[static_cast<size_t>(k)] =
         std::sqrt(ScalarTraits<T>::abs(d_[static_cast<size_t>(k)]));
+
+  mem_charge_ = obs::MemCharge(obs::byte_gauge("mem.factor_bytes"),
+                               factor_bytes());
 }
 
 namespace {
@@ -436,7 +439,6 @@ void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
   // d-ascending segment order, so 1-thread and N-thread factorizations
   // produce bit-identical factors. ----
   const auto& K = kernels::panel_kernels<T>(simd_);
-  obs::ScopedTimer span("kernel.panel_update");
 
   struct Workspace {
     std::vector<T> wbuf, cbuf;
@@ -543,13 +545,24 @@ void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
     for (Index i = 0; i < r; ++i) row_local[rows[i]] = -1;
   };
 
+  // One "kernel.panel_update" span per serial sweep, or per executed
+  // chunk when a level fans out — chunk spans are recorded on the
+  // executing pool worker's lane (trace lanes show the fan-out) and
+  // carry that chunk's own flop count, while the shared span name keeps
+  // the latency histogram aggregating the whole family.
   threads_used_ = 1;
   if (!any_parallel_level) {
     // Plain ascending sweep — every descendant precedes its ancestors.
     // Deliberately NOT routed through parallel_for_chunks: its serial
     // fallback still visits the parallel.chunk fault site, which belongs
     // to genuinely fanned-out work only.
+    obs::ScopedTimer span("kernel.panel_update");
     for (Index s = 0; s < nsuper; ++s) process(s, ws[0]);
+    span.arg("supernodes", nsuper);
+    span.arg("levels", nlevels);
+    span.arg("threads", threads_used_);
+    span.arg("simd", simd_level_name(simd_));
+    span.arg("flops", ws[0].flops);
   } else {
     for (Index l = 0; l < nlevels; ++l) {
       const Index lb = level_ptr_[static_cast<size_t>(l)];
@@ -557,13 +570,27 @@ void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
       if (le - lb >= 2 && level_work_[static_cast<size_t>(l)] >= kFactorGrainEntries) {
         threads_used_ = num_threads();
         parallel_for_chunks(lb, le, [&](Index rank, Index b, Index e2) {
+          obs::ScopedTimer cspan("kernel.panel_update");
+          Workspace& wk = ws[static_cast<size_t>(rank)];
+          const double f0 = wk.flops;
           for (Index k = b; k < e2; ++k)
-            process(level_order_[static_cast<size_t>(k)],
-                    ws[static_cast<size_t>(rank)]);
+            process(level_order_[static_cast<size_t>(k)], wk);
+          cspan.arg("supernodes", e2 - b);
+          cspan.arg("level", l);
+          cspan.arg("threads", num_threads());
+          cspan.arg("simd", simd_level_name(simd_));
+          cspan.arg("flops", wk.flops - f0);
         });
       } else {
+        obs::ScopedTimer cspan("kernel.panel_update");
+        const double f0 = ws[0].flops;
         for (Index k = lb; k < le; ++k)
           process(level_order_[static_cast<size_t>(k)], ws[0]);
+        cspan.arg("supernodes", le - lb);
+        cspan.arg("level", l);
+        cspan.arg("threads", Index{1});
+        cspan.arg("simd", simd_level_name(simd_));
+        cspan.arg("flops", ws[0].flops - f0);
       }
     }
   }
@@ -575,11 +602,6 @@ void SparseLDLT<T>::factorize_supernodal(const std::vector<T>& values,
     flops += w.flops;
   }
   flops_ = flops;
-  span.arg("supernodes", nsuper);
-  span.arg("levels", nlevels);
-  span.arg("threads", threads_used_);
-  span.arg("simd", simd_level_name(simd_));
-  span.arg("flops", flops_);
 }
 
 template <typename T>
@@ -628,11 +650,6 @@ void SparseLDLT<T>::panel_forward(T* x, Index nrhs) const {
   const Index nsuper = supernode_count();
   const Index nlevels = static_cast<Index>(level_ptr_.size()) - 1;
   const auto& K = kernels::panel_kernels<T>(simd_);
-  obs::ScopedTimer span("kernel.trsm");
-  span.arg("phase", "forward");
-  span.arg("nrhs", nrhs);
-  span.arg("levels", nlevels);
-  span.arg("simd", simd_level_name(simd_));
 
   // Left-looking pull: a target first drains its incoming descendant
   // segments (updating its own top rows from descendant solutions
@@ -676,7 +693,18 @@ void SparseLDLT<T>::panel_forward(T* x, Index nrhs) const {
           level_work_[static_cast<size_t>(l)] * rhs_scale >= kSolveGrainEntries)
         any_parallel_level = true;
 
+  // Span policy mirrors factorize_supernodal: one "kernel.trsm" span on
+  // the calling lane for a fully serial sweep, one span per fanned-out
+  // chunk on the worker's lane otherwise (small in-between levels run
+  // unwrapped — solves happen per sweep point, and per-level micro-spans
+  // would dominate the trace).
   if (!any_parallel_level) {
+    obs::ScopedTimer span("kernel.trsm");
+    span.arg("phase", "forward");
+    span.arg("nrhs", nrhs);
+    span.arg("levels", nlevels);
+    span.arg("simd", simd_level_name(simd_));
+    span.arg("threads", Index{1});
     for (Index s = 0; s < nsuper; ++s) process(s);
     return;
   }
@@ -686,8 +714,20 @@ void SparseLDLT<T>::panel_forward(T* x, Index nrhs) const {
     if (le - lb >= 2 &&
         level_work_[static_cast<size_t>(l)] * rhs_scale >= kSolveGrainEntries) {
       parallel_for_chunks(lb, le, [&](Index /*rank*/, Index b, Index e2) {
-        for (Index k = b; k < e2; ++k)
-          process(level_order_[static_cast<size_t>(k)]);
+        obs::ScopedTimer cspan("kernel.trsm");
+        double entries = 0.0;
+        for (Index k = b; k < e2; ++k) {
+          const Index s = level_order_[static_cast<size_t>(k)];
+          entries += static_cast<double>(
+              panel_offset_[static_cast<size_t>(s) + 1] -
+              panel_offset_[static_cast<size_t>(s)]);
+          process(s);
+        }
+        cspan.arg("phase", "forward");
+        cspan.arg("nrhs", nrhs);
+        cspan.arg("threads", num_threads());
+        cspan.arg("simd", simd_level_name(simd_));
+        cspan.arg("flops", 2.0 * entries * static_cast<double>(nrhs));
       });
     } else {
       for (Index k = lb; k < le; ++k)
@@ -702,11 +742,6 @@ void SparseLDLT<T>::panel_backward(T* x, Index nrhs) const {
   const Index nsuper = supernode_count();
   const Index nlevels = static_cast<Index>(level_ptr_.size()) - 1;
   const auto& K = kernels::panel_kernels<T>(simd_);
-  obs::ScopedTimer span("kernel.trsm");
-  span.arg("phase", "backward");
-  span.arg("nrhs", nrhs);
-  span.arg("levels", nlevels);
-  span.arg("simd", simd_level_name(simd_));
 
   // The backward sweep is naturally a pull: each supernode reads only its
   // own below rows (all on its ancestor path, finalized at higher levels)
@@ -738,7 +773,14 @@ void SparseLDLT<T>::panel_backward(T* x, Index nrhs) const {
           level_work_[static_cast<size_t>(l)] * rhs_scale >= kSolveGrainEntries)
         any_parallel_level = true;
 
+  // Same span policy as panel_forward.
   if (!any_parallel_level) {
+    obs::ScopedTimer span("kernel.trsm");
+    span.arg("phase", "backward");
+    span.arg("nrhs", nrhs);
+    span.arg("levels", nlevels);
+    span.arg("simd", simd_level_name(simd_));
+    span.arg("threads", Index{1});
     for (Index s = nsuper - 1; s >= 0; --s) process(s);
     return;
   }
@@ -748,8 +790,20 @@ void SparseLDLT<T>::panel_backward(T* x, Index nrhs) const {
     if (le - lb >= 2 &&
         level_work_[static_cast<size_t>(l)] * rhs_scale >= kSolveGrainEntries) {
       parallel_for_chunks(lb, le, [&](Index /*rank*/, Index b, Index e2) {
-        for (Index k = b; k < e2; ++k)
-          process(level_order_[static_cast<size_t>(k)]);
+        obs::ScopedTimer cspan("kernel.trsm");
+        double entries = 0.0;
+        for (Index k = b; k < e2; ++k) {
+          const Index s = level_order_[static_cast<size_t>(k)];
+          entries += static_cast<double>(
+              panel_offset_[static_cast<size_t>(s) + 1] -
+              panel_offset_[static_cast<size_t>(s)]);
+          process(s);
+        }
+        cspan.arg("phase", "backward");
+        cspan.arg("nrhs", nrhs);
+        cspan.arg("threads", num_threads());
+        cspan.arg("simd", simd_level_name(simd_));
+        cspan.arg("flops", 2.0 * entries * static_cast<double>(nrhs));
       });
     } else {
       for (Index k = lb; k < le; ++k)
@@ -793,6 +847,10 @@ void SparseLDLT<T>::backward_solve(std::vector<T>& x) const {
 template <typename T>
 std::vector<T> SparseLDLT<T>::solve(const std::vector<T>& b) const {
   require(static_cast<Index>(b.size()) == n_, "SparseLDLT::solve: size mismatch");
+  obs::ScopedTimer span("ldlt.solve");
+  span.arg("n", n_);
+  span.arg("nrhs", Index{1});
+  span.arg("kernel", kernel_path_name(path_));
   const auto& perm = symbolic_->perm_;
   std::vector<T> x(static_cast<size_t>(n_));
   for (Index i = 0; i < n_; ++i)
@@ -817,6 +875,10 @@ template <typename T>
 Matrix<T> SparseLDLT<T>::solve(const Matrix<T>& b) const {
   require(b.rows() == n_, "SparseLDLT::solve: row count mismatch");
   const Index p = b.cols();
+  obs::ScopedTimer span("ldlt.solve");
+  span.arg("n", n_);
+  span.arg("nrhs", p);
+  span.arg("kernel", kernel_path_name(path_));
   const auto& perm = symbolic_->perm_;
   // Row-major X: row i is the length-p block for unknown i, so the inner
   // update loops below run over contiguous memory.

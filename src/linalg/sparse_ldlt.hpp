@@ -33,12 +33,14 @@
 // arithmetic.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "linalg/kernels.hpp"
 #include "linalg/ordering.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/memstat.hpp"
 
 namespace sympvl {
 
@@ -172,6 +174,20 @@ class SparseLDLT {
   /// path or with relaxation off).
   Index panel_zeros() const { return panel_zeros_; }
 
+  /// Resident bytes of the numeric factor: value + index storage of
+  /// whichever kernel path ran, the level schedule, and the diagonal.
+  /// This is the amount charged against the "mem.factor_bytes" gauge for
+  /// this object's lifetime.
+  std::int64_t factor_bytes() const {
+    return bytes_of(l_colptr_) + bytes_of(l_rowind_) + bytes_of(l_values_) +
+           bytes_of(super_start_) + bytes_of(super_of_col_) +
+           bytes_of(panel_offset_) + bytes_of(panel_data_) +
+           bytes_of(level_ptr_) + bytes_of(level_order_) +
+           bytes_of(level_work_) + bytes_of(upd_ptr_) + bytes_of(upd_src_) +
+           bytes_of(upd_p1_) + bytes_of(upd_p2_) + bytes_of(d_) +
+           bytes_of(sqrt_abs_d_);
+  }
+
   /// The strictly-lower factor L as a CSC matrix over the PERMUTED
   /// indices (unit diagonal implied) — the common currency for comparing
   /// the simplicial and supernodal paths in tests. Gathered from the
@@ -190,6 +206,12 @@ class SparseLDLT {
   const std::vector<Index>& permutation() const { return symbolic_->perm_; }
 
  private:
+  template <typename V>
+  static std::int64_t bytes_of(const V& v) {
+    return static_cast<std::int64_t>(v.size() *
+                                     sizeof(typename V::value_type));
+  }
+
   void factorize(const SparseMatrix<T>& a, double zero_pivot_tol);
   void factorize_simplicial(const std::vector<T>& values, double pivot_floor,
                             double& dmin, double& dmax);
@@ -251,6 +273,10 @@ class SparseLDLT {
   double pivot_ratio_ = 0.0;
   double fill_ratio_ = 0.0;
   double flops_ = 0.0;
+  // Charges factor_bytes() against "mem.factor_bytes" while this
+  // factorization is alive; copies duplicate the charge (a copied factor
+  // really holds a second copy of the storage).
+  obs::MemCharge mem_charge_;
 };
 
 using LDLT = SparseLDLT<double>;

@@ -186,6 +186,8 @@ SparseLU<T>::SparseLU(const SparseMatrix<T>& a, Ordering ordering,
   flops_ = flops;
   fill_ratio_ = static_cast<double>(l_nnz() + u_nnz()) /
                 std::max(1.0, static_cast<double>(a.nnz()));
+  mem_charge_ = obs::MemCharge(obs::byte_gauge("mem.factor_bytes"),
+                               factor_bytes());
   span.arg("n", n_);
   span.arg("nnz_a", a.nnz());
   span.arg("nnz_l", l_nnz());

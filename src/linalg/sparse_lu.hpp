@@ -8,10 +8,12 @@
 // LDLᵀ fast path reports a zero pivot, avoiding the O(N³) dense fallback.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/ordering.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/memstat.hpp"
 
 namespace sympvl {
 
@@ -47,7 +49,22 @@ class SparseLU {
   /// Smallest |pivot| / largest |pivot| — conditioning indicator.
   double pivot_ratio() const { return pivot_ratio_; }
 
+  /// Resident bytes of the numeric factors (L/U value + index storage
+  /// plus the permutations) — the amount charged against the
+  /// "mem.factor_bytes" gauge for this object's lifetime.
+  std::int64_t factor_bytes() const {
+    return bytes_of(l_colptr_) + bytes_of(l_rowind_) + bytes_of(l_values_) +
+           bytes_of(u_colptr_) + bytes_of(u_rowind_) + bytes_of(u_values_) +
+           bytes_of(row_perm_) + bytes_of(col_perm_);
+  }
+
  private:
+  template <typename V>
+  static std::int64_t bytes_of(const V& v) {
+    return static_cast<std::int64_t>(v.size() *
+                                     sizeof(typename V::value_type));
+  }
+
   Index n_ = 0;
   // L: unit lower triangular in pivot order, CSC; diagonal implied.
   std::vector<Index> l_colptr_, l_rowind_;
@@ -60,6 +77,9 @@ class SparseLU {
   double pivot_ratio_ = 0.0;
   double fill_ratio_ = 0.0;
   double flops_ = 0.0;
+  // Charges factor_bytes() against "mem.factor_bytes" while this
+  // factorization is alive; copies duplicate the charge.
+  obs::MemCharge mem_charge_;
 };
 
 using LUSparse = SparseLU<double>;

@@ -1,6 +1,7 @@
 #include "mor/lanczos.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "fault.hpp"
@@ -45,6 +46,27 @@ BandLanczos::BandLanczos(const SymmetricOperator& op, const Mat& start,
                               // own scale (scale-invariant test)
     cand_.push_back(std::move(c));
   }
+  krylov_charge_ = obs::MemCharge(obs::byte_gauge("mem.krylov_bytes"),
+                                  krylov_bytes());
+  krylov_peak_bytes_ = krylov_charge_.bytes();
+}
+
+std::int64_t BandLanczos::krylov_bytes() const {
+  auto vec_bytes = [](const Vec& v) {
+    return static_cast<std::int64_t>(v.size() * sizeof(double));
+  };
+  auto mat_bytes = [](const Mat& m) {
+    return static_cast<std::int64_t>(m.rows()) *
+           static_cast<std::int64_t>(m.cols()) *
+           static_cast<std::int64_t>(sizeof(double));
+  };
+  std::int64_t b = vec_bytes(j_signs_) + mat_bytes(t_full_) +
+                   mat_bytes(rho_full_);
+  for (const Vec& v : vs_) b += vec_bytes(v);
+  for (const Candidate& c : cand_) b += vec_bytes(c.v);
+  for (const Cluster& cl : clusters_)
+    b += mat_bytes(cl.delta) + mat_bytes(cl.delta_inv);
+  return b;
 }
 
 void BandLanczos::grow_storage(Index need) {
@@ -263,9 +285,21 @@ Index BandLanczos::run_to(Index target) {
   require(target >= 1, "BandLanczos::run_to: target must be >= 1");
   static obs::Counter& c_steps = obs::counter("lanczos.steps");
   while (static_cast<Index>(vs_.size()) < target) {
-    obs::ScopedTimer span("lanczos.step");
-    span.arg("iteration", static_cast<Index>(vs_.size()));
-    if (!step()) break;
+    const auto t0 = std::chrono::steady_clock::now();
+    bool ok;
+    {
+      obs::ScopedTimer span("lanczos.step");
+      span.arg("iteration", static_cast<Index>(vs_.size()));
+      ok = step();
+    }
+    // Always-on step clock (feeds SympvlReport::lanczos_step_stats even
+    // when no obs sink is configured) + Krylov byte re-statement.
+    step_bins_.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    krylov_charge_.set(krylov_bytes());
+    krylov_peak_bytes_ = std::max(krylov_peak_bytes_, krylov_charge_.bytes());
+    if (!ok) break;
     c_steps.add();
   }
   return static_cast<Index>(vs_.size());

@@ -22,6 +22,7 @@
 // iterations results in a perfect match").
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <set>
 #include <string>
@@ -30,6 +31,8 @@
 #include "linalg/dense.hpp"
 #include "linalg/factorized_pencil.hpp"
 #include "mor/options.hpp"
+#include "obs/histogram.hpp"
+#include "obs/memstat.hpp"
 
 namespace sympvl {
 
@@ -116,6 +119,16 @@ class BandLanczos {
   /// it throws Error(kBreakdown) only when not even one cluster closed.
   LanczosResult result() const;
 
+  /// Bytes of Krylov state resident right now: basis vectors, queued
+  /// candidates, the growing T/ρ storage and the cluster Gram matrices.
+  /// Mirrored into the "mem.krylov_bytes" gauge after every step.
+  std::int64_t krylov_bytes() const;
+  /// High-water mark of krylov_bytes() over the process lifetime.
+  std::int64_t krylov_peak_bytes() const { return krylov_peak_bytes_; }
+  /// Always-on per-step wall-time histogram (independent of the obs
+  /// sinks; the SympvlReport latency digest is computed from this).
+  const obs::HistogramBins& step_bins() const { return step_bins_; }
+
  private:
   struct Candidate {
     Vec v;
@@ -152,6 +165,11 @@ class BandLanczos {
   bool exhausted_ = false;
   Index lookahead_clusters_ = 0;
   LanczosDiagnosis diagnosis_;
+
+  // Metrics v2: Krylov storage accounting + per-step latency bins.
+  obs::MemCharge krylov_charge_;
+  std::int64_t krylov_peak_bytes_ = 0;
+  obs::HistogramBins step_bins_;
 };
 
 /// One-shot convenience wrapper (runs to options.max_order).

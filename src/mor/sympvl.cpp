@@ -1,5 +1,6 @@
 #include "mor/sympvl.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <memory>
@@ -7,6 +8,7 @@
 
 #include "circuit/topology.hpp"
 #include "mor/pencil.hpp"
+#include "obs/memstat.hpp"
 #include "obs/obs.hpp"
 
 namespace sympvl {
@@ -59,6 +61,7 @@ struct SympvlSession::Impl {
     report.panel_zeros = pencil->panel_zeros();
     report.simd_level = simd_level_name(pencil->simd_level());
     report.kernel_threads = pencil->kernel_threads();
+    report.factor_bytes = pencil->bytes();
   }
 
   // Flop rate of the numeric factorization; call after factor_seconds is
@@ -121,6 +124,10 @@ struct SympvlSession::Impl {
   }
 
   void refresh_report() {
+    report.krylov_peak_bytes =
+        std::max(report.krylov_peak_bytes, lanczos->krylov_peak_bytes());
+    report.peak_rss_bytes = obs::peak_rss_bytes();
+    report.lanczos_step_stats = obs::latency_stats(lanczos->step_bins());
     const LanczosResult snap = lanczos->result();
     report.deflations = snap.deflations;
     report.exhausted = snap.exhausted;

@@ -10,6 +10,7 @@
 //   4. package (Tₙ, Δₙ, ρₙ) as a ReducedModel evaluating eq. (19).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "circuit/mna.hpp"
@@ -17,6 +18,7 @@
 #include "linalg/sparse_ldlt.hpp"
 #include "mor/options.hpp"
 #include "mor/reduced_model.hpp"
+#include "obs/histogram.hpp"
 
 namespace sympvl {
 
@@ -61,6 +63,21 @@ struct SympvlReport {
   double start_block_seconds = 0.0;  ///< J⁻¹M⁻¹B construction
   double lanczos_seconds = 0.0;      ///< Algorithm 1 iterations
   double total_seconds = 0.0;
+
+  // -- Memory accounting (bytes; always measured, see DESIGN.md §5.7). --
+  /// Resident bytes of the accepted pencil factorization (C matrix, J
+  /// and the backend factor storage).
+  std::int64_t factor_bytes = 0;
+  /// High-water mark of the Krylov state (basis + candidates + T/ρ +
+  /// cluster Gram matrices) across all extend() calls so far.
+  std::int64_t krylov_peak_bytes = 0;
+  /// Process peak RSS (getrusage) at the last report refresh; 0 when the
+  /// platform cannot report it.
+  std::int64_t peak_rss_bytes = 0;
+
+  // -- Per-step Lanczos latency digest (always measured from the
+  //    session's own step clock, independent of the obs sinks). --
+  obs::LatencyStats lanczos_step_stats;
 
   // -- Sparse-factorization telemetry (zeros on the dense fallback). --
   Index factor_nnz_l = 0;          ///< off-diagonal entries of L

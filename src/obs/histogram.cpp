@@ -1,0 +1,230 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+namespace sympvl::obs {
+
+namespace {
+
+// Relaxed CAS-min/max on atomic<double>. Lock-free on every target we
+// build for; the loop terminates because each retry observes a strictly
+// better current value.
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+struct HistRegistry {
+  std::mutex mutex;
+  // std::map: stable addresses + already sorted for snapshots.
+  std::map<std::string, std::unique_ptr<Histogram>> by_name;
+};
+
+// Leaked intentionally: pool workers and atexit flushes may record or
+// snapshot during static destruction of other TUs.
+HistRegistry& registry() {
+  static HistRegistry* r = new HistRegistry;
+  return *r;
+}
+
+}  // namespace
+
+int histogram_bucket(double seconds) {
+  if (!(seconds >= kHistMin)) return 0;  // also catches NaN / negatives
+  // log10(v / kHistMin) decades above the floor, kBucketsPerDecade each.
+  const double pos = std::log10(seconds / kHistMin) * kBucketsPerDecade;
+  const int idx = 1 + static_cast<int>(pos);
+  return std::min(idx, kHistBuckets - 1);
+}
+
+double histogram_upper_bound(int b) {
+  if (b <= 0) return kHistMin;
+  if (b >= kHistBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kHistMin * std::pow(10.0, static_cast<double>(b) / kBucketsPerDecade);
+}
+
+void HistogramBins::record(double seconds) {
+  if (counts.empty()) counts.assign(static_cast<size_t>(kHistBuckets), 0);
+  counts[static_cast<size_t>(histogram_bucket(seconds))]++;
+  if (count == 0 || seconds < min) min = seconds;
+  if (count == 0 || seconds > max) max = seconds;
+  ++count;
+  sum += seconds;
+}
+
+void HistogramBins::merge(const HistogramBins& other) {
+  if (other.count == 0) return;
+  if (counts.empty()) counts.assign(static_cast<size_t>(kHistBuckets), 0);
+  for (size_t i = 0; i < other.counts.size() && i < counts.size(); ++i)
+    counts[i] += other.counts[i];
+  if (count == 0 || other.min < min) min = other.min;
+  if (count == 0 || other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramBins::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    const double here = static_cast<double>(counts[static_cast<size_t>(b)]);
+    if (here == 0.0) continue;
+    if (cum + here >= target) {
+      double value;
+      if (b == 0) {
+        value = min;  // underflow bucket: no sub-bucket shape to exploit
+      } else if (b == kHistBuckets - 1) {
+        value = max;
+      } else {
+        // Geometric interpolation between the bucket's bounds: latency
+        // mass inside a log bucket is closer to log-uniform than
+        // uniform, and this keeps quantile() exact for single-value
+        // distributions after the [min, max] clamp below.
+        const double lo = histogram_upper_bound(b - 1);
+        const double hi = histogram_upper_bound(b);
+        const double frac = std::clamp((target - cum) / here, 0.0, 1.0);
+        value = lo * std::pow(hi / lo, frac);
+      }
+      return std::clamp(value, min, max);
+    }
+    cum += here;
+  }
+  return max;
+}
+
+LatencyStats latency_stats(const HistogramBins& bins) {
+  LatencyStats s;
+  s.count = bins.count;
+  if (bins.count == 0) return s;
+  s.min = bins.min;
+  s.mean = bins.mean();
+  s.max = bins.max;
+  s.p50 = bins.quantile(0.50);
+  s.p95 = bins.quantile(0.95);
+  s.p99 = bins.quantile(0.99);
+  return s;
+}
+
+Histogram::Histogram() : shards_(new Shard[kShards]) {
+  for (int s = 0; s < kShards; ++s)
+    for (int b = 0; b < kHistBuckets; ++b)
+      shards_[s].counts[b].store(0, std::memory_order_relaxed);
+}
+
+Histogram::Shard& Histogram::home_shard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shards_[slot];
+}
+
+void Histogram::record(double seconds) {
+  if (!enabled()) return;
+  record_unchecked(seconds);
+}
+
+void Histogram::record_unchecked(double seconds) {
+  Shard& sh = home_shard();
+  sh.counts[histogram_bucket(seconds)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = sh.count.fetch_add(1, std::memory_order_relaxed);
+  sh.sum.fetch_add(seconds, std::memory_order_relaxed);
+  if (prev == 0) {
+    // First record on this shard seeds min/max; later records race the
+    // CAS loops, which is fine.
+    sh.min_bits.store(seconds, std::memory_order_relaxed);
+    sh.max_bits.store(seconds, std::memory_order_relaxed);
+  } else {
+    atomic_min(sh.min_bits, seconds);
+    atomic_max(sh.max_bits, seconds);
+  }
+}
+
+HistogramBins Histogram::snapshot() const {
+  HistogramBins out;
+  for (int s = 0; s < kShards; ++s) {
+    const Shard& sh = shards_[s];
+    const std::uint64_t c = sh.count.load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (out.counts.empty())
+      out.counts.assign(static_cast<size_t>(kHistBuckets), 0);
+    for (int b = 0; b < kHistBuckets; ++b)
+      out.counts[static_cast<size_t>(b)] +=
+          sh.counts[b].load(std::memory_order_relaxed);
+    const double mn = sh.min_bits.load(std::memory_order_relaxed);
+    const double mx = sh.max_bits.load(std::memory_order_relaxed);
+    if (out.count == 0 || mn < out.min) out.min = mn;
+    if (out.count == 0 || mx > out.max) out.max = mx;
+    out.count += c;
+    out.sum += sh.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (int s = 0; s < kShards; ++s) {
+    Shard& sh = shards_[s];
+    for (int b = 0; b < kHistBuckets; ++b)
+      sh.counts[b].store(0, std::memory_order_relaxed);
+    sh.count.store(0, std::memory_order_relaxed);
+    sh.sum.store(0.0, std::memory_order_relaxed);
+    sh.min_bits.store(0.0, std::memory_order_relaxed);
+    sh.max_bits.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Histogram& histogram(const char* name) {
+  HistRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto& slot = r.by_name[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, HistogramBins>> snapshot_histograms() {
+  std::vector<std::pair<std::string, HistogramBins>> out;
+  HistRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out.reserve(r.by_name.size());
+  for (const auto& [name, h] : r.by_name) out.emplace_back(name, h->snapshot());
+  return out;
+}
+
+namespace detail {
+
+void record_span_duration(const char* name, std::int64_t dur_us) {
+  // Span names are string literals with stable addresses, so a pointer
+  // key is safe; two TUs with identical literals at distinct addresses
+  // just cache two pointers to the same interned Histogram.
+  thread_local std::unordered_map<const void*, Histogram*> cache;
+  auto [it, inserted] = cache.try_emplace(name, nullptr);
+  if (inserted) it->second = &histogram(name);
+  it->second->record_unchecked(static_cast<double>(dur_us) * 1e-6);
+}
+
+void reset_histograms() {
+  HistRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, h] : r.by_name) h->reset();
+}
+
+}  // namespace detail
+
+}  // namespace sympvl::obs

@@ -1,0 +1,148 @@
+#include "obs/memstat.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace sympvl::obs {
+
+namespace {
+
+struct GaugeRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<ByteGauge>> by_name;
+};
+
+// Leaked: MemCharge destructors run during static destruction (e.g. a
+// cached factorization torn down at exit) and must find a live gauge.
+GaugeRegistry& registry() {
+  static GaugeRegistry* r = new GaugeRegistry;
+  return *r;
+}
+
+}  // namespace
+
+void ByteGauge::add(std::int64_t delta) {
+  const std::int64_t now = cur_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void ByteGauge::reset_peak() {
+  peak_.store(cur_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+ByteGauge& byte_gauge(const char* name) {
+  GaugeRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto& slot = r.by_name[name];
+  if (!slot) slot = std::make_unique<ByteGauge>();
+  return *slot;
+}
+
+std::vector<ByteGaugeSnapshot> snapshot_byte_gauges() {
+  std::vector<ByteGaugeSnapshot> out;
+  GaugeRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out.reserve(r.by_name.size());
+  for (const auto& [name, g] : r.by_name)
+    out.push_back({name, g->value(), g->peak()});
+  return out;
+}
+
+MemCharge::MemCharge(ByteGauge& gauge, std::int64_t bytes)
+    : gauge_(&gauge), bytes_(bytes) {
+  if (bytes_ != 0) gauge_->add(bytes_);
+}
+
+MemCharge::MemCharge(const MemCharge& other)
+    : gauge_(other.gauge_), bytes_(other.bytes_) {
+  if (gauge_ && bytes_ != 0) gauge_->add(bytes_);
+}
+
+MemCharge& MemCharge::operator=(const MemCharge& other) {
+  if (this == &other) return *this;
+  reset();
+  gauge_ = other.gauge_;
+  bytes_ = other.bytes_;
+  if (gauge_ && bytes_ != 0) gauge_->add(bytes_);
+  return *this;
+}
+
+MemCharge::MemCharge(MemCharge&& other) noexcept
+    : gauge_(other.gauge_), bytes_(other.bytes_) {
+  other.gauge_ = nullptr;
+  other.bytes_ = 0;
+}
+
+MemCharge& MemCharge::operator=(MemCharge&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  gauge_ = other.gauge_;
+  bytes_ = other.bytes_;
+  other.gauge_ = nullptr;
+  other.bytes_ = 0;
+  return *this;
+}
+
+MemCharge::~MemCharge() { reset(); }
+
+void MemCharge::set(std::int64_t bytes) {
+  if (gauge_ && bytes != bytes_) gauge_->add(bytes - bytes_);
+  bytes_ = bytes;
+}
+
+void MemCharge::reset() {
+  if (gauge_ && bytes_ != 0) gauge_->add(-bytes_);
+  gauge_ = nullptr;
+  bytes_ = 0;
+}
+
+std::int64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // already bytes on macOS
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::int64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  long long pages_total = 0, pages_resident = 0;
+  const int got = std::fscanf(f, "%lld %lld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::int64_t>(pages_resident) *
+         static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+namespace detail {
+
+void reset_byte_gauge_peaks() {
+  GaugeRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, g] : r.by_name) g->reset_peak();
+}
+
+}  // namespace detail
+
+}  // namespace sympvl::obs

@@ -1,0 +1,101 @@
+// Memory accounting (Metrics v2): byte gauges with high-water marks
+// plus process-RSS sampling.
+//
+// Unlike spans and counters, byte gauges are ALWAYS ON — they are not
+// gated on obs::enabled(). Rationale: updates happen only at
+// allocation-granularity events (a factorization completing, a cache
+// entry inserted/evicted, a Lanczos step growing the basis), so the
+// steady-state cost is a couple of relaxed atomic adds per factor —
+// nothing like the per-event cost the span gate exists to avoid — and
+// always-on accounting lets SympvlReport carry real byte numbers even
+// when no tracing sink is configured.
+//
+// The accounting points (see DESIGN.md §5.7):
+//   mem.factor_bytes            — resident factor storage (SparseLDLT /
+//                                 SparseLU value+index arrays), charged
+//                                 by an obs::MemCharge member for the
+//                                 lifetime of each factorization object
+//   factor_cache.resident_bytes — bytes held by FactorCache entries
+//   mem.krylov_bytes            — Lanczos basis + candidate + T/ρ
+//                                 storage, re-stated after every step
+//
+// MemCharge is the RAII vehicle: it adds to a gauge on construction
+// (or set()) and subtracts on destruction, so the gauge's current
+// value tracks live objects and its peak is the true high-water mark.
+// Copying a MemCharge duplicates the charge — a copied factorization
+// really does hold a second copy of the bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sympvl::obs {
+
+/// Current/peak byte gauge. add() is relaxed-atomic and data-race-free
+/// from pool workers; peak updates via CAS-max.
+class ByteGauge {
+ public:
+  void add(std::int64_t delta);
+  std::int64_t value() const { return cur_.load(std::memory_order_relaxed); }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  /// obs::reset(): drops the high-water mark to the current value so a
+  /// fresh measurement window starts clean while live charges persist.
+  void reset_peak();
+
+ private:
+  std::atomic<std::int64_t> cur_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Interned registry (leaked, like obs::counter): one gauge per name.
+ByteGauge& byte_gauge(const char* name);
+
+struct ByteGaugeSnapshot {
+  std::string name;
+  std::int64_t current = 0;
+  std::int64_t peak = 0;
+};
+
+/// Sorted-by-name snapshot of all registered byte gauges.
+std::vector<ByteGaugeSnapshot> snapshot_byte_gauges();
+
+/// RAII charge against a ByteGauge — see file comment.
+class MemCharge {
+ public:
+  MemCharge() = default;
+  MemCharge(ByteGauge& gauge, std::int64_t bytes);
+  MemCharge(const MemCharge& other);
+  MemCharge& operator=(const MemCharge& other);
+  MemCharge(MemCharge&& other) noexcept;
+  MemCharge& operator=(MemCharge&& other) noexcept;
+  ~MemCharge();
+
+  /// Re-states the charge (e.g. a structure that grew); the gauge sees
+  /// only the delta.
+  void set(std::int64_t bytes);
+  /// Releases the charge now and detaches from the gauge.
+  void reset();
+
+  std::int64_t bytes() const { return bytes_; }
+
+ private:
+  ByteGauge* gauge_ = nullptr;
+  std::int64_t bytes_ = 0;
+};
+
+/// Process high-water RSS in bytes (getrusage ru_maxrss); 0 when
+/// unavailable. Monotone over the process lifetime by definition.
+std::int64_t peak_rss_bytes();
+
+/// Instantaneous RSS in bytes via /proc/self/statm; 0 when unavailable
+/// (non-Linux).
+std::int64_t current_rss_bytes();
+
+namespace detail {
+/// obs::reset() hook: reset_peak() on every registered gauge.
+void reset_byte_gauge_peaks();
+}  // namespace detail
+
+}  // namespace sympvl::obs

@@ -11,7 +11,10 @@
 #include <thread>
 
 #include "linalg/simd.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
+#include "obs/memstat.hpp"
+#include "obs/prom_export.hpp"
 #include "parallel/thread_pool.hpp"
 
 // Build metadata injected by CMake onto this translation unit; the
@@ -91,6 +94,7 @@ struct Global {
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::string trace_path;
   std::string stats_sink;
+  std::string metrics_path;
   int next_tid = 0;
 
   std::atomic<std::uint64_t> epoch{1};
@@ -136,7 +140,10 @@ bool init_enabled_slow() {
         g.trace_path = t;
       if (const char* s = std::getenv("SYMPVL_STATS"); s != nullptr && *s)
         g.stats_sink = s;
-      sink = !g.trace_path.empty() || !g.stats_sink.empty();
+      if (const char* m = std::getenv("SYMPVL_METRICS"); m != nullptr && *m)
+        g.metrics_path = m;
+      sink = !g.trace_path.empty() || !g.stats_sink.empty() ||
+             !g.metrics_path.empty();
     }
     if (sink) std::atexit([] { flush(); });
     g_enabled.store(sink ? 1 : 0, std::memory_order_release);
@@ -148,6 +155,9 @@ bool init_enabled_slow() {
 }
 
 void record(const Event& e) {
+  // Completed spans feed the latency histograms first so a buffer-cap
+  // drop never loses the timing sample.
+  if (e.phase == 'X') record_span_duration(e.name, e.dur_us);
   Global& g = global();
   ThreadBuffer& buf = local_buffer();
   Event copy = e;
@@ -168,6 +178,17 @@ void set_trace_path(const std::string& path) {
     Global& g = global();
     std::lock_guard<std::mutex> lock(g.m);
     g.trace_path = path;
+  }
+  if (!path.empty())
+    detail::g_enabled.store(1, std::memory_order_release);
+}
+
+void set_metrics_path(const std::string& path) {
+  detail::init_enabled_slow();
+  {
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.m);
+    g.metrics_path = path;
   }
   if (!path.empty())
     detail::g_enabled.store(1, std::memory_order_release);
@@ -261,39 +282,37 @@ std::vector<std::pair<std::string, double>> snapshot_gauges() {
 }
 
 std::string stats_summary() {
-  struct SpanStat {
-    std::int64_t count = 0;
-    double total_ms = 0.0;
-    double max_ms = 0.0;
-  };
-  std::map<std::string, SpanStat> spans;
+  // Span rows come from the latency histograms (fed by every completed
+  // span, never subject to the event-buffer cap); instants still come
+  // from the event stream.
+  std::vector<std::pair<std::string, HistogramBins>> spans;
+  for (auto& [name, bins] : snapshot_histograms())
+    if (!bins.empty()) spans.emplace_back(name, std::move(bins));
   std::map<std::string, std::int64_t> instants;
-  for (const Event& e : snapshot_events()) {
-    if (e.phase == 'X') {
-      SpanStat& s = spans[e.name];
-      ++s.count;
-      const double ms = static_cast<double>(e.dur_us) / 1000.0;
-      s.total_ms += ms;
-      s.max_ms = std::max(s.max_ms, ms);
-    } else {
-      ++instants[e.name];
-    }
-  }
+  for (const Event& e : snapshot_events())
+    if (e.phase != 'X') ++instants[e.name];
   const auto counters = snapshot_counters();
   const auto gauges = snapshot_gauges();
-  if (spans.empty() && instants.empty() && counters.empty() && gauges.empty())
+  const auto byte_gauges = snapshot_byte_gauges();
+  if (spans.empty() && instants.empty() && counters.empty() &&
+      gauges.empty() && byte_gauges.empty())
     return {};
 
   std::string out = "== sympvl obs stats ==\n";
-  char line[256];
+  char line[320];
   if (!spans.empty()) {
-    std::snprintf(line, sizeof(line), "%-36s %10s %12s %12s %12s\n", "span",
-                  "count", "total_ms", "mean_ms", "max_ms");
+    std::snprintf(line, sizeof(line),
+                  "%-28s %9s %11s %10s %10s %10s %10s %10s\n", "span", "count",
+                  "total_ms", "mean_ms", "min_ms", "max_ms", "p50_ms",
+                  "p99_ms");
     out += line;
-    for (const auto& [name, s] : spans) {
-      std::snprintf(line, sizeof(line), "%-36s %10lld %12.3f %12.4f %12.3f\n",
-                    name.c_str(), static_cast<long long>(s.count), s.total_ms,
-                    s.total_ms / static_cast<double>(s.count), s.max_ms);
+    for (const auto& [name, bins] : spans) {
+      const LatencyStats s = latency_stats(bins);
+      std::snprintf(line, sizeof(line),
+                    "%-28s %9lld %11.3f %10.4f %10.4f %10.3f %10.4f %10.3f\n",
+                    name.c_str(), static_cast<long long>(s.count),
+                    bins.sum * 1e3, s.mean * 1e3, s.min * 1e3, s.max * 1e3,
+                    s.p50 * 1e3, s.p99 * 1e3);
       out += line;
     }
   }
@@ -308,6 +327,12 @@ std::string stats_summary() {
   }
   for (const auto& [name, v] : gauges) {
     std::snprintf(line, sizeof(line), "gauge   %-28s %.17g\n", name.c_str(), v);
+    out += line;
+  }
+  for (const ByteGaugeSnapshot& g : byte_gauges) {
+    std::snprintf(line, sizeof(line), "bytes   %-28s %12lld (peak %lld)\n",
+                  g.name.c_str(), static_cast<long long>(g.current),
+                  static_cast<long long>(g.peak));
     out += line;
   }
   const std::int64_t drops = dropped_events();
@@ -370,14 +395,16 @@ void write_chrome_trace(const std::string& path) {
 }
 
 void flush() {
-  std::string trace_path, stats_sink;
+  std::string trace_path, stats_sink, metrics_path;
   {
     Global& g = global();
     std::lock_guard<std::mutex> lock(g.m);
     trace_path = g.trace_path;
     stats_sink = g.stats_sink;
+    metrics_path = g.metrics_path;
   }
   if (!trace_path.empty()) write_chrome_trace(trace_path);
+  if (!metrics_path.empty()) write_prometheus(metrics_path);
   if (!stats_sink.empty()) {
     const std::string summary = stats_summary();
     if (!summary.empty()) {
@@ -409,20 +436,33 @@ void reset() {
     b->segments.clear();
   }
   g.dropped.store(0, std::memory_order_relaxed);
+  detail::reset_histograms();
+  detail::reset_byte_gauge_peaks();
 }
 
 std::int64_t dropped_events() {
   return global().dropped.load(std::memory_order_relaxed);
 }
 
-std::string run_metadata_json(const std::string& indent) {
+namespace detail {
+
+std::string build_compiler() {
 #if defined(__clang__)
-  const std::string compiler = std::string("clang ") + __clang_version__;
+  return std::string("clang ") + __clang_version__;
 #elif defined(__GNUC__)
-  const std::string compiler = std::string("gcc ") + __VERSION__;
+  return std::string("gcc ") + __VERSION__;
 #else
-  const std::string compiler = "unknown";
+  return "unknown";
 #endif
+}
+
+const char* build_type() { return SYMPVL_BUILD_TYPE; }
+const char* cxx_flags() { return SYMPVL_CXX_FLAGS; }
+
+}  // namespace detail
+
+std::string run_metadata_json(const std::string& indent) {
+  const std::string compiler = detail::build_compiler();
   const char* env_threads = std::getenv("SYMPVL_NUM_THREADS");
   std::string out = "{\n";
   auto field = [&](const std::string& key, const std::string& value,

@@ -13,13 +13,22 @@
 //     1024-event segment is added and at flush/merge time.
 //
 // Sinks (resolved once, from the environment, at the first instrumented
-// call; an atexit flush is installed when either is configured):
+// call; an atexit flush is installed when any is configured):
 //   * SYMPVL_TRACE=<path>   — Chrome trace-event JSON ("trace.json" loads
 //     in about:tracing or https://ui.perfetto.dev). Spans become complete
 //     ('X') events, instants 'i' events; thread-pool workers appear as
 //     named lanes ("pool-worker-K").
 //   * SYMPVL_STATS=<1|stderr|path> — human-readable per-span/counter
-//     summary printed at flush (to stderr, or appended to <path>).
+//     summary printed at flush (to stderr, or appended to <path>),
+//     including min/mean/max and p50/p95/p99 per span family.
+//   * SYMPVL_METRICS=<path> — Prometheus text-exposition document
+//     (counters, gauges, byte gauges, latency histograms; see
+//     obs/prom_export.hpp for the naming convention).
+//
+// Metrics v2 companions (same namespace, separate headers):
+// obs/histogram.hpp — log-bucketed latency histograms automatically fed
+// by every completed span; obs/memstat.hpp — always-on byte gauges with
+// high-water marks plus RSS sampling.
 //
 // Naming convention: dot-separated "<subsystem>.<event>" — e.g.
 // "ldlt.factor", "lanczos.deflation", "ac.sweep", "parallel.chunk". Event
@@ -44,6 +53,10 @@ namespace detail {
 // -1 = not yet resolved from the environment, 0 = off, 1 = on.
 extern std::atomic<int> g_enabled;
 bool init_enabled_slow();
+// Build metadata strings (the macros are injected on obs.cpp only).
+std::string build_compiler();
+const char* build_type();
+const char* cxx_flags();
 }  // namespace detail
 
 /// True when instrumentation is recording. Inline: one relaxed atomic load
@@ -207,21 +220,25 @@ std::vector<Event> snapshot_events();
 std::vector<std::pair<std::string, double>> snapshot_counters();
 std::vector<std::pair<std::string, double>> snapshot_gauges();
 
-/// Human-readable summary: per-span count/total/mean/max plus counters and
-/// gauges. Empty string when nothing was recorded.
+/// Human-readable summary: per-span count/total/mean/min/max/p50/p99
+/// (from the latency histograms) plus counters, gauges and byte gauges.
+/// Empty string when nothing was recorded.
 std::string stats_summary();
 
-/// Writes the configured sinks: the Chrome trace JSON when a trace path is
-/// set, the stats summary when SYMPVL_STATS is set. Idempotent; also
-/// installed via atexit when a sink is configured from the environment.
+/// Writes the configured sinks: the Chrome trace JSON when a trace path
+/// is set, the stats summary when SYMPVL_STATS is set, the Prometheus
+/// document when SYMPVL_METRICS is set. Idempotent; also installed via
+/// atexit when a sink is configured from the environment.
 void flush();
 
 /// Writes the Chrome trace JSON for everything recorded so far to `path`
 /// regardless of sink configuration.
 void write_chrome_trace(const std::string& path);
 
-/// Discards all recorded events and zeroes every counter (for tests and
-/// repeated bench sections). Call only while no instrumented code runs.
+/// Discards all recorded events, zeroes every counter and histogram, and
+/// drops byte-gauge high-water marks to their current values (for tests
+/// and repeated bench sections). Call only while no instrumented code
+/// runs.
 void reset();
 
 /// Events dropped because a thread hit its buffer cap (memory backstop).

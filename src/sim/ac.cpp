@@ -36,6 +36,7 @@ class PencilSolver {
   // Multi-RHS solve: one blocked pass over the LDLᵀ factor for all
   // columns; the LU fallback solves column by column.
   CMat solve(const CMat& b) const { return chain_.solve(b); }
+  std::int64_t bytes() const { return chain_.bytes(); }
 
  private:
   static FactorChainOptions hot_path_options() {
@@ -63,6 +64,7 @@ class AcPointSolver final : public ComplexPencilSolver {
       : solver_(pencil, symbolic) {}
   CVec solve(const CVec& b) const override { return solver_.solve(b); }
   CMat solve(const CMat& b) const override { return solver_.solve(b); }
+  std::int64_t bytes() const override { return solver_.bytes(); }
 
  private:
   PencilSolver solver_;

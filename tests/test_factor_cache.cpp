@@ -15,6 +15,7 @@
 #include "mor/pvl.hpp"
 #include "mor/sympvl.hpp"
 #include "mor/sypvl.hpp"
+#include "obs/memstat.hpp"
 #include "obs/obs.hpp"
 #include "sim/ac.hpp"
 
@@ -365,6 +366,69 @@ TEST(FactorCache, ConcurrentAcquireIsSafeAndConsistent) {
   EXPECT_EQ(s.hits + s.misses,
             static_cast<std::uint64_t>(kThreads * kIters));
   EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(FactorCache, ByteAccountingRisesOnMissFallsOnEvict) {
+  const MnaSystem sys = small_rc();
+  const PencilFingerprint fp = fingerprint_pencil(sys.G, sys.C);
+  obs::ByteGauge& gauge = obs::byte_gauge("factor_cache.resident_bytes");
+  const std::int64_t gauge_base = gauge.value();
+  std::int64_t r2 = 0;
+  {
+    FactorCache cache(2);
+    EXPECT_EQ(cache.stats().resident_bytes, 0);
+
+    PencilFactorOptions o1, o2, o3;
+    o1.shift = 1e8;
+    o2.shift = 2e8;
+    o3.shift = 3e8;
+
+    cache.acquire(fp, o1, maker_for(sys, o1));
+    const std::int64_t r1 = cache.stats().resident_bytes;
+    EXPECT_GT(r1, 0);
+    EXPECT_EQ(cache.stats().peak_resident_bytes, r1);
+    EXPECT_EQ(gauge.value(), gauge_base + r1);
+
+    cache.acquire(fp, o2, maker_for(sys, o2));
+    r2 = cache.stats().resident_bytes;
+    EXPECT_GT(r2, r1);
+    EXPECT_EQ(cache.stats().peak_resident_bytes, r2);
+
+    // Third insert into a 2-entry cache: one forced eviction. Resident
+    // bytes stay at ~two entries (all entries are same-sized pencils of
+    // one circuit), never three.
+    cache.acquire(fp, o3, maker_for(sys, o3));
+    const FactorCacheStats s3 = cache.stats();
+    EXPECT_EQ(s3.evictions, 1u);
+    EXPECT_LT(s3.resident_bytes, r2 + r1);
+    EXPECT_GT(s3.resident_bytes, 0);
+    EXPECT_EQ(gauge.value(), gauge_base + s3.resident_bytes);
+
+    // A capacity shrink is also eviction pressure.
+    cache.set_capacity(1);
+    const FactorCacheStats s4 = cache.stats();
+    EXPECT_EQ(s4.evictions, 2u);
+    EXPECT_LT(s4.resident_bytes, s3.resident_bytes);
+
+    // clear() releases the bytes but is NOT an eviction (no pressure).
+    cache.clear();
+    const FactorCacheStats s5 = cache.stats();
+    EXPECT_EQ(s5.resident_bytes, 0);
+    EXPECT_EQ(s5.evictions, 2u);
+    EXPECT_EQ(gauge.value(), gauge_base);
+    // The peak survives as the high-water mark until reset_stats(). (An
+    // insert past capacity charges the new entry before the LRU pop, so
+    // the peak can momentarily exceed the steady two-entry residency.)
+    EXPECT_GE(s5.peak_resident_bytes, r2);
+    cache.reset_stats();
+    EXPECT_EQ(cache.stats().peak_resident_bytes, 0);
+
+    cache.acquire(fp, o1, maker_for(sys, o1));
+    EXPECT_GT(gauge.value(), gauge_base);
+  }
+  // Destruction uncharges the process-wide gauge for live entries.
+  EXPECT_EQ(gauge.value(), gauge_base);
+  EXPECT_GE(gauge.peak(), gauge_base + r2);
 }
 
 TEST(FactorCache, ClearDropsEntriesKeepsStats) {

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "gen/random_circuit.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_ldlt.hpp"
 #include "mor/sympvl.hpp"
 #include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
@@ -67,6 +69,46 @@ int count_occurrences(const std::string& doc, const std::string& needle) {
   return n;
 }
 
+// Splits the traceEvents array into its top-level event objects (nested
+// args braces handled by depth tracking).
+std::vector<std::string> split_events(const std::string& doc) {
+  std::vector<std::string> events;
+  int depth = 0;
+  bool in_string = false, escape = false;
+  size_t start = std::string::npos;
+  for (size_t i = 0; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      if (escape)
+        escape = false;
+      else if (c == '\\')
+        escape = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') {
+      // Event objects sit at depth 3: root object > traceEvents array >
+      // event.
+      if (++depth == 3 && c == '{') start = i;
+    } else if (c == '}' || c == ']') {
+      if (depth-- == 3 && c == '}' && start != std::string::npos) {
+        events.push_back(doc.substr(start, i - start + 1));
+        start = std::string::npos;
+      }
+    }
+  }
+  return events;
+}
+
+// "tid" value of one event object; -1 when absent.
+long long event_tid(const std::string& ev) {
+  const size_t pos = ev.find("\"tid\":");
+  if (pos == std::string::npos) return -1;
+  return std::atoll(ev.c_str() + pos + 6);
+}
+
 }  // namespace
 
 int main() {
@@ -97,6 +139,38 @@ int main() {
   const SweepResult sweep = engine.sweep(freqs);
   check(sweep.size() == freqs.size(), "sweep produced every point");
   check(sweep.all_ok(), "sweep produced no failed points");
+
+  // ---- Parallel supernodal kernel lanes (Metrics v2). ----
+  // A 2-D grid Laplacian is large enough that several elimination-tree
+  // levels pass the factor/solve grain gates, so panel updates and
+  // blocked TRSMs fan out across the pool; the per-chunk kernel spans
+  // must then land on the workers' lanes, each carrying its
+  // simd/threads/flops args.
+  {
+    const Index g = 110;
+    const Index n = g * g;
+    TripletBuilder<double> t(n, n);
+    for (Index r = 0; r < g; ++r)
+      for (Index c = 0; c < g; ++c) {
+        const Index i = r * g + c;
+        t.add(i, i, 4.5);
+        if (c + 1 < g) { t.add(i, i + 1, -1.0); t.add(i + 1, i, -1.0); }
+        if (r + 1 < g) { t.add(i, i + g, -1.0); t.add(i + g, i, -1.0); }
+      }
+    KernelOptions kopt;
+    kopt.path = KernelPath::kSupernodal;
+    // Min-degree: RCM's banded etree is a width-1 chain (nothing to fan
+    // out); min-degree gives the bushy tree with wide levels.
+    const LDLT fact(t.compress(), Ordering::kMinDegree, 0.0, kopt);
+    check(fact.kernel_threads() > 1,
+          "grid factorization fanned panel updates across the pool");
+    Mat rhs(n, 16);
+    for (Index i = 0; i < n; ++i)
+      for (Index j = 0; j < 16; ++j)
+        rhs(i, j) = 1.0 + 0.001 * static_cast<double>(i + j);
+    const Mat x = fact.solve(rhs);
+    check(x.rows() == n, "blocked grid solve produced a full solution");
+  }
 
   obs::flush();
 
@@ -143,6 +217,50 @@ int main() {
         "both pool workers have named lanes");
   check(count_occurrences(doc, "\"thread_name\"") >= 3,
         "metadata events for main + worker lanes");
+
+  // Per-chunk kernel spans from the parallel supernodal path sit on the
+  // workers' lanes (not only the caller's) and carry the kernel args.
+  {
+    const auto events = split_events(doc);
+    std::vector<long long> worker_tids;
+    for (const auto& ev : events)
+      if (ev.find("\"thread_name\"") != std::string::npos &&
+          ev.find("\"pool-worker-") != std::string::npos)
+        worker_tids.push_back(event_tid(ev));
+    auto on_worker = [&](const std::string& ev) {
+      const long long tid = event_tid(ev);
+      for (long long w : worker_tids)
+        if (tid == w) return true;
+      return false;
+    };
+    int panel_total = 0, panel_on_worker = 0, panel_with_args = 0;
+    int trsm_total = 0, trsm_on_worker = 0, trsm_with_args = 0;
+    for (const auto& ev : events) {
+      if (event_tid(ev) < 0 || ev.find("\"ph\":\"X\"") == std::string::npos)
+        continue;
+      const bool has_args = ev.find("\"simd\"") != std::string::npos &&
+                            ev.find("\"threads\"") != std::string::npos &&
+                            ev.find("\"flops\"") != std::string::npos;
+      if (ev.find("\"name\":\"kernel.panel_update\"") != std::string::npos) {
+        ++panel_total;
+        if (on_worker(ev)) ++panel_on_worker;
+        if (has_args) ++panel_with_args;
+      } else if (ev.find("\"name\":\"kernel.trsm\"") != std::string::npos) {
+        ++trsm_total;
+        if (on_worker(ev)) ++trsm_on_worker;
+        if (has_args) ++trsm_with_args;
+      }
+    }
+    check(panel_total >= 1, "kernel.panel_update spans recorded");
+    check(trsm_total >= 1, "kernel.trsm spans recorded");
+    check(panel_on_worker >= 1,
+          "kernel.panel_update chunk span on a pool-worker lane");
+    check(trsm_on_worker >= 1, "kernel.trsm chunk span on a pool-worker lane");
+    check(panel_with_args == panel_total,
+          "every kernel.panel_update span carries simd/threads/flops args");
+    check(trsm_with_args == trsm_total,
+          "every kernel.trsm span carries simd/threads/flops args");
+  }
 
   if (g_failures == 0) {
     std::printf("trace smoke: OK (%d trace bytes)\n",

@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Lint the SYMPVL_METRICS Prometheus exposition (and optionally the
+SYMPVL_TRACE Chrome-trace JSON).
+
+Usage:
+    check_metrics.py METRICS.prom [--trace TRACE.json]
+                     [--require-span ldlt.factor ...]
+
+Prometheus text-format checks (exposition format v0.0.4):
+  * every line is a comment, blank, or `name[{labels}] value`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names match
+    [a-zA-Z_][a-zA-Z0-9_]*, label values use valid escapes;
+  * each family's # HELP / # TYPE lines precede its samples, and no
+    family declares TYPE twice;
+  * sample values parse as Go floats (incl. +Inf/-Inf/NaN);
+  * `*_total` counter samples are finite and non-negative;
+  * histogram families: per label set, bucket counts are cumulative
+    (monotone in le), an le="+Inf" bucket exists and equals _count,
+    and _sum/_count are present;
+  * summary families: quantile samples are non-negative and monotone
+    in the quantile label.
+
+Trace checks (--trace): valid strict JSON (no bare NaN/Infinity), a
+traceEvents array whose events carry ph/pid/tid/name, complete ('X')
+events carry ts + non-negative dur, and at least one thread_name
+metadata event names a lane.
+
+--require-span SPAN fails the lint unless the histogram family has a
+sample for that span label (used by CI against the metrics smoke run).
+
+Exits 0 on a clean lint, 1 on any finding; always ends with a one-line
+"check_metrics: PASS/FAIL" summary.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+LABEL_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Lint:
+    def __init__(self):
+        self.findings = []
+
+    def error(self, where, message):
+        self.findings.append(f"{where}: {message}")
+
+
+def parse_value(text):
+    """Prometheus sample value: Go float syntax plus +Inf/-Inf/NaN."""
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on junk
+
+
+def parse_labels(raw, where, lint):
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            lint.error(where, f"malformed label fragment: {raw[pos:]!r}")
+            return labels
+        name = m.group("name")
+        if not LABEL_NAME_RE.match(name):
+            lint.error(where, f"invalid label name {name!r}")
+        labels[name] = m.group("value")
+        pos = m.end()
+    return labels
+
+
+def base_family(name):
+    """Family a sample belongs to: strips histogram/summary suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint_prometheus(path, lint, require_spans):
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    helped, typed = {}, {}
+    sampled_families = set()
+    samples = []  # (lineno, name, labels, value)
+
+    for i, line in enumerate(lines, 1):
+        where = f"{path}:{i}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3:
+                    lint.error(where, f"truncated # {parts[1]} line")
+                    continue
+                fam = parts[2]
+                if not METRIC_NAME_RE.match(fam):
+                    lint.error(where, f"invalid metric name {fam!r}")
+                if parts[1] == "HELP":
+                    helped[fam] = i
+                else:
+                    mtype = parts[3].strip() if len(parts) > 3 else ""
+                    if mtype not in VALID_TYPES:
+                        lint.error(where, f"invalid TYPE {mtype!r} for {fam}")
+                    if fam in typed:
+                        lint.error(where, f"duplicate TYPE for family {fam}")
+                    typed[fam] = (i, mtype)
+                    if fam in sampled_families:
+                        lint.error(where, f"TYPE for {fam} after its samples")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            lint.error(where, f"unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels") or "", where, lint)
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            lint.error(where, f"unparseable value {m.group('value')!r}")
+            continue
+        sampled_families.add(base_family(name))
+        sampled_families.add(name)
+        samples.append((i, name, labels, value))
+
+        if name.endswith("_total"):
+            if math.isnan(value) or value < 0 or math.isinf(value):
+                lint.error(where, f"counter {name} not finite/non-negative: "
+                                  f"{value}")
+
+    # Families must be declared before use.
+    for fam, (_, mtype) in typed.items():
+        if fam not in helped:
+            lint.error(path, f"family {fam} has TYPE but no HELP")
+    for _, name, _, _ in samples:
+        fam = base_family(name)
+        if fam not in typed and name not in typed:
+            lint.error(path, f"sample {name} has no TYPE declaration")
+
+    # Histogram structure per (family, non-le label set).
+    hist_families = {f for f, (_, t) in typed.items() if t == "histogram"}
+    for fam in hist_families:
+        series = {}
+        counts, sums = {}, {}
+        for lineno, name, labels, value in samples:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if name == fam + "_bucket":
+                series.setdefault(key, []).append(
+                    (lineno, labels.get("le", ""), value))
+            elif name == fam + "_count":
+                counts[key] = (lineno, value)
+            elif name == fam + "_sum":
+                sums[key] = (lineno, value)
+        for key, buckets in series.items():
+            label_desc = "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+            prev = -1.0
+            inf_count = None
+            for lineno, le, value in buckets:  # exposition order
+                where = f"{path}:{lineno}"
+                try:
+                    bound = parse_value(le)
+                except ValueError:
+                    lint.error(where, f"invalid le= bound {le!r}")
+                    continue
+                if value < prev:
+                    lint.error(where, f"{fam}{label_desc} bucket le={le} "
+                                      f"count {value} < previous {prev} "
+                                      "(not cumulative)")
+                prev = value
+                if math.isinf(bound) and bound > 0:
+                    inf_count = value
+            if inf_count is None:
+                lint.error(path, f"{fam}{label_desc} missing le=\"+Inf\" "
+                                 "bucket")
+            if key not in counts:
+                lint.error(path, f"{fam}{label_desc} missing _count")
+            elif inf_count is not None and counts[key][1] != inf_count:
+                lint.error(f"{path}:{counts[key][0]}",
+                           f"{fam}{label_desc} _count {counts[key][1]} != "
+                           f"+Inf bucket {inf_count}")
+            if key not in sums:
+                lint.error(path, f"{fam}{label_desc} missing _sum")
+
+    # Summary quantiles: non-negative, monotone per label set.
+    summary_families = {f for f, (_, t) in typed.items() if t == "summary"}
+    for fam in summary_families:
+        series = {}
+        for lineno, name, labels, value in samples:
+            if name != fam or "quantile" not in labels:
+                continue
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "quantile"))
+            series.setdefault(key, []).append(
+                (lineno, float(labels["quantile"]), value))
+        for key, quantiles in series.items():
+            quantiles.sort(key=lambda t: t[1])
+            prev = -math.inf
+            for lineno, q, value in quantiles:
+                where = f"{path}:{lineno}"
+                if not (0.0 <= q <= 1.0):
+                    lint.error(where, f"{fam} quantile {q} outside [0,1]")
+                if math.isnan(value) or value < 0:
+                    lint.error(where, f"{fam} quantile {q} value {value} "
+                                      "negative/NaN")
+                if value < prev:
+                    lint.error(where, f"{fam} quantile {q} value {value} < "
+                                      f"lower quantile's {prev}")
+                prev = value
+
+    # Required span coverage (CI acceptance check).
+    spans_seen = {
+        labels.get("span")
+        for _, name, labels, _ in samples
+        if name == "sympvl_span_duration_seconds_count"
+    }
+    for span in require_spans:
+        if span not in spans_seen:
+            lint.error(path, f"required span family {span!r} has no "
+                             "duration histogram")
+
+    return len(samples)
+
+
+def lint_trace(path, lint):
+    def reject_constant(text):
+        raise ValueError(f"bare non-finite token {text!r}")
+
+    try:
+        with open(path) as f:
+            doc = json.load(f, parse_constant=reject_constant)
+    except ValueError as e:
+        lint.error(path, f"invalid JSON: {e}")
+        return 0
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        lint.error(path, "missing traceEvents array")
+        return 0
+
+    lanes_named = 0
+    for i, ev in enumerate(events):
+        where = f"{path}#traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            lint.error(where, "event is not an object")
+            continue
+        for field in ("ph", "pid", "tid", "name"):
+            if field not in ev:
+                lint.error(where, f"event missing {field!r}")
+        ph = ev.get("ph")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                lint.error(where, f"complete event has bad dur: "
+                                  f"{ev.get('dur')!r}")
+            if "ts" not in ev:
+                lint.error(where, "complete event missing ts")
+        if ph == "M" and ev.get("name") == "thread_name":
+            if isinstance(ev.get("args"), dict) and ev["args"].get("name"):
+                lanes_named += 1
+            else:
+                lint.error(where, "thread_name metadata without a name arg")
+    if lanes_named == 0:
+        lint.error(path, "no thread_name metadata events (no named lanes)")
+    return len(events)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics")
+    parser.add_argument("--trace", default=None)
+    parser.add_argument("--require-span", action="append", default=[],
+                        help="span label that must have a duration histogram")
+    args = parser.parse_args()
+
+    lint = Lint()
+    nsamples = lint_prometheus(args.metrics, lint, args.require_span)
+    if nsamples == 0:
+        lint.error(args.metrics, "no samples at all")
+    checked = f"{nsamples} metric sample(s)"
+    if args.trace:
+        nevents = lint_trace(args.trace, lint)
+        checked += f", {nevents} trace event(s)"
+
+    if lint.findings:
+        for finding in lint.findings:
+            print(f"  {finding}")
+        print(f"check_metrics: FAIL — {len(lint.findings)} finding(s) "
+              f"across {checked}")
+        return 1
+    print(f"check_metrics: PASS ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

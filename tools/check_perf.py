@@ -12,10 +12,13 @@ The comparison is meta-aware: wall-clock numbers are only comparable
 between runs of the same machine shape and build. When the "meta"
 blocks differ on any of the identity fields (compiler, build type,
 C++ flags, hardware concurrency, resolved thread count, resolved SIMD
-level) the gate is SKIPPED with a diagnostic instead of producing a
-false verdict — a laptop must not fail CI against a CI-host baseline,
-and an AVX-512 host must not be judged against scalar-kernel numbers
-(or vice versa).
+level) the gate is SKIPPED instead of producing a false verdict — a
+laptop must not fail CI against a CI-host baseline, and an AVX-512
+host must not be judged against scalar-kernel numbers (or vice versa).
+The skip diagnostic lists which identity fields diverged AND every
+gated key that consequently went uncompared, so a silent skip can
+never masquerade as a pass in CI logs. Every outcome ends with a
+one-line "check_perf: PASS/FAIL/SKIP" summary.
 
 Gated keys: by default every key ending in "_s" or "_ms" (seconds /
 milliseconds — smaller is better). Ratio keys ("*_speedup") are
@@ -80,15 +83,25 @@ def main():
     current = load(args.current)
     baseline = load(args.baseline)
 
+    explicit = [k for k in args.keys.split(",") if k]
+
     mismatches = meta_mismatches(current, baseline)
     if mismatches:
-        print(f"check_perf: SKIP {args.current} — meta mismatch, wall-clock "
-              "numbers not comparable:")
+        skipped = gated_keys(baseline, explicit)
+        print(f"check_perf: meta mismatch — wall-clock numbers from "
+              f"different machine shapes/builds are not comparable:")
         for field, cur, base in mismatches:
             print(f"  {field}: current={cur!r} baseline={base!r}")
+        print(f"check_perf: the following {len(skipped)} gated key(s) were "
+              "NOT compared because of the mismatch above:")
+        for key in skipped:
+            print(f"  {key} (baseline {baseline.get(key)!r}, "
+                  f"current {current.get(key)!r})")
+        fields = ", ".join(field for field, _, _ in mismatches)
+        print(f"check_perf: SKIP {args.current} — {len(skipped)} key(s) "
+              f"skipped (meta mismatch on: {fields})")
         return 0
 
-    explicit = [k for k in args.keys.split(",") if k]
     keys = gated_keys(baseline, explicit)
     if not keys:
         print(f"check_perf: {args.baseline} has no gated timing keys")
