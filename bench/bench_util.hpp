@@ -86,6 +86,15 @@ inline void json_emit(const std::string& path,
   obs::json_emit_with_meta(path, kv);
 }
 
+/// Overload with numeric-list series appended after the scalars (e.g. a
+/// time-vs-ports curve); check_perf.py gates list "*_s" keys element-wise.
+inline void json_emit(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& kv,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+  obs::json_emit_with_meta(path, kv, series);
+}
+
 /// Standard main body: print the experiment tables, then run benchmarks.
 /// Flushes any pending obs sinks (SYMPVL_TRACE / SYMPVL_STATS) before
 /// exit so instrumented benches always produce complete trace files.

@@ -27,9 +27,9 @@ int main() {
               static_cast<long long>(sys.port_count()));
 
   // Reduce: 2 states per port, as in the paper's 17-port -> 34-node result.
-  SympvlOptions opt;
+  ReduceOptions opt;
   opt.order = 2 * sys.port_count();
-  const ReducedModel rom = sympvl_reduce(sys, opt);
+  const ReducedModel rom = *reduce(sys, opt).value().as_reduced();
 
   SynthesisOptions sopt;
   sopt.drop_tolerance = 1e-8;

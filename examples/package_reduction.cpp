@@ -32,10 +32,10 @@ int main(int argc, char** argv) {
   const std::vector<Index> orders{48, 64, 80};
   std::vector<ReducedModel> roms;
   for (Index order : orders) {
-    SympvlOptions opt;
+    ReduceOptions opt;
     opt.order = order;
     opt.s0 = s0;
-    roms.push_back(sympvl_reduce(sys, opt));
+    roms.push_back(*reduce(sys, opt).value().as_reduced());
     std::printf(" |H| n=%-7lld", static_cast<long long>(order));
   }
   std::printf("\n");

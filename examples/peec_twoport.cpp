@@ -16,14 +16,14 @@ int main() {
               peec.netlist.inductors().size(), peec.netlist.mutuals().size(),
               peec.netlist.capacitors().size());
 
-  SympvlOptions opt;
+  ReduceOptions opt;
   opt.order = 50;
   opt.s0 = std::pow(2.0 * M_PI * 3.5e9, 2.0);  // expand mid-band (eq. 26)
-  SympvlReport report;
-  const ReducedModel rom = sympvl_reduce(peec.system, opt, &report);
+  const ReduceResult result = reduce(peec.system, opt);
+  const ReducedModel& rom = *result.model.as_reduced();
   std::printf("SyMPVL order %lld; frequency shift s0 = %.3e "
               "(G is singular, eq. 26)\n",
-              static_cast<long long>(rom.order()), report.s0_used);
+              static_cast<long long>(rom.order()), result.report.s0_used);
 
   const Vec freqs = linear_frequency_grid(1e8, 7.5e9, 25);
   const SweepResult exact = sweep(peec.system, freqs, {.throw_on_failure = true});

@@ -32,15 +32,17 @@ C5 out 0 0.8p
               static_cast<long long>(netlist.element_count()),
               static_cast<long long>(netlist.port_count()));
 
-  // Assemble the MNA system and reduce to order 6 with SyMPVL.
+  // Assemble the MNA system and reduce to order 6 through the public
+  // facade (ReduceMethod::kSympvl is the default).
   const MnaSystem system = build_mna(netlist);
-  SympvlOptions options;
+  ReduceOptions options;
   options.order = 6;
-  SympvlReport report;
-  const ReducedModel rom = sympvl_reduce(system, options, &report);
+  const ReduceResult result = reduce(system, options);
+  const ReducedModel& rom = *result.model.as_reduced();
   std::printf("SyMPVL: order %lld model (deflations=%lld, shift s0=%g)\n",
               static_cast<long long>(rom.order()),
-              static_cast<long long>(report.deflations), report.s0_used);
+              static_cast<long long>(result.report.deflations),
+              result.report.s0_used);
 
   // Compare reduced vs exact across frequency.
   std::printf("\n%-12s %-14s %-14s %-10s\n", "f [Hz]", "|Z11| exact",

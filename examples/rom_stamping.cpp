@@ -22,9 +22,9 @@ int main() {
   const MnaSystem block_sys = build_mna(block.netlist, MnaForm::kRC);
 
   // Reduce the block: 3 states per port.
-  SympvlOptions opt;
+  ReduceOptions opt;
   opt.order = 3 * block_sys.port_count();
-  const ReducedModel rom = sympvl_reduce(block_sys, opt);
+  const ReducedModel rom = *reduce(block_sys, opt).value().as_reduced();
   std::printf("reduced block: order %lld (from %lld unknowns)\n",
               static_cast<long long>(rom.order()),
               static_cast<long long>(block_sys.size()));

@@ -1,0 +1,82 @@
+#include "gen/power_grid.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace sympvl {
+
+PowerGridCircuit make_power_grid(const PowerGridOptions& options) {
+  require(options.ports >= 1, "make_power_grid: need >= 1 port");
+
+  PowerGridCircuit out;
+  Netlist& nl = out.netlist;
+
+  Index rows = options.rows;
+  Index cols = options.cols;
+  if (rows <= 0 || cols <= 0) {
+    const double side =
+        std::ceil(std::sqrt(2.0 * static_cast<double>(options.ports)));
+    rows = cols = std::max<Index>(static_cast<Index>(side), 2);
+  }
+  require(rows * cols >= options.ports,
+          "make_power_grid: mesh smaller than the port count");
+  out.rows = rows;
+  out.cols = cols;
+
+  // Grid nodes in row-major order.
+  std::vector<Index> node(static_cast<size_t>(rows * cols));
+  for (auto& n : node) n = nl.new_node();
+  const auto at = [&](Index r, Index c) {
+    return node[static_cast<size_t>(r * cols + c)];
+  };
+
+  // Mesh resistors on every edge, with a mild positional spread so the
+  // sheet is not perfectly uniform (real grids never are).
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      const double spread = 1.0 + 0.1 * static_cast<double>((r + c) % 3);
+      if (c + 1 < cols)
+        nl.add_resistor(at(r, c), at(r, c + 1), options.edge_resistance * spread);
+      if (r + 1 < rows)
+        nl.add_resistor(at(r, c), at(r + 1, c), options.edge_resistance * spread);
+    }
+  }
+
+  // Decap on every node; slightly heavier in the interior.
+  for (Index r = 0; r < rows; ++r)
+    for (Index c = 0; c < cols; ++c) {
+      const bool boundary = r == 0 || c == 0 || r == rows - 1 || c == cols - 1;
+      nl.add_capacitor(at(r, c), 0, options.decap * (boundary ? 1.0 : 1.25));
+    }
+
+  // Package tie-downs: the 4 corners plus interior pads on an even
+  // stride. The mesh is resistively connected, so these give every node a
+  // DC path to ground — G is nonsingular and s₀ = 0 expansions work.
+  nl.add_resistor(at(0, 0), 0, options.tie_resistance);
+  nl.add_resistor(at(0, cols - 1), 0, options.tie_resistance);
+  nl.add_resistor(at(rows - 1, 0), 0, options.tie_resistance);
+  nl.add_resistor(at(rows - 1, cols - 1), 0, options.tie_resistance);
+  const Index interior =
+      options.interior_ties > 0 ? options.interior_ties
+                                : std::max<Index>(4, options.ports / 64);
+  const Index total = rows * cols;
+  for (Index t = 0; t < interior; ++t) {
+    const Index idx = ((t + 1) * total) / (interior + 1);
+    nl.add_resistor(node[static_cast<size_t>(idx % total)], 0,
+                    options.tie_resistance * 2.0);
+  }
+
+  // Tap ports on an even row-major stride across the whole grid:
+  // neighboring ports share mesh neighborhoods, which is the locality
+  // the electrical clustering of the sharding layer keys on.
+  out.port_nodes.reserve(static_cast<size_t>(options.ports));
+  for (Index j = 0; j < options.ports; ++j) {
+    const Index idx = (j * total) / options.ports;
+    const Index n = node[static_cast<size_t>(idx)];
+    out.port_nodes.push_back(n);
+    nl.add_port(n, 0, "P" + std::to_string(j));
+  }
+  return out;
+}
+
+}  // namespace sympvl

@@ -1,0 +1,51 @@
+// Many-port power-grid generator (the port-sharding workload).
+//
+// Post-layout power-distribution networks are the canonical many-terminal
+// reduction problem: a resistive metal mesh, decoupling capacitance on
+// every node, a handful of package tie-downs, and hundreds to thousands
+// of observation/injection ports spread across the die. SyMPVL's block
+// size equals the port count, so this is exactly the regime where the
+// monolithic process becomes orthogonalization-bound and port sharding
+// pays off.
+//
+// The generator builds a rows×cols RC mesh: resistors on every grid edge
+// (with a mild positional spread so the mesh is not perfectly uniform),
+// a decap to ground on every node, and resistive package ties at the
+// corners plus a sprinkling of interior pads — every node has a DC path
+// to ground, so G is nonsingular and the s₀ = 0 expansion is valid.
+// `ports` tap nodes are chosen evenly across the grid in row-major
+// stride order, giving spatial locality that electrical clustering can
+// discover (neighboring ports share mesh neighborhoods).
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace sympvl {
+
+struct PowerGridOptions {
+  /// Tap-port count. The default mesh sizes itself to ~2 nodes per port.
+  Index ports = 512;
+  /// Explicit mesh shape; 0 = derive rows = cols = ceil(sqrt(2·ports)).
+  Index rows = 0;
+  Index cols = 0;
+  double edge_resistance = 0.05;   ///< per mesh edge [Ω]
+  double decap = 1e-12;            ///< per-node decoupling capacitance [F]
+  double tie_resistance = 0.5;     ///< package tie-down to ground [Ω]
+  /// Interior package pads in addition to the 4 corner ties; 0 = derive
+  /// max(4, ports/64).
+  Index interior_ties = 0;
+};
+
+struct PowerGridCircuit {
+  Netlist netlist;
+  Index rows = 0;
+  Index cols = 0;
+  std::vector<Index> port_nodes;  ///< grid node of port j, in port order
+};
+
+/// Builds the power-grid mesh with `options.ports` tap ports.
+PowerGridCircuit make_power_grid(const PowerGridOptions& options = {});
+
+}  // namespace sympvl

@@ -8,7 +8,13 @@
 //
 // The legacy throwing entry points (sympvl_reduce, sypvl_reduce,
 // pvl_reduce_entry, arnoldi_reduce) remain as the thin underlying
-// primitives; new code should prefer the run_* drivers.
+// primitives.
+//
+// \deprecated The free run_* drivers below are superseded by the public
+// facade sympvl::reduce(system, ReduceOptions) of mor/reduce.hpp, which
+// adds method dispatch (including the sharded many-terminal path) behind
+// one entry point. They remain supported as the per-method primitives
+// the facade is built on, but new call sites should use reduce().
 #pragma once
 
 #include <string>
@@ -92,6 +98,7 @@ struct ReductionResult {
 };
 
 /// SyMPVL (Algorithm 1) behind the unified API.
+/// \deprecated Prefer sympvl::reduce() (mor/reduce.hpp).
 ReductionResult<ReducedModel> run_sympvl(const MnaSystem& sys,
                                          const SympvlOptions& options);
 /// Convenience overload: assembles the netlist (kAuto form) first;
@@ -100,14 +107,17 @@ ReductionResult<ReducedModel> run_sympvl(const Netlist& netlist,
                                          const SympvlOptions& options);
 
 /// SyPVL (single-port predecessor) behind the unified API.
+/// \deprecated Prefer sympvl::reduce() with ReduceMethod::kSypvl.
 ReductionResult<ReducedModel> run_sypvl(const MnaSystem& sys,
                                         const SympvlOptions& options);
 
 /// PVL on entry (row, col) of Z behind the unified API.
+/// \deprecated Prefer sympvl::reduce() with ReduceMethod::kPvl.
 ReductionResult<PvlModel> run_pvl(const MnaSystem& sys, Index row, Index col,
                                   const PvlOptions& options);
 
 /// Block Arnoldi / congruence projection behind the unified API.
+/// \deprecated Prefer sympvl::reduce() with ReduceMethod::kArnoldi.
 ReductionResult<ArnoldiModel> run_arnoldi(const MnaSystem& sys,
                                           const ArnoldiOptions& options);
 

@@ -119,6 +119,13 @@ class BandLanczos {
   /// it throws Error(kBreakdown) only when not even one cluster closed.
   LanczosResult result() const;
 
+  /// The accepted Lanczos vectors as an N×healthy_order() matrix (columns
+  /// v₁ … vₙ, truncated at the last closed cluster, matching result()).
+  /// These span the Krylov space in M-transformed coordinates; the
+  /// physical congruence basis is M⁻ᵀ·basis(). Used by the port-sharding
+  /// stitch, which J-orthogonalizes shard bases against each other.
+  Mat basis() const;
+
   /// Bytes of Krylov state resident right now: basis vectors, queued
   /// candidates, the growing T/ρ storage and the cluster Gram matrices.
   /// Mirrored into the "mem.krylov_bytes" gauge after every step.

@@ -13,6 +13,37 @@ namespace sympvl {
 
 class FactorCache;
 
+/// How the port-sharding layer assigns B's columns to shards.
+enum class ShardClustering {
+  /// Electrical clustering when the topology supports it, round-robin
+  /// otherwise (the default).
+  kAuto,
+  /// Multi-source BFS on the pattern of G + s₀C seeded at farthest-point
+  /// port anchors: ports that are electrically close land in the same
+  /// shard, so each shard's Krylov space stays coherent.
+  kElectrical,
+  /// Column j goes to shard j mod K. Deterministic and topology-free.
+  kRoundRobin,
+};
+
+/// Port-sharding knobs (see mor/port_shard.hpp). Folded into the common
+/// surface — mirroring CacheOptions/KernelOptions — so every driver
+/// accepts them uniformly and the facade can dispatch on them.
+struct PortShardOptions {
+  /// Number of shards. 0 = resolve from the SYMPVL_PORT_SHARDS
+  /// environment variable, else the automatic heuristic (1 shard below
+  /// 2·min_ports_per_shard ports; ~32 ports per shard beyond).
+  Index shards = 0;
+  /// Column-to-shard assignment strategy.
+  ShardClustering clustering = ShardClustering::kAuto;
+  /// Stitch-stage rank tolerance: relative pivot threshold of the union
+  /// Gram Cholesky (fast path) and the deflation threshold of the
+  /// MGS-union fallback.
+  double stitch_tol = 1e-10;
+  /// Floor used by the automatic shard-count heuristic.
+  Index min_ports_per_shard = 8;
+};
+
 /// Options shared by all reduction drivers. Field names are stable API:
 /// existing call sites assign `opt.order`, `opt.s0`, … unchanged whether
 /// they hold a SympvlOptions, ArnoldiOptions, etc.
@@ -49,6 +80,9 @@ struct CommonReductionOptions {
   /// amalgamation slack; kAuto resolves per system size with the
   /// SYMPVL_KERNEL environment variable as fallback.
   KernelOptions kernel;
+  /// Port-sharding behavior (only consulted by the sharded SyMPVL path;
+  /// shards=0 defers to SYMPVL_PORT_SHARDS, then the heuristic).
+  PortShardOptions shard;
 };
 
 }  // namespace sympvl

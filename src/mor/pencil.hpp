@@ -63,6 +63,12 @@ struct PencilFactorRequest {
   CacheOptions cache_options;
   /// Numeric-kernel selection forwarded to every sparse LDLᵀ rung.
   KernelOptions kernels;
+  /// Width of the blocked solves this factorization will serve (the
+  /// driver's effective RHS block — the port count, or the per-shard
+  /// column count under port sharding). Applied as kernels.rhs_hint when
+  /// the caller left that at 0, so resolve_kernel_path sees the true
+  /// block width instead of a monolithic port count. 0 = no hint.
+  Index rhs_width = 0;
 };
 
 struct PencilFactorResult {

@@ -1,0 +1,681 @@
+#include "mor/port_shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "fault.hpp"
+#include "mor/pencil.hpp"
+#include "mor/rational.hpp"
+#include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sympvl {
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---- Partitioning ----------------------------------------------------------
+
+// Anchor node of port j: the row where its B column injects most.
+Index port_anchor(const Mat& b, Index j) {
+  Index best = 0;
+  double best_abs = -1.0;
+  for (Index i = 0; i < b.rows(); ++i) {
+    const double a = std::abs(b(i, j));
+    if (a > best_abs) {
+      best_abs = a;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// Undirected adjacency of the combined G/C sparsity pattern (diagonal
+// dropped) — the "electrical proximity" graph of the pencil.
+std::vector<std::vector<Index>> pencil_adjacency(const SMat& g, const SMat& c) {
+  const Index n = g.rows();
+  std::vector<std::vector<Index>> adj(static_cast<size_t>(n));
+  const auto absorb = [&](const SMat& m) {
+    const auto& colptr = m.colptr();
+    const auto& rowind = m.rowind();
+    for (Index j = 0; j < m.cols(); ++j)
+      for (Index k = colptr[static_cast<size_t>(j)];
+           k < colptr[static_cast<size_t>(j) + 1]; ++k) {
+        const Index i = rowind[static_cast<size_t>(k)];
+        if (i == j) continue;
+        adj[static_cast<size_t>(i)].push_back(j);
+        adj[static_cast<size_t>(j)].push_back(i);
+      }
+  };
+  absorb(g);
+  absorb(c);
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+// Multi-source BFS labelling: every node gets the label of the nearest
+// seed (first reach wins; ties break toward the earlier seed because the
+// queue is processed in seed order). -1 = unreachable.
+std::vector<Index> bfs_label(const std::vector<std::vector<Index>>& adj,
+                             const std::vector<Index>& seeds) {
+  std::vector<Index> label(adj.size(), -1);
+  std::queue<Index> q;
+  for (size_t s = 0; s < seeds.size(); ++s) {
+    const Index node = seeds[s];
+    if (label[static_cast<size_t>(node)] >= 0) continue;  // duplicate seed
+    label[static_cast<size_t>(node)] = static_cast<Index>(s);
+    q.push(node);
+  }
+  while (!q.empty()) {
+    const Index u = q.front();
+    q.pop();
+    for (Index v : adj[static_cast<size_t>(u)])
+      if (label[static_cast<size_t>(v)] < 0) {
+        label[static_cast<size_t>(v)] = label[static_cast<size_t>(u)];
+        q.push(v);
+      }
+  }
+  return label;
+}
+
+// BFS distances from a seed set (for farthest-point seeding).
+std::vector<Index> bfs_distance(const std::vector<std::vector<Index>>& adj,
+                                const std::vector<Index>& seeds) {
+  std::vector<Index> dist(adj.size(), -1);
+  std::queue<Index> q;
+  for (Index s : seeds) {
+    if (dist[static_cast<size_t>(s)] == 0) continue;
+    dist[static_cast<size_t>(s)] = 0;
+    q.push(s);
+  }
+  while (!q.empty()) {
+    const Index u = q.front();
+    q.pop();
+    for (Index v : adj[static_cast<size_t>(u)])
+      if (dist[static_cast<size_t>(v)] < 0) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        q.push(v);
+      }
+  }
+  return dist;
+}
+
+std::vector<Index> electrical_partition(const MnaSystem& sys, Index shards) {
+  const Index p = sys.port_count();
+  std::vector<Index> anchor(static_cast<size_t>(p));
+  for (Index j = 0; j < p; ++j)
+    anchor[static_cast<size_t>(j)] = port_anchor(sys.B, j);
+  const auto adj = pencil_adjacency(sys.G, sys.C);
+
+  // Farthest-point seeding over the port anchors: seed 0 is port 0's
+  // anchor; each next seed is the anchor farthest from the current seed
+  // set (unreachable counts as farthest; ties to the lower port index).
+  std::vector<Index> seeds{anchor[0]};
+  while (static_cast<Index>(seeds.size()) < shards) {
+    const std::vector<Index> dist = bfs_distance(adj, seeds);
+    Index best_port = -1;
+    Index best_dist = -2;
+    for (Index j = 0; j < p; ++j) {
+      const Index a = anchor[static_cast<size_t>(j)];
+      if (std::find(seeds.begin(), seeds.end(), a) != seeds.end()) continue;
+      const Index d = dist[static_cast<size_t>(a)];
+      const Index score = d < 0 ? std::numeric_limits<Index>::max() : d;
+      if (best_port < 0 || score > best_dist) {
+        best_port = j;
+        best_dist = score;
+      }
+    }
+    if (best_port < 0) break;  // fewer distinct anchors than shards
+    seeds.push_back(anchor[static_cast<size_t>(best_port)]);
+  }
+
+  const std::vector<Index> label = bfs_label(adj, seeds);
+  std::vector<Index> assign(static_cast<size_t>(p));
+  for (Index j = 0; j < p; ++j) {
+    const Index l = label[static_cast<size_t>(anchor[static_cast<size_t>(j)])];
+    // Unreachable anchors (or a seed shortfall) fall back to round-robin.
+    assign[static_cast<size_t>(j)] = l >= 0 ? l % shards : j % shards;
+  }
+  return assign;
+}
+
+// ---- Stitch kernels --------------------------------------------------------
+
+// C = AᵀB for a symmetric product (Ar = VᵀJV, Cr = VᵀM⁻¹CM⁻ᵀV): only the
+// lower block triangle is accumulated and then mirrored — this halves
+// the flops AND is the numerical symmetrization. Blocked so the output
+// tile stays in L1 while the k-loop streams contiguous row segments of
+// the (row-major) inputs; the naive k-outer kernel walks the full n×n
+// accumulator once per row, which thrashes at stitch sizes (n ≈ 512 →
+// 2 MB per sweep).
+Mat sym_gram(const Mat& a, const Mat& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "sym_gram: shape mismatch");
+  const Index big_n = a.rows();
+  const Index n = a.cols();
+  constexpr Index kBlock = 48;
+  Mat c(n, n);
+  for (Index j0 = 0; j0 < n; j0 += kBlock) {
+    const Index j1 = std::min(n, j0 + kBlock);
+    for (Index i0 = j0; i0 < n; i0 += kBlock) {
+      const Index i1 = std::min(n, i0 + kBlock);
+      for (Index k = 0; k < big_n; ++k) {
+        const double* arow = a.data() + k * n;
+        const double* brow = b.data() + k * n;
+        for (Index i = i0; i < i1; ++i) {
+          const double aik = arow[i];
+          if (aik == 0.0) continue;
+          double* crow = c.data() + i * n;
+          const Index jend = std::min(j1, i + 1);
+          for (Index j = j0; j < jend; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i + 1; j < n; ++j) c(i, j) = c(j, i);
+  return c;
+}
+
+// Pivot-guarded lower Cholesky of a symmetric matrix. Returns false
+// (leaving `l` unspecified) when any pivot falls below tol·max|diag| —
+// the union Gram is then numerically rank deficient and the caller must
+// take the robust MGS stitch instead of trusting the whitening.
+bool guarded_cholesky(const Mat& a, double tol, Mat* l) {
+  const Index n = a.rows();
+  double max_diag = 0.0;
+  for (Index i = 0; i < n; ++i) max_diag = std::max(max_diag, std::abs(a(i, i)));
+  if (max_diag <= 0.0) return false;
+  *l = Mat(n, n);
+  Mat& ll = *l;
+  for (Index j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (Index k = 0; k < j; ++k) d -= ll(j, k) * ll(j, k);
+    if (!(d > tol * max_diag)) return false;
+    const double root = std::sqrt(d);
+    ll(j, j) = root;
+    for (Index i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (Index k = 0; k < j; ++k) s -= ll(i, k) * ll(j, k);
+      ll(i, j) = s / root;
+    }
+  }
+  return true;
+}
+
+// X := L⁻¹X (forward substitution, every column).
+void solve_lower_inplace(const Mat& l, Mat* x) {
+  const Index n = l.rows();
+  const Index m = x->cols();
+  Mat& xx = *x;
+  for (Index i = 0; i < n; ++i) {
+    const double d = l(i, i);
+    for (Index c = 0; c < m; ++c) {
+      double s = xx(i, c);
+      for (Index k = 0; k < i; ++k) s -= l(i, k) * xx(k, c);
+      xx(i, c) = s / d;
+    }
+  }
+}
+
+// Per-shard outcome collected under the parallel region; slot k is only
+// ever written by the chunk that owns shard k.
+struct ShardRun {
+  bool ok = false;
+  Mat basis;          // N×n_k Lanczos vectors (M-transformed coordinates)
+  Mat rho;            // n_k×p_k starting-block coefficients
+  SympvlReport report;
+  ReductionIssue issue;  // valid when !ok
+  bool failed = false;
+};
+
+}  // namespace
+
+Index resolve_shard_count(const PortShardOptions& options, Index ports) {
+  Index k = options.shards;
+  if (k <= 0) {
+    // Mirrors the CacheOptions/KernelOptions pattern: the environment
+    // backstops an unset option, read per call so tests can setenv.
+    if (const char* env = std::getenv("SYMPVL_PORT_SHARDS"))
+      if (*env != '\0') k = static_cast<Index>(std::atol(env));
+  }
+  if (k <= 0) {
+    const Index floor_ports = std::max<Index>(options.min_ports_per_shard, 1);
+    if (ports < 2 * floor_ports) {
+      k = 1;
+    } else {
+      k = std::clamp<Index>(ports / 32, 2, ports / floor_ports);
+    }
+  }
+  return std::clamp<Index>(k, 1, std::max<Index>(ports, 1));
+}
+
+std::vector<Index> partition_ports(const MnaSystem& sys, Index shards,
+                                   ShardClustering clustering) {
+  const Index p = sys.port_count();
+  require(shards >= 1 && shards <= p, ErrorCode::kInvalidArgument,
+          "partition_ports: shard count out of range");
+  if (shards == 1) return std::vector<Index>(static_cast<size_t>(p), 0);
+  if (clustering == ShardClustering::kRoundRobin) {
+    std::vector<Index> assign(static_cast<size_t>(p));
+    for (Index j = 0; j < p; ++j) assign[static_cast<size_t>(j)] = j % shards;
+    return assign;
+  }
+  return electrical_partition(sys, shards);
+}
+
+ShardedSympvlResult sharded_sympvl_reduce(const MnaSystem& sys,
+                                          const SympvlOptions& options) {
+  const auto t_total = std::chrono::steady_clock::now();
+  const Index p = sys.port_count();
+  require(p >= 1, ErrorCode::kInvalidArgument,
+          "sharded_sympvl_reduce: system has no ports");
+  require(options.order >= 1, ErrorCode::kInvalidArgument,
+          "sharded_sympvl_reduce: order must be >= 1");
+
+  ShardedSympvlResult out;
+  // Never more shards than requested Lanczos vectors: every shard must
+  // sustain at least a 1-vector process.
+  const Index shards = std::min<Index>(
+      resolve_shard_count(options.shard, p), std::max<Index>(options.order, 1));
+
+  // ---- 1 shard: the monolithic driver IS the implementation. ----
+  if (shards <= 1) {
+    ReductionResult<ReducedModel> mono = run_sympvl(sys, options);
+    out.used_monolithic = true;
+    out.monolithic = std::move(mono.model);
+    out.report = std::move(mono.report);
+    out.status = mono.status;
+    out.diagnostics = std::move(mono.diagnostics);
+    out.shard.shards = 1;
+    out.shard.clustering = "monolithic";
+    out.shard.port_to_shard.assign(static_cast<size_t>(p), 0);
+    out.shard.shard_ports = {p};
+    out.shard.shard_orders = {out.report.achieved_order};
+    out.shard.stitched_order = out.report.achieved_order;
+    out.shard.factor_cache_hits = out.report.factor_cache_hits;
+    out.shard.factor_cache_misses = out.report.factor_cache_misses;
+    out.shard.total_seconds = seconds_since(t_total);
+    return out;
+  }
+
+  // ---- Partition B's columns. ----
+  const auto t_partition = std::chrono::steady_clock::now();
+  std::vector<Index> assign;
+  {
+    obs::ScopedTimer span("shard.partition");
+    span.arg("ports", p);
+    span.arg("shards", shards);
+    assign = partition_ports(sys, shards, options.shard.clustering);
+  }
+  out.shard.shards = shards;
+  out.shard.clustering =
+      options.shard.clustering == ShardClustering::kRoundRobin ? "round_robin"
+                                                               : "electrical";
+  out.shard.port_to_shard = assign;
+  // Global port list per shard (in ascending port order — determinism).
+  std::vector<std::vector<Index>> shard_cols(static_cast<size_t>(shards));
+  for (Index j = 0; j < p; ++j)
+    shard_cols[static_cast<size_t>(assign[static_cast<size_t>(j)])].push_back(j);
+  // Electrical clustering can leave a shard empty (fewer distinct anchor
+  // regions than shards); rebalance those from round-robin so every
+  // shard carries work.
+  for (Index k = 0; k < shards; ++k)
+    if (shard_cols[static_cast<size_t>(k)].empty()) {
+      for (Index j = 0; j < p; ++j)
+        if (j % shards == k &&
+            shard_cols[static_cast<size_t>(assign[static_cast<size_t>(j)])]
+                    .size() > 1) {
+          auto& from =
+              shard_cols[static_cast<size_t>(assign[static_cast<size_t>(j)])];
+          from.erase(std::find(from.begin(), from.end(), j));
+          assign[static_cast<size_t>(j)] = k;
+          shard_cols[static_cast<size_t>(k)].push_back(j);
+          break;
+        }
+    }
+  out.shard.port_to_shard = assign;
+  Index widest = 1;
+  out.shard.shard_ports.resize(static_cast<size_t>(shards));
+  for (Index k = 0; k < shards; ++k) {
+    const Index pk =
+        static_cast<Index>(shard_cols[static_cast<size_t>(k)].size());
+    out.shard.shard_ports[static_cast<size_t>(k)] = pk;
+    widest = std::max(widest, pk);
+  }
+  // Per-shard order budget ∝ shard width (largest-remainder rounding,
+  // every live shard gets at least 1; deterministic).
+  std::vector<Index> shard_order(static_cast<size_t>(shards), 0);
+  {
+    Index assigned = 0;
+    std::vector<std::pair<double, Index>> frac;
+    for (Index k = 0; k < shards; ++k) {
+      const Index pk = out.shard.shard_ports[static_cast<size_t>(k)];
+      if (pk == 0) continue;
+      const double share = static_cast<double>(options.order) *
+                           static_cast<double>(pk) / static_cast<double>(p);
+      Index base = std::max<Index>(static_cast<Index>(share), 1);
+      shard_order[static_cast<size_t>(k)] = base;
+      assigned += base;
+      frac.emplace_back(share - static_cast<double>(base), k);
+    }
+    std::sort(frac.begin(), frac.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (size_t i = 0; assigned < options.order && !frac.empty(); ++i) {
+      shard_order[static_cast<size_t>(frac[i % frac.size()].second)] += 1;
+      ++assigned;
+    }
+  }
+  out.shard.partition_seconds = seconds_since(t_partition);
+
+  // ---- Prime the shared factorization once (full SyMPVL ladder). Every
+  //      shard then factors at the settled shift and hits the cache. ----
+  const auto t_factor = std::chrono::steady_clock::now();
+  PencilFactorRequest req;
+  req.s0 = options.s0;
+  req.auto_shift = options.auto_shift;
+  req.ordering = options.ordering;
+  req.full_ladder = true;
+  req.allow_dense = true;
+  req.driver = "sharded_sympvl";
+  req.stage = "shard.factor";
+  req.cache = options.factor_cache;
+  req.cache_options = options.cache;
+  req.kernels = options.kernel;
+  // Uniform kernel resolution across priming and every shard session:
+  // the widest shard width drives the rhs heuristic, and the sessions
+  // below pin the same value, so all cache keys agree.
+  req.rhs_width = widest;
+  PencilFactorResult primed;
+  try {
+    obs::ScopedTimer span("shard.factor");
+    span.arg("n", sys.size());
+    primed = factor_pencil(sys, req);
+  } catch (const Error& e) {
+    out.status = ReductionStatus::kFailed;
+    out.diagnostics.push_back(ReductionIssue::from_error(e));
+    out.shard.total_seconds = seconds_since(t_total);
+    return out;
+  }
+  const double s0_used = primed.s0_used;
+  out.report.s0_used = s0_used;
+  out.report.used_dense_fallback = primed.dense;
+  for (const FactorAttemptRecord& rec : primed.attempts) {
+    if (rec.success)
+      ++(rec.detail == "cache hit" ? out.report.factor_cache_hits
+                                   : out.report.factor_cache_misses);
+    out.report.factor_attempts.push_back(rec);
+  }
+  out.report.factor_seconds = seconds_since(t_factor);
+  out.report.negative_j = primed.pencil->negative_j();
+  out.report.factor_nnz_l = primed.pencil->l_nnz();
+  out.report.kernel_path = kernel_path_name(primed.pencil->kernel_path());
+  out.report.factor_bytes = primed.pencil->bytes();
+
+  // ---- Per-shard SyMPVL over the thread pool. ----
+  const auto t_reduce = std::chrono::steady_clock::now();
+  std::vector<ShardRun> runs(static_cast<size_t>(shards));
+  {
+    obs::ScopedTimer span("shard.reduce");
+    span.arg("shards", shards);
+    span.arg("widest", widest);
+    parallel_for_chunks(0, shards, [&](Index /*rank*/, Index kb, Index ke) {
+      for (Index k = kb; k < ke; ++k) {
+        ShardRun& run = runs[static_cast<size_t>(k)];
+        const auto& cols = shard_cols[static_cast<size_t>(k)];
+        if (cols.empty()) continue;  // zero-width shard: nothing to do
+        try {
+          // Injected-fault site for the containment tests: one shard's
+          // process dies, the others must finish and the run reports
+          // kTruncated with this shard in diagnostics.
+          fault::check("sympvl.delta", k);
+
+          MnaSystem sub;
+          sub.G = sys.G;
+          sub.C = sys.C;
+          sub.B = Mat(sys.size(), static_cast<Index>(cols.size()));
+          for (size_t c = 0; c < cols.size(); ++c) {
+            for (Index i = 0; i < sys.size(); ++i)
+              sub.B(i, static_cast<Index>(c)) = sys.B(i, cols[c]);
+            if (cols[c] < static_cast<Index>(sys.port_names.size()))
+              sub.port_names.push_back(
+                  sys.port_names[static_cast<size_t>(cols[c])]);
+          }
+          sub.variable = sys.variable;
+          sub.s_prefactor = sys.s_prefactor;
+          sub.definite = sys.definite;
+          sub.node_unknowns = sys.node_unknowns;
+          sub.inductor_unknowns = sys.inductor_unknowns;
+
+          SympvlOptions sopt = options;
+          sopt.order = shard_order[static_cast<size_t>(k)];
+          sopt.s0 = s0_used;        // all shards share one factorization
+          sopt.auto_shift = false;  // the priming ladder already settled it
+          if (sopt.kernel.rhs_hint == 0) sopt.kernel.rhs_hint = widest;
+          sopt.verbosity = 0;
+
+          SympvlSession session(sub, sopt);
+          run.basis = session.krylov_basis();
+          run.rho = session.current().rho();
+          run.report = session.report();
+          run.ok = run.basis.cols() > 0;
+          if (!run.ok) {
+            run.failed = true;
+            run.issue.code = ErrorCode::kBreakdown;
+            run.issue.stage = "shard." + std::to_string(k);
+            run.issue.message = "shard produced no healthy Lanczos vectors";
+          }
+        } catch (const Error& e) {
+          run.failed = true;
+          run.issue = ReductionIssue::from_error(e);
+          run.issue.stage = "shard." + std::to_string(k) +
+                            (run.issue.stage.empty() ? "" : ".") +
+                            run.issue.stage;
+          if (run.issue.index < 0) run.issue.index = k;
+        } catch (const std::exception& e) {
+          run.failed = true;
+          run.issue.code = ErrorCode::kUnknown;
+          run.issue.stage = "shard." + std::to_string(k);
+          run.issue.message = e.what();
+          run.issue.index = k;
+        }
+      }
+    });
+  }
+  out.shard.reduce_seconds = seconds_since(t_reduce);
+  obs::counter("shard.runs").add(static_cast<double>(shards));
+
+  out.shard.shard_orders.assign(static_cast<size_t>(shards), 0);
+  Index n_total = 0;
+  bool any_breakdown = false;
+  for (Index k = 0; k < shards; ++k) {
+    const ShardRun& run = runs[static_cast<size_t>(k)];
+    if (run.ok) {
+      out.shard.shard_orders[static_cast<size_t>(k)] = run.basis.cols();
+      n_total += run.basis.cols();
+      out.report.lanczos_seconds += run.report.lanczos_seconds;
+      out.report.start_block_seconds += run.report.start_block_seconds;
+      out.report.factor_cache_hits += run.report.factor_cache_hits;
+      out.report.factor_cache_misses += run.report.factor_cache_misses;
+      out.report.deflations += run.report.deflations;
+      out.report.krylov_peak_bytes =
+          std::max(out.report.krylov_peak_bytes, run.report.krylov_peak_bytes);
+      if (run.report.breakdown) any_breakdown = true;
+    } else if (run.failed) {
+      out.shard.failed_shards.push_back(k);
+      out.diagnostics.push_back(run.issue);
+      obs::counter("shard.failures").add();
+    }
+  }
+  out.shard.factor_cache_hits = out.report.factor_cache_hits;
+  out.shard.factor_cache_misses = out.report.factor_cache_misses;
+
+  if (n_total == 0) {
+    out.status = ReductionStatus::kFailed;
+    out.shard.total_seconds = seconds_since(t_total);
+    return out;
+  }
+
+  // ---- Stitch: union congruence model in M-transformed coordinates. ----
+  const auto t_stitch = std::chrono::steady_clock::now();
+  {
+    obs::ScopedTimer span("shard.stitch");
+    span.arg("order", n_total);
+
+    const Index big_n = sys.size();
+    const Vec& j = primed.pencil->j_signs();
+    Mat v(big_n, n_total);
+    std::vector<Index> offset(static_cast<size_t>(shards), 0);
+    {
+      Index at = 0;
+      for (Index k = 0; k < shards; ++k) {
+        const ShardRun& run = runs[static_cast<size_t>(k)];
+        offset[static_cast<size_t>(k)] = at;
+        if (!run.ok) continue;
+        for (Index c = 0; c < run.basis.cols(); ++c)
+          for (Index i = 0; i < big_n; ++i) v(i, at + c) = run.basis(i, c);
+        at += run.basis.cols();
+      }
+    }
+
+    // Ar = VᵀJV  — the union Gram of the shifted pencil: with Q = M⁻ᵀV,
+    // Qᵀ(G+s₀C)Q = VᵀM⁻¹(MJMᵀ)M⁻ᵀV = VᵀJV.
+    Mat jv = v;
+    for (Index i = 0; i < big_n; ++i) {
+      const double sign = j[static_cast<size_t>(i)];
+      if (sign == 1.0) continue;
+      double* row = jv.data() + i * n_total;
+      for (Index c = 0; c < n_total; ++c) row[c] *= sign;
+    }
+    const Mat ar = sym_gram(v, jv);
+
+    // Cr = QᵀCQ = VᵀJ·(OpV) with Op = J⁻¹M⁻¹CM⁻ᵀ — n_total extra
+    // operator applications against the shared factorization.
+    Mat jopv(big_n, n_total);
+    for (Index c = 0; c < n_total; ++c) {
+      const Vec w = primed.pencil->apply(v.col(c));
+      for (Index i = 0; i < big_n; ++i)
+        jopv(i, c) = j[static_cast<size_t>(i)] * w[static_cast<size_t>(i)];
+    }
+    const Mat cr = sym_gram(v, jopv);
+
+    // Br = QᵀB = VᵀM⁻¹B. For a healthy shard the Lanczos relation
+    // R_k = V_kρ_k gives M⁻¹B_k = J·V_kρ_k, so the block is
+    // Ar(:, shard k)·ρ_k — a small GEMM, no N-dimensional work. Failed
+    // shards keep exact columns via a fresh starting block.
+    Mat br(n_total, p);
+    for (Index k = 0; k < shards; ++k) {
+      const ShardRun& run = runs[static_cast<size_t>(k)];
+      const auto& cols = shard_cols[static_cast<size_t>(k)];
+      if (cols.empty()) continue;
+      Mat block;
+      if (run.ok) {
+        const Index off = offset[static_cast<size_t>(k)];
+        block = ar.block(0, n_total, off, off + run.basis.cols()) * run.rho;
+      } else {
+        Mat bk(big_n, static_cast<Index>(cols.size()));
+        for (size_t c = 0; c < cols.size(); ++c)
+          for (Index i = 0; i < big_n; ++i)
+            bk(i, static_cast<Index>(c)) = sys.B(i, cols[c]);
+        Mat jstart = starting_block(*primed.pencil, bk);
+        for (Index i = 0; i < big_n; ++i) {
+          double* row = jstart.data() + i * jstart.cols();
+          for (Index c = 0; c < jstart.cols(); ++c)
+            row[c] *= j[static_cast<size_t>(i)];
+        }
+        block = matmul_transA(v, jstart);
+      }
+      for (size_t c = 0; c < cols.size(); ++c)
+        for (Index r = 0; r < n_total; ++r)
+          br(r, cols[c]) = block(r, static_cast<Index>(c));
+    }
+
+    // Fast path: CholQR whitening of the union Gram. Valid when J is
+    // definite (Ar is then SPD up to cross-shard rank deficiency, which
+    // the pivot guard detects); the whitened model is
+    //   ḡ = I, c̄ = L⁻¹CrL⁻ᵀ, b̄ = L⁻¹Br with Ar = LLᵀ,
+    // equivalent to (Ar, Cr, Br) but conditioned for evaluation.
+    Mat chol;
+    const bool definite_j = primed.pencil->negative_j() == 0;
+    if (definite_j &&
+        guarded_cholesky(ar, options.shard.stitch_tol, &chol)) {
+      Mat cw = cr;
+      solve_lower_inplace(chol, &cw);
+      cw = cw.transpose();
+      solve_lower_inplace(chol, &cw);
+      for (Index i = 0; i < n_total; ++i)
+        for (Index jj = i + 1; jj < n_total; ++jj)
+          cw(i, jj) = cw(jj, i) = 0.5 * (cw(i, jj) + cw(jj, i));
+      solve_lower_inplace(chol, &br);
+      out.stitched = ArnoldiModel(Mat::identity(n_total), std::move(cw),
+                                  std::move(br), sys.variable, sys.s_prefactor,
+                                  s0_used);
+      out.shard.stitched_order = n_total;
+    } else {
+      // Robust path (indefinite J, or near-dependent shard spans): map
+      // the union basis back to physical coordinates W = M⁻ᵀV, MGS it
+      // down to an orthonormal basis, and congruence-project the
+      // original pencil — the machinery shared with rational_reduce.
+      out.shard.used_fallback_stitch = true;
+      std::vector<Vec> basis;
+      for (Index k = 0; k < shards; ++k) {
+        const ShardRun& run = runs[static_cast<size_t>(k)];
+        if (!run.ok) continue;
+        std::vector<Vec> block;
+        const Index off = offset[static_cast<size_t>(k)];
+        for (Index c = 0; c < run.basis.cols(); ++c)
+          block.push_back(primed.pencil->solve_mt(v.col(off + c)));
+        mgs_union_append(basis, std::move(block), options.shard.stitch_tol);
+      }
+      if (basis.empty()) {
+        out.status = ReductionStatus::kFailed;
+        ReductionIssue issue;
+        issue.code = ErrorCode::kBreakdown;
+        issue.stage = "shard.stitch";
+        issue.message =
+            "sharded_sympvl_reduce: union basis deflated to nothing";
+        out.diagnostics.push_back(issue);
+        out.shard.total_seconds = seconds_since(t_total);
+        return out;
+      }
+      out.shard.stitch_dropped =
+          n_total - static_cast<Index>(basis.size());
+      out.shard.stitched_order = static_cast<Index>(basis.size());
+      out.stitched = congruence_project(sys, basis);
+    }
+  }
+  out.shard.stitch_seconds = seconds_since(t_stitch);
+
+  out.report.achieved_order = out.shard.stitched_order;
+  out.report.breakdown = any_breakdown;
+  out.report.total_seconds = out.report.factor_seconds +
+                             out.shard.partition_seconds +
+                             out.shard.reduce_seconds +
+                             out.shard.stitch_seconds;
+  out.status = (!out.shard.failed_shards.empty() || any_breakdown)
+                   ? ReductionStatus::kTruncated
+                   : ReductionStatus::kOk;
+  out.shard.total_seconds = seconds_since(t_total);
+  obs::instant("shard.result",
+               {obs::arg("shards", shards),
+                obs::arg("failed",
+                         static_cast<Index>(out.shard.failed_shards.size())),
+                obs::arg("order", out.shard.stitched_order),
+                obs::arg("status", reduction_status_name(out.status))});
+  return out;
+}
+
+}  // namespace sympvl

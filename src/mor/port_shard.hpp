@@ -1,0 +1,117 @@
+// Port-sharded SyMPVL for many-terminal systems (DESIGN.md §5.8).
+//
+// SyMPVL's block size equals the terminal count p, so on the many-port
+// systems real post-layout nets produce (power grids, PEEC extractions
+// with hundreds of ports) the monolithic process drowns in block
+// orthogonalization: every candidate is J-orthogonalized against every
+// closed cluster, an O(n·(n+p)·N) pile of allocation-heavy vector ops.
+// Sharding splits B's columns into K clusters, runs one small SyMPVL per
+// shard (block size p/K — the pair count drops by ~K), and stitches the
+// shard Krylov bases into one congruence-projected model that carries
+// the cross-shard coupling blocks the per-shard models individually lack.
+//
+// Key economies:
+//   * One factorization serves all shards: the pencil G + s₀C is primed
+//     once through the shared FactorCache at a common shift, and every
+//     shard session acquires the identical factor (cache hit).
+//   * The stitch works in M-transformed coordinates. With Q = M⁻ᵀV the
+//     congruence projections collapse to small dense kernels on the
+//     Lanczos vectors themselves — Ar = VᵀJV, Cr = VᵀJ(OpV), and
+//     Br = Ar·blockdiag(ρ_k) by the Lanczos relation R_k = V_kρ_k — no
+//     N-dimensional re-orthogonalization on the fast path.
+//   * Cross-shard rank deficiency is detected by a pivot-guarded
+//     Cholesky of Ar (the union Gram); when it trips — or when J is
+//     indefinite — the stitch falls back to the explicit MGS-union +
+//     congruence machinery shared with rational_reduce.
+//
+// Shard failures are contained: a shard that throws (factorization,
+// breakdown, injected fault at "sympvl.delta" with index = shard id)
+// is excluded from the union basis, its ports keep exact Br columns
+// recovered from the starting block, and the run reports kTruncated
+// with the failure recorded against stage "shard.<k>".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "mor/arnoldi.hpp"
+#include "mor/driver.hpp"
+#include "mor/sympvl.hpp"
+
+namespace sympvl {
+
+/// Per-run telemetry of the sharding layer.
+struct PortShardReport {
+  Index shards = 0;                  ///< shard count actually used
+  std::string clustering;            ///< "electrical" / "round_robin" / "monolithic"
+  std::vector<Index> port_to_shard;  ///< shard of B column j
+  std::vector<Index> shard_ports;    ///< ports per shard
+  std::vector<Index> shard_orders;   ///< achieved Lanczos order per shard
+  std::vector<Index> failed_shards;  ///< shards excluded from the union
+  Index stitched_order = 0;          ///< rows of the stitched model
+  Index stitch_dropped = 0;          ///< union-basis vectors deflated away
+  bool used_fallback_stitch = false; ///< MGS-union path instead of CholQR
+
+  double partition_seconds = 0.0;
+  double reduce_seconds = 0.0;  ///< all shard sessions (wall, not CPU-sum)
+  double stitch_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// FactorCache outcome across priming + every shard session.
+  Index factor_cache_hits = 0;
+  Index factor_cache_misses = 0;
+};
+
+/// Result of a sharded reduction. With 1 shard the layer delegates to the
+/// monolithic SyMPVL driver verbatim (bit-identical model, held in
+/// `monolithic`); with K > 1 the stitched congruence model is in
+/// `stitched`. eval()/order()/port_count() dispatch transparently.
+struct ShardedSympvlResult {
+  ArnoldiModel stitched;
+  ReducedModel monolithic;
+  bool used_monolithic = false;
+
+  SympvlReport report;
+  PortShardReport shard;
+  ReductionStatus status = ReductionStatus::kOk;
+  std::vector<ReductionIssue> diagnostics;
+
+  /// True when a usable model exists (kOk or kTruncated).
+  bool ok() const { return status != ReductionStatus::kFailed; }
+
+  Index order() const {
+    return used_monolithic ? monolithic.order() : stitched.order();
+  }
+  Index port_count() const {
+    return used_monolithic ? monolithic.port_count() : stitched.port_count();
+  }
+  /// Physical p×p Z_r(s) of whichever model the run produced.
+  CMat eval(Complex s) const {
+    return used_monolithic ? monolithic.eval(s) : stitched.eval(s);
+  }
+};
+
+/// Resolves the shard count for `ports` columns: an explicit
+/// options.shard.shards wins, then the SYMPVL_PORT_SHARDS environment
+/// variable, then the heuristic (1 shard below 2·min_ports_per_shard
+/// ports, ~32 ports per shard beyond). Always clamped to [1, ports].
+Index resolve_shard_count(const PortShardOptions& options, Index ports);
+
+/// Assigns each of sys.B's columns to one of `shards` shards.
+/// kElectrical: multi-source BFS on the pattern of G and C seeded at
+/// farthest-point port anchors (ports sharing mesh neighborhoods land
+/// together); kRoundRobin: column j → shard j mod K; kAuto: electrical.
+/// Deterministic for fixed inputs.
+std::vector<Index> partition_ports(const MnaSystem& sys, Index shards,
+                                   ShardClustering clustering);
+
+/// Clustered per-shard SyMPVL with a stitched union model. `options` is
+/// the ordinary SyMPVL surface; options.shard selects count/clustering/
+/// stitch tolerance. Never throws for per-shard failures — they land in
+/// diagnostics with status kTruncated; a failed priming factorization or
+/// an all-shards failure reports kFailed.
+ShardedSympvlResult sharded_sympvl_reduce(const MnaSystem& sys,
+                                          const SympvlOptions& options);
+
+}  // namespace sympvl

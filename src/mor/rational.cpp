@@ -61,21 +61,8 @@ ArnoldiModel rational_reduce(const MnaSystem& sys,
     std::vector<Vec> block;
     for (Index j = 0; j < p; ++j) block.push_back(solver.solve(sys.B.col(j)));
     for (Index it = 0; it < options.iterations_per_shift; ++it) {
-      std::vector<Vec> accepted;
-      for (auto& w : block) {
-        const double ref = norm2(w);
-        if (ref == 0.0) continue;
-        for (int pass = 0; pass < 2; ++pass)
-          for (const auto& q : basis) {
-            const double h = dot(q, w);
-            axpy(-h, q, w);
-          }
-        const double nrm = norm2(w);
-        if (nrm <= options.deflation_tol * ref) continue;
-        scale(w, 1.0 / nrm);
-        basis.push_back(w);
-        accepted.push_back(w);
-      }
+      std::vector<Vec> accepted =
+          mgs_union_append(basis, std::move(block), options.deflation_tol);
       if (it + 1 == options.iterations_per_shift) break;
       block.clear();
       for (const auto& q : accepted)
@@ -83,10 +70,36 @@ ArnoldiModel rational_reduce(const MnaSystem& sys,
       if (block.empty()) break;
     }
   }
-  const Index n = static_cast<Index>(basis.size());
-  require(n >= 1, "rational_reduce: basis deflated to nothing");
+  require(!basis.empty(), "rational_reduce: basis deflated to nothing");
+  return congruence_project(sys, basis);
+}
 
-  // Congruence projection of the ORIGINAL pencil.
+std::vector<Vec> mgs_union_append(std::vector<Vec>& basis,
+                                  std::vector<Vec> block,
+                                  double deflation_tol) {
+  std::vector<Vec> accepted;
+  for (auto& w : block) {
+    const double ref = norm2(w);
+    if (ref == 0.0) continue;
+    for (int pass = 0; pass < 2; ++pass)
+      for (const auto& q : basis) {
+        const double h = dot(q, w);
+        axpy(-h, q, w);
+      }
+    const double nrm = norm2(w);
+    if (nrm <= deflation_tol * ref) continue;
+    scale(w, 1.0 / nrm);
+    basis.push_back(w);
+    accepted.push_back(w);
+  }
+  return accepted;
+}
+
+ArnoldiModel congruence_project(const MnaSystem& sys,
+                                const std::vector<Vec>& basis) {
+  const Index n = static_cast<Index>(basis.size());
+  const Index p = sys.port_count();
+  require(n >= 1, "congruence_project: empty basis");
   Mat gr(n, n), cr(n, n), br(n, p);
   std::vector<Vec> gv(static_cast<size_t>(n)), cv(static_cast<size_t>(n));
   for (Index j = 0; j < n; ++j) {

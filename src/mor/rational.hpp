@@ -43,4 +43,23 @@ ArnoldiModel rational_reduce(const MnaSystem& sys, const RationalOptions& option
 Vec rational_shifts_for_band(const MnaSystem& sys, double f_min, double f_max,
                              Index count);
 
+// ---- Union-basis building blocks --------------------------------------
+// The two halves of the congruence machinery above, exposed so other
+// union-of-spans reducers (multipoint sessions, the port-sharding stitch
+// fallback) share one implementation instead of re-deriving it.
+
+/// Appends `block` to `basis` with doubly-applied modified Gram-Schmidt
+/// and norm-relative deflation (vectors whose norm collapses below
+/// `deflation_tol` times their incoming norm are dropped). Returns the
+/// accepted (normalized) vectors, in order.
+std::vector<Vec> mgs_union_append(std::vector<Vec>& basis,
+                                  std::vector<Vec> block,
+                                  double deflation_tol);
+
+/// Congruence projection of the ORIGINAL pencil onto span(basis):
+/// Gr = VᵀGV, Cr = VᵀCV, Br = VᵀB, packaged as an ArnoldiModel with
+/// s₀ = 0 (no shift folded in), so it evaluates anywhere.
+ArnoldiModel congruence_project(const MnaSystem& sys,
+                                const std::vector<Vec>& basis);
+
 }  // namespace sympvl

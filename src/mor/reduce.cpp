@@ -1,0 +1,123 @@
+#include "mor/reduce.hpp"
+
+#include <utility>
+
+#include "circuit/topology.hpp"
+#include "mor/pencil.hpp"
+
+namespace sympvl {
+
+namespace {
+
+// Copies the shared option surface into a method-specific options struct
+// (the facade applies its values uniformly across methods).
+template <typename Opt>
+Opt slice_common(const ReduceOptions& options) {
+  Opt out;
+  static_cast<CommonReductionOptions&>(out) = options;
+  return out;
+}
+
+template <typename Model>
+ReduceResult from_driver(ReductionResult<Model> r) {
+  ReduceResult out;
+  if (r.ok()) out.model = MacroModel(std::move(r.model));
+  out.report = std::move(r.report);
+  out.status = r.status;
+  out.diagnostics = std::move(r.diagnostics);
+  return out;
+}
+
+}  // namespace
+
+Index MacroModel::order() const {
+  if (const auto* m = as_reduced()) return m->order();
+  if (const auto* m = as_arnoldi()) return m->order();
+  if (const auto* m = as_pvl()) return m->order();
+  return 0;
+}
+
+Index MacroModel::port_count() const {
+  if (const auto* m = as_reduced()) return m->port_count();
+  if (const auto* m = as_arnoldi()) return m->port_count();
+  if (as_pvl() != nullptr) return 1;
+  return 0;
+}
+
+CMat MacroModel::eval(Complex s) const {
+  if (const auto* m = as_reduced()) return m->eval(s);
+  if (const auto* m = as_arnoldi()) return m->eval(s);
+  if (const auto* m = as_pvl()) {
+    CMat z(1, 1);
+    z(0, 0) = m->eval(s);
+    return z;
+  }
+  throw Error(ErrorCode::kInvalidArgument, "MacroModel: empty model",
+              {.stage = "reduce.eval"});
+}
+
+const MacroModel& ReduceResult::value() const {
+  if (!ok()) {
+    if (!diagnostics.empty()) {
+      const ReductionIssue& first = diagnostics.front();
+      throw Error(first.code, first.message,
+                  {.stage = first.stage, .index = first.index,
+                   .value = first.value, .condition = first.condition});
+    }
+    throw Error(ErrorCode::kUnknown, "reduce: failed (no diagnostics)");
+  }
+  return model;
+}
+
+ReduceResult reduce(const MnaSystem& sys, const ReduceOptions& options) {
+  switch (options.method) {
+    case ReduceMethod::kSympvl:
+      return from_driver(run_sympvl(sys, options));
+    case ReduceMethod::kShardedSympvl: {
+      ShardedSympvlResult r = sharded_sympvl_reduce(sys, options);
+      ReduceResult out;
+      if (r.ok())
+        out.model = r.used_monolithic ? MacroModel(std::move(r.monolithic))
+                                      : MacroModel(std::move(r.stitched));
+      out.report = std::move(r.report);
+      out.shard = std::move(r.shard);
+      out.status = r.status;
+      out.diagnostics = std::move(r.diagnostics);
+      return out;
+    }
+    case ReduceMethod::kSypvl:
+      return from_driver(run_sypvl(sys, options));
+    case ReduceMethod::kPvl:
+      return from_driver(run_pvl(sys, options.pvl_row, options.pvl_col,
+                                 slice_common<PvlOptions>(options)));
+    case ReduceMethod::kArnoldi:
+      return from_driver(run_arnoldi(sys, slice_common<ArnoldiOptions>(options)));
+  }
+  throw Error(ErrorCode::kInvalidArgument, "reduce: unknown method",
+              {.stage = "reduce"});
+}
+
+ReduceResult reduce(const Netlist& netlist, const ReduceOptions& options) {
+  MnaSystem sys;
+  ReduceOptions opt = options;
+  try {
+    sys = build_mna(netlist, MnaForm::kAuto);
+    // Topology check (Section 2 / eq. 26) for the pencil-factoring
+    // methods: when some node has no DC path to the datum, G is
+    // structurally singular — pick the shift up front rather than
+    // failing a factorization first. (Mirrors sympvl_reduce's netlist
+    // overload.) automatic_shift itself throws on degenerate systems
+    // (empty C diagonal), which is an assembly-stage failure too.
+    if (opt.s0 == 0.0 && opt.auto_shift &&
+        !has_dc_path_to_ground(netlist, MnaForm::kAuto))
+      opt.s0 = automatic_shift(sys);
+  } catch (const Error& e) {
+    ReduceResult out;
+    out.status = ReductionStatus::kFailed;
+    out.diagnostics.push_back(ReductionIssue::from_error(e));
+    return out;
+  }
+  return reduce(sys, opt);
+}
+
+}  // namespace sympvl

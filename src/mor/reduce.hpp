@@ -1,0 +1,115 @@
+// The public reduction facade: every algorithm in the library behind ONE
+// entry point,
+//
+//   ReduceResult r = sympvl::reduce(system, options);
+//   CMat z = r.value().eval(s);
+//
+// with the method selected by an enum (SyMPVL, sharded SyMPVL, SyPVL,
+// PVL, block Arnoldi) instead of per-driver free functions. The facade
+// returns a ReduceResult carrying a method-agnostic MacroModel (every
+// model evaluates to a p×p impedance matrix; PVL wraps its scalar as
+// 1×1), the uniform SympvlReport, the port-sharding telemetry when that
+// path ran, an explicit ReductionStatus and structured diagnostics.
+//
+// The per-method run_* drivers of mor/driver.hpp remain as the
+// underlying primitives; new code should call reduce().
+#pragma once
+
+#include <variant>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "mor/driver.hpp"
+#include "mor/port_shard.hpp"
+
+namespace sympvl {
+
+/// Which reduction algorithm reduce() dispatches to.
+enum class ReduceMethod {
+  kSympvl,         ///< matrix-Padé block Lanczos (the paper's algorithm)
+  kShardedSympvl,  ///< clustered per-shard SyMPVL with a stitched model
+  kSypvl,          ///< single-vector predecessor (first port only)
+  kPvl,            ///< scalar Padé on one Z entry (pvl_row/pvl_col)
+  kArnoldi,        ///< congruence-projection baseline (PRIMA-style)
+};
+
+inline const char* reduce_method_name(ReduceMethod m) {
+  switch (m) {
+    case ReduceMethod::kSympvl: return "sympvl";
+    case ReduceMethod::kShardedSympvl: return "sharded_sympvl";
+    case ReduceMethod::kSypvl: return "sypvl";
+    case ReduceMethod::kPvl: return "pvl";
+    case ReduceMethod::kArnoldi: return "arnoldi";
+  }
+  return "unknown";
+}
+
+/// Facade options: the full SyMPVL surface (order, s0, shard, cache,
+/// kernel, …) plus the method switch. Fields irrelevant to a method are
+/// ignored by it; the facade applies these values uniformly, so methods
+/// whose standalone options carry different defaults (e.g. Arnoldi's
+/// tighter deflation_tol) get the shared defaults here unless set.
+struct ReduceOptions : SympvlOptions {
+  ReduceMethod method = ReduceMethod::kSympvl;
+  /// Z entry reduced by kPvl (ignored by every other method).
+  Index pvl_row = 0;
+  Index pvl_col = 0;
+};
+
+/// Method-agnostic reduced model. Always evaluates to the physical p×p
+/// impedance matrix; the typed accessors expose the concrete model when
+/// a caller needs method-specific API (poles, moments, synthesis).
+class MacroModel {
+ public:
+  MacroModel() = default;
+  explicit MacroModel(ReducedModel m) : m_(std::move(m)) {}
+  explicit MacroModel(ArnoldiModel m) : m_(std::move(m)) {}
+  explicit MacroModel(PvlModel m) : m_(std::move(m)) {}
+
+  bool empty() const { return std::holds_alternative<std::monostate>(m_); }
+  Index order() const;
+  Index port_count() const;
+
+  /// Physical Z_r(s); a PVL model evaluates as a 1×1 matrix.
+  CMat eval(Complex s) const;
+
+  /// nullptr when the model is not of that concrete type.
+  const ReducedModel* as_reduced() const {
+    return std::get_if<ReducedModel>(&m_);
+  }
+  const ArnoldiModel* as_arnoldi() const {
+    return std::get_if<ArnoldiModel>(&m_);
+  }
+  const PvlModel* as_pvl() const { return std::get_if<PvlModel>(&m_); }
+
+ private:
+  std::variant<std::monostate, ReducedModel, ArnoldiModel, PvlModel> m_;
+};
+
+/// Uniform result of reduce(): dispatch on status, evaluate via model.
+struct ReduceResult {
+  MacroModel model;
+  SympvlReport report;
+  /// Sharding telemetry; default-initialized (shards = 0) for every
+  /// method except kShardedSympvl.
+  PortShardReport shard;
+  ReductionStatus status = ReductionStatus::kOk;
+  std::vector<ReductionIssue> diagnostics;
+
+  /// True when a usable model exists (kOk or kTruncated).
+  bool ok() const { return status != ReductionStatus::kFailed; }
+
+  /// The model, re-raising the first recorded failure when there is none.
+  const MacroModel& value() const;
+};
+
+/// Reduces an assembled MNA system with the selected method. Never
+/// throws for reduction failures — inspect status/diagnostics (invalid
+/// arguments still throw, matching the run_* drivers).
+ReduceResult reduce(const MnaSystem& sys, const ReduceOptions& options);
+
+/// Convenience: assembles the netlist (kAuto form) first; assembly
+/// failures are reported as kFailed diagnostics, not thrown.
+ReduceResult reduce(const Netlist& netlist, const ReduceOptions& options);
+
+}  // namespace sympvl

@@ -139,17 +139,33 @@ CMat ReducedModel::eval(Complex s) const {
   for (Index i = 0; i < n; ++i)
     for (Index j = 0; j < p; ++j) rhs(i, j) = Complex(rho_(i, j), 0.0);
   const CMat x = dense_solve(lhs, rhs);
-  CMat z(p, p);
   Complex pref(1.0, 0.0);
   for (int k = 0; k < s_prefactor_; ++k) pref *= s;
-  for (Index a = 0; a < p; ++a)
-    for (Index b = 0; b < p; ++b) {
-      Complex acc(0.0, 0.0);
-      for (Index i = 0; i < n; ++i)
-        for (Index j = 0; j < n; ++j)
-          acc += rho_(i, a) * delta_(i, j) * x(j, b);
-      z(a, b) = pref * acc;
+  // Zₙ = pref·ρᵀ(ΔX) as two row-streamed passes, O(n²p) + O(np²);
+  // accumulating ρ(i,a)Δ(i,j)X(j,b) entrywise is O(p²n²) — quartic in
+  // the order for many-port models, where p ≈ n.
+  CMat w(n, p);
+  for (Index i = 0; i < n; ++i) {
+    Complex* wrow = w.data() + i * p;
+    for (Index j = 0; j < n; ++j) {
+      const double d = delta_(i, j);
+      if (d == 0.0) continue;
+      const Complex* xrow = x.data() + j * p;
+      for (Index b = 0; b < p; ++b) wrow[b] += d * xrow[b];
     }
+  }
+  CMat z(p, p);
+  for (Index i = 0; i < n; ++i) {
+    const Complex* wrow = w.data() + i * p;
+    for (Index a = 0; a < p; ++a) {
+      const double r = rho_(i, a);
+      if (r == 0.0) continue;
+      Complex* zrow = z.data() + a * p;
+      for (Index b = 0; b < p; ++b) zrow[b] += r * wrow[b];
+    }
+  }
+  for (Index a = 0; a < p; ++a)
+    for (Index b = 0; b < p; ++b) z(a, b) *= pref;
   return z;
 }
 

@@ -183,7 +183,7 @@ SympvlSession::SympvlSession(const MnaSystem& sys, const SympvlOptions& options)
   req.kernels = options.kernel;
   // The blocked solves of this reduction are p-wide (the port count);
   // let the kAuto path heuristic know unless the caller already did.
-  if (req.kernels.rhs_hint == 0) req.kernels.rhs_hint = sys.port_count();
+  req.rhs_width = sys.port_count();
   PencilFactorResult outcome;
   {
     obs::ScopedTimer span("sympvl.factor");
@@ -234,8 +234,7 @@ ReducedModel SympvlSession::reshift(double new_s0) {
   req.cache = impl->options.factor_cache;
   req.cache_options = impl->options.cache;
   req.kernels = impl->options.kernel;
-  if (req.kernels.rhs_hint == 0)
-    req.kernels.rhs_hint = impl->b_matrix.cols();
+  req.rhs_width = impl->b_matrix.cols();
   PencilFactorResult outcome;
   {
     obs::ScopedTimer span("sympvl.reshift");
@@ -266,6 +265,8 @@ ReducedModel SympvlSession::current() const {
 }
 
 Index SympvlSession::order() const { return impl_->lanczos->order(); }
+
+Mat SympvlSession::krylov_basis() const { return impl_->lanczos->basis(); }
 
 const SympvlReport& SympvlSession::report() const { return impl_->report; }
 

@@ -150,6 +150,12 @@ class SympvlSession {
   /// Accepted Lanczos vectors so far.
   Index order() const;
 
+  /// The accepted Lanczos vectors as an N×order matrix (truncated at the
+  /// last closed look-ahead cluster, matching current()). Columns live in
+  /// M-transformed coordinates: the physical Krylov basis is M⁻ᵀ·V.
+  /// Consumed by the port-sharding stitch (mor/port_shard.hpp).
+  Mat krylov_basis() const;
+
   /// Diagnostics, refreshed after every extend().
   const SympvlReport& report() const;
 

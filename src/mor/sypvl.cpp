@@ -29,7 +29,7 @@ ReducedModel sypvl_reduce(const MnaSystem& sys, const SympvlOptions& options,
   req.cache = options.factor_cache;
   req.cache_options = options.cache;
   req.kernels = options.kernel;
-  if (req.kernels.rhs_hint == 0) req.kernels.rhs_hint = sys.port_count();
+  req.rhs_width = sys.port_count();
   PencilFactorResult outcome = factor_pencil(sys, req);
   const std::shared_ptr<const FactorizedPencil> fact = outcome.pencil;
   const double s0 = outcome.s0_used;

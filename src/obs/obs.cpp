@@ -487,13 +487,27 @@ std::string run_metadata_json(const std::string& indent) {
 void json_emit_with_meta(
     const std::string& path,
     const std::vector<std::pair<std::string, double>>& kv) {
+  json_emit_with_meta(path, kv, {});
+}
+
+void json_emit_with_meta(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& kv,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
   std::ofstream out(path);
   out << "{\n  \"meta\": " << run_metadata_json("  ");
-  out << (kv.empty() ? "\n" : ",\n");
-  for (size_t i = 0; i < kv.size(); ++i)
-    out << "  " << json_string(kv[i].first) << ": "
-        << json_number(kv[i].second) << (i + 1 < kv.size() ? "," : "")
-        << "\n";
+  const size_t entries = kv.size() + series.size();
+  out << (entries == 0 ? "\n" : ",\n");
+  size_t emitted = 0;
+  for (const auto& [key, value] : kv)
+    out << "  " << json_string(key) << ": " << json_number(value)
+        << (++emitted < entries ? "," : "") << "\n";
+  for (const auto& [key, values] : series) {
+    out << "  " << json_string(key) << ": [";
+    for (size_t i = 0; i < values.size(); ++i)
+      out << (i ? ", " : "") << json_number(values[i]);
+    out << "]" << (++emitted < entries ? "," : "") << "\n";
+  }
   out << "}\n";
 }
 

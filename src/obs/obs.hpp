@@ -258,4 +258,12 @@ void json_emit_with_meta(
     const std::string& path,
     const std::vector<std::pair<std::string, double>>& kv);
 
+/// Overload that additionally emits numeric-list series (e.g. a
+/// time-vs-ports curve) after the scalar keys: `"key": [v0, v1, ...]`.
+/// tools/check_perf.py gates list-valued "*_s"/"*_ms" keys element-wise.
+void json_emit_with_meta(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& kv,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series);
+
 }  // namespace sympvl::obs

@@ -54,4 +54,36 @@ SweepResult sweep(const MnaSystem& sys, const Vec& frequencies_hz,
   return finish(engine.sweep(frequencies_hz), options);
 }
 
+SweepResult sweep(const ArnoldiModel& model, const Vec& frequencies_hz,
+                  const SweepOptions& options) {
+  const Index p = model.port_count();
+  SweepResult res =
+      detail::run_contained_sweep(frequencies_hz, p, p, [&](Index k) {
+        const double f = frequencies_hz[static_cast<size_t>(k)];
+        return model.eval(Complex(0.0, 2.0 * M_PI * f));
+      });
+  return finish(std::move(res), options);
+}
+
+SweepResult sweep(const MacroModel& model, const Vec& frequencies_hz,
+                  const SweepOptions& options) {
+  require(!model.empty(), ErrorCode::kInvalidArgument,
+          "sweep: empty MacroModel", ErrorContext{.stage = "sweep"});
+  // Dispatch to the typed overloads so each model keeps its native sweep
+  // path (ReducedModel's containment harness included).
+  if (const ReducedModel* m = model.as_reduced())
+    return sweep(*m, frequencies_hz, options);
+  if (const ArnoldiModel* m = model.as_arnoldi())
+    return sweep(*m, frequencies_hz, options);
+  const PvlModel* m = model.as_pvl();
+  SweepResult res =
+      detail::run_contained_sweep(frequencies_hz, 1, 1, [&](Index k) {
+        const double f = frequencies_hz[static_cast<size_t>(k)];
+        CMat z(1, 1);
+        z(0, 0) = m->eval(Complex(0.0, 2.0 * M_PI * f));
+        return z;
+      });
+  return finish(std::move(res), options);
+}
+
 }  // namespace sympvl

@@ -16,6 +16,7 @@
 
 #include "circuit/mna.hpp"
 #include "mor/postprocess.hpp"
+#include "mor/reduce.hpp"
 #include "mor/reduced_model.hpp"
 #include "sim/ac.hpp"
 #include "sim/sweep.hpp"
@@ -52,6 +53,17 @@ SweepResult sweep(const ModalModel& model, const Vec& frequencies_hz,
 /// options.factor_cache) and sweeps. Amortize the engine yourself when
 /// sweeping the same system repeatedly.
 SweepResult sweep(const MnaSystem& sys, const Vec& frequencies_hz,
+                  const SweepOptions& options = {});
+
+/// Congruence-model sweep (Arnoldi baselines, multipoint/rational
+/// models, and the stitched models of the port-sharding layer):
+/// evaluates Z_r(j·2πf) per point with the same containment.
+SweepResult sweep(const ArnoldiModel& model, const Vec& frequencies_hz,
+                  const SweepOptions& options = {});
+
+/// Facade sweep: whatever concrete model reduce() produced. Throws
+/// kInvalidArgument on an empty MacroModel.
+SweepResult sweep(const MacroModel& model, const Vec& frequencies_hz,
                   const SweepOptions& options = {});
 
 }  // namespace sympvl

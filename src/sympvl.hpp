@@ -28,7 +28,10 @@
 #include "circuit/parser.hpp"
 #include "circuit/topology.hpp"
 
-// Reduction drivers and the shared option/report surface.
+// Reduction: the public facade (sympvl::reduce — the one entry point new
+// code should call), the per-method drivers underneath it, the
+// many-terminal port-sharding layer, and the shared option/report
+// surface.
 #include "mor/arnoldi.hpp"
 #include "mor/awe.hpp"
 #include "mor/balanced.hpp"
@@ -36,7 +39,9 @@
 #include "mor/moments.hpp"
 #include "mor/multipoint.hpp"
 #include "mor/options.hpp"
+#include "mor/port_shard.hpp"
 #include "mor/pvl.hpp"
+#include "mor/reduce.hpp"
 #include "mor/sympvl.hpp"
 #include "mor/sypvl.hpp"
 
@@ -56,9 +61,11 @@
 #include "sim/sweep_api.hpp"
 #include "sim/transient.hpp"
 
-// Benchmark circuit generators (Section 7 example families).
+// Benchmark circuit generators (Section 7 example families plus the
+// many-port power grid of the sharding benchmarks).
 #include "gen/package.hpp"
 #include "gen/peec.hpp"
+#include "gen/power_grid.hpp"
 #include "gen/random_circuit.hpp"
 #include "gen/rc_interconnect.hpp"
 

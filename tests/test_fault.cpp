@@ -11,11 +11,13 @@
 #include <string>
 
 #include "fault.hpp"
+#include "gen/package.hpp"
 #include "gen/random_circuit.hpp"
 #include "linalg/factor_chain.hpp"
 #include "linalg/simd.hpp"
 #include "linalg/sparse_ldlt.hpp"
 #include "mor/driver.hpp"
+#include "mor/port_shard.hpp"
 #include "mor/sympvl.hpp"
 #include "sim/ac.hpp"
 #include "sim/sweep_api.hpp"
@@ -394,6 +396,56 @@ TEST_F(FaultTest, ChunkFaultMarksUnreachedPointsStructured) {
       EXPECT_TRUE(std::isnan(sweep[k](0, 0).real()));
     }
   }
+}
+
+// ---- Port sharding: a fault inside one shard stays inside that shard. ----
+
+TEST_F(FaultTest, ShardFaultContainedToOneShard) {
+  // Injecting at "sympvl.delta" with index 1 kills shard 1's Lanczos run;
+  // the other shards must complete, the stitched model must stay usable
+  // (the failed shard's port columns are recovered exactly from the
+  // starting block), and the diagnostics must name the failed shard.
+  PackageOptions popt;
+  popt.pins = 16;
+  popt.segments = 2;
+  popt.signal_pins = 8;
+  const MnaSystem sys =
+      build_mna(make_package_circuit(popt).netlist, MnaForm::kAuto);
+
+  SympvlOptions opt;
+  opt.order = 48;
+  opt.shard.shards = 4;
+
+  fault::arm("sympvl.delta@1");
+  const ShardedSympvlResult res = sharded_sympvl_reduce(sys, opt);
+  fault::disarm();
+
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.status, ReductionStatus::kTruncated);
+  EXPECT_EQ(res.shard.failed_shards, (std::vector<Index>{1}));
+  ASSERT_FALSE(res.diagnostics.empty());
+  EXPECT_NE(res.diagnostics.front().stage.find("shard.1"), std::string::npos)
+      << "stage was: " << res.diagnostics.front().stage;
+
+  // Three of four shards still contribute Krylov content.
+  EXPECT_GT(res.shard.stitched_order, 0);
+  EXPECT_EQ(res.port_count(), sys.port_count());
+
+  // The stitched model evaluates finitely everywhere on a probe grid.
+  for (double f : {1e7, 1e8, 1e9}) {
+    const CMat z = res.eval(Complex(0.0, 2.0 * M_PI * f));
+    for (Index i = 0; i < z.rows(); ++i)
+      for (Index j = 0; j < z.cols(); ++j)
+        EXPECT_TRUE(std::isfinite(z(i, j).real()) &&
+                    std::isfinite(z(i, j).imag()))
+            << "non-finite at f=" << f << " (" << i << "," << j << ")";
+  }
+
+  // And a clean rerun is unaffected (no fault state leaked).
+  const ShardedSympvlResult clean = sharded_sympvl_reduce(sys, opt);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.status, ReductionStatus::kOk);
+  EXPECT_TRUE(clean.shard.failed_shards.empty());
 }
 
 TEST_F(FaultTest, ArmDisarmAndFireCounts) {

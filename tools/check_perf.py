@@ -21,9 +21,12 @@ never masquerade as a pass in CI logs. Every outcome ends with a
 one-line "check_perf: PASS/FAIL/SKIP" summary.
 
 Gated keys: by default every key ending in "_s" or "_ms" (seconds /
-milliseconds — smaller is better). Ratio keys ("*_speedup") are
-reported but never gated; they are derived from the gated times and
-noisy in both directions.
+milliseconds — smaller is better). A gated key may also hold a numeric
+list (a series, e.g. a time-vs-ports curve); it is then compared
+element-wise against the baseline list, and a length mismatch is a
+failure (the series' shape is part of the contract). Ratio keys
+("*_speedup") are reported but never gated; they are derived from the
+gated times and noisy in both directions.
 """
 
 import argparse
@@ -57,6 +60,11 @@ def meta_mismatches(current, baseline):
     ]
 
 
+def is_numeric_list(v):
+    return (isinstance(v, list) and len(v) > 0
+            and all(isinstance(x, (int, float)) for x in v))
+
+
 def gated_keys(doc, explicit):
     if explicit:
         return explicit
@@ -64,9 +72,24 @@ def gated_keys(doc, explicit):
         k
         for k, v in doc.items()
         if k != "meta"
-        and isinstance(v, (int, float))
+        and (isinstance(v, (int, float)) or is_numeric_list(v))
         and (k.endswith("_s") or k.endswith("_ms"))
     ]
+
+
+def compare_scalar(key, cur, base, threshold, failures):
+    """Prints one gated comparison line; appends to failures on regression."""
+    if base <= 0.0:
+        print(f"  {key}: baseline {base:.6g} not positive, skipped")
+        return
+    ratio = cur / base
+    verdict = "OK"
+    if ratio > 1.0 + threshold:
+        verdict = "REGRESSION"
+        failures.append(f"{key}: {base:.6g} -> {cur:.6g} "
+                        f"({(ratio - 1.0) * 100.0:+.1f}%)")
+    print(f"  {key}: baseline {base:.6g}  current {cur:.6g}  "
+          f"({(ratio - 1.0) * 100.0:+.1f}%)  {verdict}")
 
 
 def main():
@@ -113,18 +136,22 @@ def main():
             failures.append(f"{key}: missing from "
                             f"{'current' if key not in current else 'baseline'}")
             continue
-        cur, base = float(current[key]), float(baseline[key])
-        if base <= 0.0:
-            print(f"  {key}: baseline {base:.6g} not positive, skipped")
+        if is_numeric_list(baseline[key]) or is_numeric_list(current[key]):
+            cur_list, base_list = current[key], baseline[key]
+            if not (is_numeric_list(cur_list) and is_numeric_list(base_list)):
+                failures.append(f"{key}: list/scalar type mismatch between "
+                                "current and baseline")
+                continue
+            if len(cur_list) != len(base_list):
+                failures.append(f"{key}: series length changed "
+                                f"{len(base_list)} -> {len(cur_list)}")
+                continue
+            for i, (cur, base) in enumerate(zip(cur_list, base_list)):
+                compare_scalar(f"{key}[{i}]", float(cur), float(base),
+                               args.threshold, failures)
             continue
-        ratio = cur / base
-        verdict = "OK"
-        if ratio > 1.0 + args.threshold:
-            verdict = "REGRESSION"
-            failures.append(f"{key}: {base:.6g} -> {cur:.6g} "
-                            f"({(ratio - 1.0) * 100.0:+.1f}%)")
-        print(f"  {key}: baseline {base:.6g}  current {cur:.6g}  "
-              f"({(ratio - 1.0) * 100.0:+.1f}%)  {verdict}")
+        compare_scalar(key, float(current[key]), float(baseline[key]),
+                       args.threshold, failures)
 
     for key, value in sorted(current.items()):
         if key.endswith("_speedup"):
